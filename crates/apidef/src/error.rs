@@ -1,0 +1,72 @@
+//! Errors for API construction and stub loading.
+
+use jungloid_typesys::TypeError;
+
+/// An error raised while building an [`Api`](crate::Api) or loading `.api`
+/// stubs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ApiError {
+    /// A syntax error in a stub file.
+    Syntax {
+        /// File label.
+        file: String,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// A name in a stub file failed to resolve.
+    Resolve {
+        /// File label.
+        file: String,
+        /// The underlying resolution failure.
+        cause: TypeError,
+    },
+    /// A hierarchy operation failed.
+    Type(TypeError),
+    /// The same member signature was added twice.
+    DuplicateMember {
+        /// Human-readable description of the member.
+        member: String,
+    },
+    /// A member refers to a type kind that cannot appear there (e.g. a
+    /// `void` parameter or field).
+    InvalidMember {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Syntax { file, line, col, message } => {
+                write!(f, "{file}:{line}:{col}: {message}")
+            }
+            ApiError::Resolve { file, cause } => write!(f, "{file}: {cause}"),
+            ApiError::Type(e) => e.fmt(f),
+            ApiError::DuplicateMember { member } => {
+                write!(f, "member `{member}` is declared twice")
+            }
+            ApiError::InvalidMember { detail } => f.write_str(detail),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApiError::Resolve { cause, .. } | ApiError::Type(cause) => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for ApiError {
+    fn from(e: TypeError) -> Self {
+        ApiError::Type(e)
+    }
+}

@@ -1,0 +1,53 @@
+//! Experiment E2 — regenerates **Figure 8** (§7): per-problem completion
+//! times with and without PROSPECTOR from the simulated user study, plus
+//! the headline aggregates (average speedup ≈ 1.9; most users faster with
+//! the tool; reuse vs. reimplementation split). Then benchmarks one full
+//! study simulation.
+//!
+//! Run with `cargo bench -p bench --bench figure8`.
+
+use criterion::{criterion_group, Criterion};
+use prospector_corpora::build_default;
+use prospector_study::{simulate, StudyConfig};
+
+fn print_report() {
+    let prospector = build_default();
+    println!("\n=== Figure 8 (paper §7) — simulated user study ===\n");
+    let report = simulate(&prospector, &StudyConfig::default());
+    println!("{}", report.format_figure8());
+    println!("{}", report.format_scatter());
+
+    // Stability across seeds: the shape must not be a lucky draw.
+    println!("speedup across 10 seeds:");
+    let mut speedups = Vec::new();
+    for seed in 0..10u64 {
+        let r = simulate(&prospector, &StudyConfig { seed, ..StudyConfig::default() });
+        speedups.push(r.average_speedup());
+    }
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "  per-seed: {:?}\n  mean of means: {mean:.2} (paper: 1.9)\n",
+        speedups.iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let prospector = build_default();
+    let mut group = c.benchmark_group("figure8");
+    group.sample_size(10);
+    group.bench_function("simulate_13_users", |b| {
+        b.iter(|| {
+            let r = simulate(&prospector, &StudyConfig::default());
+            std::hint::black_box(r.average_speedup())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+
+fn main() {
+    print_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

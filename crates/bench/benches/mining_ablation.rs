@@ -1,0 +1,144 @@
+//! Experiment E7 / ablation — what jungloid mining (§4) buys, and what
+//! the alternatives cost:
+//!
+//! * `signatures`   — the §3 baseline: downcast queries are unanswerable;
+//! * `naive-casts`  — Figure 3's strawman: every `(U) x : T → U` edge is
+//!   added; the queries "answer", but the top suggestions are inviable
+//!   cast-anything jungloids;
+//! * `mined-raw`    — §4.2 extraction without generalization;
+//! * `mined-gen`    — the full system.
+//!
+//! Plus the per-cast example-cap sweep (§4.2 caps extraction per cast
+//! site to avoid the gigabytes-of-examples blowup the paper reports).
+//!
+//! Run with `cargo bench -p bench --bench mining_ablation`.
+
+use criterion::{criterion_group, Criterion};
+use jungloid_dataflow::{LoweredCorpus, Miner};
+use prospector_core::viability::viability_rate;
+use prospector_core::Prospector;
+use prospector_corpora::behavior::eclipse_behavior;
+use prospector_corpora::{build, corpus_units, eclipse_api, BuildOptions};
+
+/// The downcast-dependent query set: `(tin, tout, desired substrings)`.
+const DOWNCAST_QUERIES: [(&str, &str, &[&str]); 5] = [
+    ("IDebugView", "JavaInspectExpression", &["(JavaInspectExpression)", "getFirstElement()"]),
+    ("ScrollingGraphicalViewer", "FigureCanvas", &["(FigureCanvas)", ".getControl()"]),
+    ("IWorkbenchPage", "IStructuredSelection", &["(IStructuredSelection)"]),
+    ("IViewPart", "MenuManager", &["getMenuManager()"]),
+    ("Project", "Target", &["getTargets().get("]),
+];
+
+fn evaluate(engine: &Prospector, label: &str) {
+    let api = engine.api();
+    let behavior = eclipse_behavior(api);
+    let mut answered = 0;
+    let mut desired_found = 0;
+    let mut detail = Vec::new();
+    let mut top3: Vec<prospector_core::Jungloid> = Vec::new();
+    for (tin, tout, needles) in DOWNCAST_QUERIES {
+        let tin = api.types().resolve(tin).unwrap();
+        let tout = api.types().resolve(tout).unwrap();
+        let result = engine.query(tin, tout).unwrap();
+        let rank = result.rank_where(|s| needles.iter().all(|n| s.code.contains(n)));
+        if !result.suggestions.is_empty() {
+            answered += 1;
+        }
+        if rank.is_some_and(|r| r <= 10) {
+            desired_found += 1;
+        }
+        top3.extend(result.suggestions.iter().take(3).map(|s| s.jungloid.clone()));
+        detail.push(match rank {
+            Some(r) => format!("{r}"),
+            None if result.suggestions.is_empty() => "-".to_owned(),
+            None => format!("junk×{}", result.suggestions.len()),
+        });
+    }
+    // §4.1's viability, under the behavior model (corpora::behavior):
+    // fraction of the top-3 suggestions across the query set that some
+    // environment makes return normally.
+    let refs: Vec<&prospector_core::Jungloid> = top3.iter().collect();
+    let viable = if refs.is_empty() { f64::NAN } else { viability_rate(api, &behavior, &refs) };
+    println!(
+        "{label:<12} answered {answered}/5, desired found {desired_found}/5, top-3 viability {:>5.0}%, ranks [{}]",
+        viable * 100.0,
+        detail.join(" ")
+    );
+}
+
+fn print_report() {
+    println!("\n=== Mining ablation over the downcast query set ===\n");
+
+    let signatures = build(&BuildOptions { mining: false, ..BuildOptions::default() })
+        .unwrap()
+        .prospector;
+    evaluate(&signatures, "signatures");
+
+    // Figure 3's naive strategy.
+    let naive_graph = signatures.graph().with_naive_downcasts(signatures.api());
+    let api = eclipse_api().unwrap();
+    let naive = Prospector::from_parts(api, naive_graph);
+    evaluate(&naive, "naive-casts");
+
+    let raw = build(&BuildOptions { generalize: false, ..BuildOptions::default() })
+        .unwrap()
+        .prospector;
+    evaluate(&raw, "mined-raw");
+
+    let full = build(&BuildOptions::default()).unwrap().prospector;
+    evaluate(&full, "mined-gen");
+
+    println!("\nper-cast example cap sweep (§4.2):");
+    let mut base_api = eclipse_api().unwrap();
+    let units = corpus_units().unwrap();
+    let lowered = LoweredCorpus::lower(&mut base_api, &units).unwrap();
+    for cap in [1usize, 2, 8, 64] {
+        let mut miner = Miner::new(&base_api, &lowered);
+        miner.config.max_examples_per_cast = cap;
+        let report = miner.mine();
+        println!(
+            "  cap {cap:>3}: {} examples from {} cast sites ({} capped)",
+            report.examples.len(),
+            report.cast_sites,
+            report.capped_casts
+        );
+    }
+    println!();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let mut api = eclipse_api().unwrap();
+    let units = corpus_units().unwrap();
+    let lowered = LoweredCorpus::lower(&mut api, &units).unwrap();
+    let mut group = c.benchmark_group("mining_ablation");
+    group.sample_size(20);
+    group.bench_function("mine_corpus_serial", |b| {
+        b.iter(|| {
+            let mut miner = Miner::new(&api, &lowered);
+            miner.config.parallel = false;
+            std::hint::black_box(miner.mine().examples.len())
+        });
+    });
+    group.bench_function("mine_corpus_parallel", |b| {
+        b.iter(|| {
+            let miner = Miner::new(&api, &lowered);
+            std::hint::black_box(miner.mine().examples.len())
+        });
+    });
+    group.bench_function("generalize_examples", |b| {
+        let miner = Miner::new(&api, &lowered);
+        let report = miner.mine();
+        b.iter(|| {
+            std::hint::black_box(prospector_core::generalize::generalize(&report.examples).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+
+fn main() {
+    print_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,120 @@
+//! Experiment E6 / ablation — how much each ranking refinement of §3.2
+//! contributes. Four configurations re-run Table 1:
+//!
+//! * `full`        — the paper's heuristic (free variables cost 2,
+//!   package-crossing and output-generality tie-breaks);
+//! * `length-only` — plain shortest-first (the paper's "early prototype
+//!   that returned an arbitrarily chosen shortest jungloid");
+//! * `no-crossings` — disables the `HTMLParser` tie-break;
+//! * `no-generality` — disables the `XMLEditor` tie-break.
+//!
+//! Also checks the two §3.2 anecdotes directly: the `java.io` idiom must
+//! outrank the `org.apache.lucene` detour only when crossings are on, and
+//! `(FileInputStream, BufferedReader)` has many same-length jungloids.
+//!
+//! Run with `cargo bench -p bench --bench ranking_ablation`.
+
+use criterion::{criterion_group, Criterion};
+use prospector_core::RankOptions;
+use prospector_corpora::report::run_table1;
+use prospector_corpora::{build_default, problems};
+
+const CONFIGS: [(&str, RankOptions); 4] = [
+    (
+        "full",
+        RankOptions { free_ref_cost: 2, free_prim_cost: 0, use_crossings: true, use_generality: true },
+    ),
+    (
+        "length-only",
+        RankOptions { free_ref_cost: 0, free_prim_cost: 0, use_crossings: false, use_generality: false },
+    ),
+    (
+        "no-crossings",
+        RankOptions { free_ref_cost: 2, free_prim_cost: 0, use_crossings: false, use_generality: true },
+    ),
+    (
+        "no-generality",
+        RankOptions { free_ref_cost: 2, free_prim_cost: 0, use_crossings: true, use_generality: false },
+    ),
+];
+
+fn print_report() {
+    println!("\n=== Ranking ablation over Table 1 ===\n");
+    println!(
+        "{:<14} {:>7} {:>8} {:>11}  per-problem desired ranks (No = not in top 10)",
+        "config", "found", "rank-1", "mean rank"
+    );
+    for (name, opts) in CONFIGS {
+        let mut engine = build_default();
+        engine.ranking = opts;
+        let rows = run_table1(&engine);
+        let found = rows.iter().filter(|r| r.rank.is_some()).count();
+        let rank1 = rows.iter().filter(|r| r.rank == Some(1)).count();
+        let ranks: Vec<usize> = rows.iter().filter_map(|r| r.rank).collect();
+        let mean = ranks.iter().sum::<usize>() as f64 / ranks.len().max(1) as f64;
+        let per: Vec<String> = rows
+            .iter()
+            .map(|r| r.rank.map_or_else(|| "No".into(), |k| k.to_string()))
+            .collect();
+        println!(
+            "{name:<14} {found:>4}/20 {rank1:>5}/20 {mean:>11.2}  [{}]",
+            per.join(" ")
+        );
+    }
+
+    // §3.2 anecdote: the idiom vs the HTMLParser detour.
+    println!("\n§3.2 anecdote — (InputStream, BufferedReader), top 3 per config:");
+    for (name, opts) in CONFIGS {
+        let mut engine = build_default();
+        engine.ranking = opts;
+        let api = engine.api();
+        let tin = api.types().resolve("InputStream").unwrap();
+        let tout = api.types().resolve("BufferedReader").unwrap();
+        let result = engine.query(tin, tout).unwrap();
+        println!("  {name}:");
+        for s in result.suggestions.iter().take(3) {
+            println!("    {}", s.code);
+        }
+        let idiom = result.rank_where(|s| s.code.contains("new InputStreamReader("));
+        let detour = result.rank_where(|s| s.code.contains("HTMLParser"));
+        println!("    idiom rank {idiom:?}, HTMLParser detour rank {detour:?}");
+        if opts.use_crossings {
+            assert!(idiom < detour, "{name}: crossings should favor the idiom");
+        }
+    }
+    println!();
+}
+
+fn bench_full_vs_length_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking_ablation");
+    group.sample_size(10);
+    for (name, opts) in [CONFIGS[0], CONFIGS[1]] {
+        let mut engine = build_default();
+        engine.ranking = opts;
+        let api = engine.api();
+        let pairs: Vec<_> = problems::table1()
+            .iter()
+            .map(|p| {
+                (api.types().resolve(p.tin).unwrap(), api.types().resolve(p.tout).unwrap())
+            })
+            .collect();
+        group.bench_function(format!("table1_{name}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &(tin, tout) in &pairs {
+                    total += engine.query(tin, tout).unwrap().suggestions.len();
+                }
+                std::hint::black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_vs_length_only);
+
+fn main() {
+    print_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

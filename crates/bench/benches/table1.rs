@@ -1,0 +1,48 @@
+//! Experiment E1 — regenerates **Table 1** (§7): the twenty
+//! query-processing problems with measured wall-clock time and the rank
+//! of the desired solution, side by side with the paper's numbers, then
+//! benchmarks each query with Criterion.
+//!
+//! Run with `cargo bench -p bench --bench table1`.
+
+use criterion::{criterion_group, Criterion};
+use prospector_corpora::report::{format_table1, run_table1};
+use prospector_corpora::{build_default, problems};
+
+fn print_report() {
+    let prospector = build_default();
+    let rows = run_table1(&prospector);
+    println!("\n=== Table 1 (paper §7) ===\n");
+    println!("{}", format_table1(&rows));
+    let agree = rows.iter().filter(|r| r.agrees_on_found()).count();
+    println!("found/not-found agreement with the paper: {agree}/20\n");
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let prospector = build_default();
+    let api = prospector.api();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    for problem in problems::table1() {
+        let tin = api.types().resolve(problem.tin).unwrap();
+        let tout = api.types().resolve(problem.tout).unwrap();
+        group.bench_function(
+            format!("p{:02}_{}_{}", problem.id, problem.tin, problem.tout),
+            |b| {
+                b.iter(|| {
+                    let result = prospector.query(tin, tout).unwrap();
+                    std::hint::black_box(result.suggestions.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+
+fn main() {
+    print_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

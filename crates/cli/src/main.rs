@@ -1,0 +1,406 @@
+//! `prospector` — the command-line analog of the paper's Eclipse plugin.
+//!
+//! Subcommands:
+//!
+//! * `query <TIN> <TOUT>` — an explicit jungloid query (§2.1);
+//! * `assist <TOUT> [--var name:Type]...` — a content-assist query from a
+//!   set of visible variables (§5);
+//! * `complete <file.mj> <method> <var>` — the full content-assist flow:
+//!   parse a MiniJava file, find the uninitialized local `var` in
+//!   `method`, infer the query from the surrounding context, and print
+//!   insertable code;
+//! * `table1` — regenerate Table 1;
+//! * `study [--seed N]` — run the simulated user study (Figure 8);
+//! * `compose <TIN> <TOUT>` — answer a query and automatically bind its
+//!   free variables with follow-up queries (§2.2's composition);
+//! * `explain <TIN> <TOUT> [RANK]` — annotate one suggestion step by
+//!   step (kind, types, free variables);
+//! * `graph <TYPE>...` — render the neighborhood of the given types as
+//!   Graphviz DOT (the paper's figure style);
+//! * `mine` — show the mined + generalized example jungloids;
+//! * `index <path>` — build the engine and persist it (§5's on-disk
+//!   graph); `--index <path>` on any command loads it instead of
+//!   rebuilding;
+//! * `stats` — graph statistics (§5's size numbers).
+//!
+//! Engine flags (before the subcommand arguments): `--no-mining`,
+//! `--no-generalize`, `--include-protected`, `--jungle` (grow the
+//! paper-scale distractor jungle), `--max N` (suggestions to print).
+
+use std::process::ExitCode;
+
+use jungloid_minijava::ast::{Stmt, TypeName};
+use jungloid_typesys::TyId;
+use prospector_core::synth::synthesize_statements;
+use prospector_core::Prospector;
+use prospector_corpora::{build, jungle::JungleSpec, report, BuildOptions};
+use prospector_study::{simulate, StudyConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("prospector: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Flags {
+    options: BuildOptions,
+    max: usize,
+    seed: u64,
+    index: Option<String>,
+    rest: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut options = BuildOptions::default();
+    let mut max = 5usize;
+    let mut seed = StudyConfig::default().seed;
+    let mut index = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-mining" => options.mining = false,
+            "--no-generalize" => options.generalize = false,
+            "--include-protected" => options.include_protected = true,
+            "--mine-params" => options.param_mining = true,
+            "--extended" => options.extended = true,
+            "--jungle" => options.jungle = Some(JungleSpec::default()),
+            "--max" => {
+                max = it
+                    .next()
+                    .ok_or("--max needs a number")?
+                    .parse()
+                    .map_err(|_| "--max needs a number".to_owned())?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number".to_owned())?;
+            }
+            "--index" => {
+                index = Some(it.next().ok_or("--index needs a path")?.clone());
+            }
+            other => rest.push(other.to_owned()),
+        }
+    }
+    Ok(Flags { options, max, seed, index, rest })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let Some(command) = flags.rest.first() else {
+        print_usage();
+        return Ok(());
+    };
+    match command.as_str() {
+        "query" => {
+            let [_, tin, tout] = flags.rest.as_slice() else {
+                return Err("usage: prospector query <TIN> <TOUT>".to_owned());
+            };
+            let engine = engine(&flags)?;
+            let tin = resolve(&engine, tin)?;
+            let tout = resolve(&engine, tout)?;
+            let result = engine.query(tin, tout).map_err(|e| e.to_string())?;
+            print_suggestions(&engine, &result.suggestions, flags.max);
+            Ok(())
+        }
+        "assist" => {
+            let mut visible: Vec<(String, String)> = Vec::new();
+            let mut tout = None;
+            let mut it = flags.rest[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--var" {
+                    let spec = it.next().ok_or("--var needs name:Type")?;
+                    let (name, ty) =
+                        spec.split_once(':').ok_or("--var needs name:Type")?;
+                    visible.push((name.to_owned(), ty.to_owned()));
+                } else {
+                    tout = Some(a.clone());
+                }
+            }
+            let tout = tout.ok_or("usage: prospector assist <TOUT> [--var name:Type]...")?;
+            let engine = engine(&flags)?;
+            let tout = resolve(&engine, &tout)?;
+            let vars: Vec<(&str, TyId)> = visible
+                .iter()
+                .map(|(n, t)| Ok((n.as_str(), resolve(&engine, t)?)))
+                .collect::<Result<_, String>>()?;
+            let result = engine.assist(&vars, tout).map_err(|e| e.to_string())?;
+            for name in &result.already_available {
+                println!("note: variable `{name}` already has the requested type");
+            }
+            print_suggestions(&engine, &result.suggestions, flags.max);
+            Ok(())
+        }
+        "complete" => {
+            let [_, file, method, var] = flags.rest.as_slice() else {
+                return Err("usage: prospector complete <file.mj> <method> <var>".to_owned());
+            };
+            complete(&flags, file, method, var)
+        }
+        "table1" => {
+            let engine = engine(&flags)?;
+            let rows = report::run_table1(&engine);
+            println!("{}", report::format_table1(&rows));
+            Ok(())
+        }
+        "study" => {
+            let engine = engine(&flags)?;
+            let config = StudyConfig { seed: flags.seed, ..StudyConfig::default() };
+            let studied = simulate(&engine, &config);
+            println!("{}", studied.format_figure8());
+            Ok(())
+        }
+        "mine" => {
+            let built = build(&flags.options).map_err(|e| e.to_string())?;
+            let engine = built.prospector;
+            if let Some(mined) = &built.mine_report {
+                println!(
+                    "{} cast sites, {} raw examples ({} capped sites)",
+                    mined.cast_sites,
+                    mined.examples.len(),
+                    mined.capped_casts
+                );
+            }
+            println!("{} generalized paths spliced into the graph:", engine.graph().examples().len());
+            for e in engine.graph().examples() {
+                let labels: Vec<String> = e.iter().map(|s| s.label(engine.api())).collect();
+                println!("  {}", labels.join(" . "));
+            }
+            Ok(())
+        }
+        "explain" => {
+            if flags.rest.len() < 3 {
+                return Err("usage: prospector explain <TIN> <TOUT> [RANK]".to_owned());
+            }
+            let engine = engine(&flags)?;
+            let tin = resolve(&engine, &flags.rest[1])?;
+            let tout = resolve(&engine, &flags.rest[2])?;
+            let rank: usize = flags
+                .rest
+                .get(3)
+                .map_or(Ok(1), |r| r.parse().map_err(|_| "RANK must be a number".to_owned()))?;
+            let result = engine.query(tin, tout).map_err(|e| e.to_string())?;
+            let Some(s) = result.suggestions.get(rank.saturating_sub(1)) else {
+                return Err(format!("only {} suggestions", result.suggestions.len()));
+            };
+            println!("{}", s.code);
+            print!("{}", prospector_core::explain::format_explanation(engine.api(), &s.jungloid));
+            Ok(())
+        }
+        "compose" => {
+            let [_, tin, tout] = flags.rest.as_slice() else {
+                return Err("usage: prospector compose <TIN> <TOUT>".to_owned());
+            };
+            let engine = engine(&flags)?;
+            let tin_ty = resolve(&engine, tin)?;
+            let tout_ty = resolve(&engine, tout)?;
+            let result = engine.query(tin_ty, tout_ty).map_err(|e| e.to_string())?;
+            let Some(best) = result.suggestions.first() else {
+                println!("no jungloids found");
+                return Ok(());
+            };
+            let input_name = {
+                // `IEditorPart` -> `editorPart`, `Shell` -> `shell`.
+                let stripped = match tin.as_bytes() {
+                    [b'I', second, ..] if second.is_ascii_uppercase() && tin.len() > 2 => &tin[1..],
+                    _ => tin.as_str(),
+                };
+                let mut c = stripped.chars();
+                let first = c.next().map(|f| f.to_lowercase().to_string()).unwrap_or_default();
+                format!("{first}{}", c.as_str())
+            };
+            let composed = prospector_core::compose(
+                &engine,
+                &best.jungloid,
+                Some(&input_name),
+                &[(&input_name, tin_ty)],
+                &prospector_core::ComposeConfig::default(),
+            )
+            .ok_or("empty jungloid")?;
+            println!("{}", composed.render());
+            if !composed.is_complete() {
+                for (name, ty) in &composed.unresolved {
+                    println!(
+                        "// `{name}` ({}) could not be bound by any follow-up query",
+                        engine.api().types().display(*ty)
+                    );
+                }
+            }
+            Ok(())
+        }
+        "graph" => {
+            if flags.rest.len() < 2 {
+                return Err("usage: prospector graph <TYPE>...".to_owned());
+            }
+            let engine = engine(&flags)?;
+            let roots = flags.rest[1..]
+                .iter()
+                .map(|n| Ok(prospector_core::NodeId::Ty(resolve(&engine, n)?)))
+                .collect::<Result<Vec<_>, String>>()?;
+            let dot = prospector_core::dot::neighborhood(
+                engine.api(),
+                engine.graph(),
+                &roots,
+                &prospector_core::dot::DotOptions::default(),
+            );
+            println!("{dot}");
+            Ok(())
+        }
+        "index" => {
+            let [_, path] = flags.rest.as_slice() else {
+                return Err("usage: prospector index <path>".to_owned());
+            };
+            let engine = build(&flags.options).map_err(|e| e.to_string())?.prospector;
+            prospector_core::persist::save_file(
+                std::path::Path::new(path),
+                engine.api(),
+                engine.graph(),
+            )
+            .map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "wrote {path}: {:.1} MB, {} nodes, {} edges",
+                bytes as f64 / (1024.0 * 1024.0),
+                engine.graph().node_count(),
+                engine.graph().edge_count()
+            );
+            Ok(())
+        }
+        "stats" => {
+            let engine = engine(&flags)?;
+            let g = engine.graph();
+            let stats = g.stats(engine.api());
+            println!("types:        {}", engine.api().types().len());
+            println!("methods:      {}", engine.api().method_count());
+            println!("fields:       {}", engine.api().field_count());
+            println!("graph nodes:  {} ({} mined)", stats.nodes, stats.mined_nodes);
+            println!("graph edges:  {}", stats.total_edges());
+            println!("  field:       {}", stats.field_edges);
+            println!("  instance:    {}", stats.instance_edges);
+            println!("  static:      {}", stats.static_edges);
+            println!("  constructor: {}", stats.constructor_edges);
+            println!("  widening:    {}", stats.widening_edges);
+            println!("  downcast:    {} (mined examples: {})", stats.downcast_edges, stats.examples);
+            println!("approx bytes: {}", g.approx_bytes());
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown command `{other}`"))
+        }
+    }
+}
+
+fn engine(flags: &Flags) -> Result<Prospector, String> {
+    if let Some(path) = &flags.index {
+        let loaded = prospector_core::persist::load_file(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        return Ok(Prospector::from_parts(loaded.api, loaded.graph));
+    }
+    Ok(build(&flags.options).map_err(|e| e.to_string())?.prospector)
+}
+
+fn resolve(engine: &Prospector, name: &str) -> Result<TyId, String> {
+    engine.api().types().resolve(name).map_err(|e| e.to_string())
+}
+
+fn print_suggestions(
+    engine: &Prospector,
+    suggestions: &[prospector_core::Suggestion],
+    max: usize,
+) {
+    if suggestions.is_empty() {
+        println!("no jungloids found");
+        return;
+    }
+    for (i, s) in suggestions.iter().take(max).enumerate() {
+        println!("{}. {}", i + 1, s.code);
+        for line in s.snippet.free_var_decls(engine.api()) {
+            println!("     {line}");
+        }
+    }
+    if suggestions.len() > max {
+        println!("... and {} more (use --max to see them)", suggestions.len() - max);
+    }
+}
+
+/// The content-assist flow of §5: the declared type of the uninitialized
+/// local is `tout`; the types of variables declared before it (plus the
+/// method's parameters, plus `void`) are the `tin` set.
+fn complete(flags: &Flags, file: &str, method_name: &str, var: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let unit = jungloid_minijava::parse::parse_unit(file, &text).map_err(|e| e.to_string())?;
+    let method = unit
+        .classes
+        .iter()
+        .flat_map(|c| &c.methods)
+        .find(|m| m.name == method_name)
+        .ok_or_else(|| format!("no method `{method_name}` in {file}"))?;
+
+    let engine = engine(flags)?;
+    let resolve_tn = |t: &TypeName| -> Result<TyId, String> {
+        engine.api().types().resolve(&t.parts.join(".")).map_err(|e| e.to_string())
+    };
+    let mut visible: Vec<(String, TyId)> = Vec::new();
+    for (ty, name) in &method.params {
+        visible.push((name.clone(), resolve_tn(ty)?));
+    }
+    let mut target: Option<TyId> = None;
+    for stmt in &method.body {
+        if let Stmt::Local { ty, name, init } = stmt {
+            if name == var && init.is_none() {
+                target = Some(resolve_tn(ty)?);
+                break;
+            }
+            visible.push((name.clone(), resolve_tn(ty)?));
+        }
+    }
+    let tout =
+        target.ok_or_else(|| format!("no uninitialized local `{var}` in `{method_name}`"))?;
+    let vars: Vec<(&str, TyId)> = visible.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let result = engine.assist(&vars, tout).map_err(|e| e.to_string())?;
+    println!(
+        "completing `{}` in `{}` ({} candidates):",
+        var,
+        method_name,
+        result.suggestions.len()
+    );
+    for (i, s) in result.suggestions.iter().take(flags.max).enumerate() {
+        // Render the full §2.2-style statement sequence for the top pick.
+        println!("{}. {}", i + 1, s.code);
+        if i == 0 {
+            let (stmts, _) =
+                synthesize_statements(engine.api(), &s.jungloid, s.input_var.as_deref());
+            for stmt in stmts {
+                println!("     {}", jungloid_minijava::print::stmt_to_string(&stmt));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_usage() {
+    println!(
+        "prospector — jungloid synthesis over the modeled Eclipse/J2SE APIs
+
+usage:
+  prospector [flags] query <TIN> <TOUT>
+  prospector [flags] assist <TOUT> [--var name:Type]...
+  prospector [flags] complete <file.mj> <method> <var>
+  prospector [flags] table1
+  prospector [flags] study [--seed N]
+  prospector [flags] mine
+  prospector [flags] stats
+
+flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle
+       --max N --seed N --index <path>"
+    );
+}

@@ -1,0 +1,132 @@
+//! End-to-end tests of the `prospector` binary.
+
+use std::process::Command;
+
+fn prospector(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_prospector"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (stdout, _, ok) = prospector(&[]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+}
+
+#[test]
+fn query_intro_example() {
+    let (stdout, _, ok) = prospector(&["query", "IFile", "ASTNode"]);
+    assert!(ok);
+    assert!(stdout.contains("1. AST.parseCompilationUnit(JavaCore.createCompilationUnitFrom("));
+}
+
+#[test]
+fn query_unknown_type_fails_cleanly() {
+    let (_, stderr, ok) = prospector(&["query", "NoSuchType", "ASTNode"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown type"));
+}
+
+#[test]
+fn assist_reports_void_route() {
+    let (stdout, _, ok) =
+        prospector(&["assist", "DocumentProviderRegistry", "--var", "ep:IEditorPart"]);
+    assert!(ok);
+    assert!(stdout.contains("DocumentProviderRegistry.getDefault()"));
+}
+
+#[test]
+fn protected_failure_and_fix() {
+    let (stdout, _, ok) = prospector(&["query", "AbstractGraphicalEditPart", "ConnectionLayer"]);
+    assert!(ok);
+    assert!(stdout.contains("no jungloids found"));
+
+    let (stdout, _, ok) = prospector(&[
+        "--include-protected",
+        "query",
+        "AbstractGraphicalEditPart",
+        "ConnectionLayer",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("(ConnectionLayer)"));
+    assert!(stdout.contains(".getLayer("));
+}
+
+#[test]
+fn mine_lists_generalized_examples() {
+    let (stdout, _, ok) = prospector(&["mine"]);
+    assert!(ok);
+    assert!(stdout.contains("generalized paths spliced into the graph"));
+    assert!(stdout.contains("(IStructuredSelection)"));
+}
+
+#[test]
+fn stats_reports_scale() {
+    let (stdout, _, ok) = prospector(&["stats"]);
+    assert!(ok);
+    assert!(stdout.contains("graph edges:"));
+    assert!(stdout.contains("methods:"));
+}
+
+#[test]
+fn complete_infers_context_from_file() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("user.mj");
+    std::fs::write(
+        &path,
+        r"
+        package myplugin;
+        class Action {
+            void run(IWorkbench workbench, IFile selectedFile) {
+                ASTNode ast;
+            }
+        }
+        ",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) =
+        prospector(&["complete", path.to_str().unwrap(), "run", "ast"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("createCompilationUnitFrom(selectedFile)"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn index_round_trip() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.idx");
+    let path_str = path.to_str().unwrap();
+    let (stdout, _, ok) = prospector(&["index", path_str]);
+    assert!(ok);
+    assert!(stdout.contains("wrote"));
+    // Loading the index answers identically to a fresh build.
+    let (loaded, _, ok) = prospector(&["--index", path_str, "query", "IFile", "ASTNode"]);
+    assert!(ok);
+    let (fresh, _, _) = prospector(&["query", "IFile", "ASTNode"]);
+    assert_eq!(loaded, fresh);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_index_fails_cleanly() {
+    let (_, stderr, ok) = prospector(&["--index", "/nonexistent/engine.idx", "query", "IFile", "ASTNode"]);
+    assert!(!ok);
+    assert!(stderr.contains("/nonexistent/engine.idx"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (_, stderr, ok) = prospector(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}

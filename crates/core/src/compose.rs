@@ -1,0 +1,332 @@
+//! Query composition (§2.2): building complete, multi-statement solutions
+//! out of several jungloid queries.
+//!
+//! A single jungloid covers code with one input and one output; methods
+//! with more inputs leave *free variables*. The paper's workflow is
+//! manual: the user sees `DocumentProviderRegistry dpreg; // free
+//! variable` and issues a follow-up query for that type. This module
+//! automates the loop: for every free variable of a chosen suggestion it
+//! runs the same context query (visible variables + `void`), takes the
+//! best answer, and splices its statements in front — recursively, until
+//! everything is bound or no query has an answer.
+//!
+//! The result is exactly the finished §2.2 block:
+//!
+//! ```text
+//! IEditorInput editorInput = ep.getEditorInput();
+//! DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();
+//! IDocumentProvider dp = documentProviderRegistry.getDocumentProvider(editorInput);
+//! ```
+
+use jungloid_minijava::ast::{Expr, Stmt};
+use jungloid_minijava::print::stmt_to_string;
+use jungloid_typesys::TyId;
+
+use crate::engine::Prospector;
+use crate::path::Jungloid;
+use crate::synth::{synthesize_statements_pooled, ty_to_type_name, NamePool};
+
+/// Composition limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComposeConfig {
+    /// Maximum recursion depth through free variables (paper scenarios
+    /// need 1; deeper chains are legal).
+    pub max_depth: usize,
+    /// Maximum total statements (backstop against pathological graphs).
+    pub max_statements: usize,
+}
+
+impl Default for ComposeConfig {
+    fn default() -> Self {
+        ComposeConfig { max_depth: 3, max_statements: 40 }
+    }
+}
+
+/// A fully (or maximally) composed solution.
+#[derive(Clone, Debug)]
+pub struct Composition {
+    /// The statement sequence, ready to insert.
+    pub statements: Vec<Stmt>,
+    /// The variable holding the final result.
+    pub result_var: String,
+    /// Static type of the result.
+    pub result_ty: TyId,
+    /// Free variables that could not be bound by any follow-up query
+    /// (`(name, type)`), still declared in `statements`.
+    pub unresolved: Vec<(String, TyId)>,
+}
+
+impl Composition {
+    /// Whether every free variable was bound.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.unresolved.is_empty()
+    }
+
+    /// Renders the statements, one per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.statements.iter().map(stmt_to_string).collect::<Vec<_>>().join("\n")
+    }
+}
+
+/// Composes a full solution for `jungloid`, binding its free variables
+/// with follow-up context queries over `visible`.
+///
+/// Returns `None` only if the jungloid is empty.
+#[must_use]
+pub fn compose(
+    engine: &Prospector,
+    jungloid: &Jungloid,
+    input_name: Option<&str>,
+    visible: &[(&str, TyId)],
+    config: &ComposeConfig,
+) -> Option<Composition> {
+    let api = engine.api();
+    let mut pool = NamePool::new();
+    for (name, _) in visible {
+        pool.reserve(name);
+    }
+    let mut statements = Vec::new();
+    let mut unresolved = Vec::new();
+    let result_var = compose_into(
+        engine,
+        jungloid,
+        input_name,
+        visible,
+        config,
+        config.max_depth,
+        &mut pool,
+        &mut statements,
+        &mut unresolved,
+    )?;
+    let _ = api;
+    Some(Composition {
+        statements,
+        result_var,
+        result_ty: jungloid.output_ty(engine.api()),
+        unresolved,
+    })
+}
+
+/// Recursive worker: appends the statements computing `jungloid` (with
+/// free variables bound where possible) and returns the result variable.
+#[allow(clippy::too_many_arguments)]
+fn compose_into(
+    engine: &Prospector,
+    jungloid: &Jungloid,
+    input_name: Option<&str>,
+    visible: &[(&str, TyId)],
+    config: &ComposeConfig,
+    depth: usize,
+    pool: &mut NamePool,
+    statements: &mut Vec<Stmt>,
+    unresolved: &mut Vec<(String, TyId)>,
+) -> Option<String> {
+    let api = engine.api();
+    let (stmts, snippet) = synthesize_statements_pooled(api, jungloid, input_name, pool);
+    let mut result_var = None;
+    for stmt in stmts {
+        if statements.len() >= config.max_statements {
+            return result_var;
+        }
+        match stmt {
+            // A free-variable declaration: try to bind it.
+            Stmt::Local { ty, name, init: None } => {
+                let free_ty = snippet
+                    .free_vars
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, t)| *t)
+                    .unwrap_or_else(|| {
+                        api.types().resolve(&ty.parts.join(".")).expect("synthesized type resolves")
+                    });
+                let bound = (depth > 0)
+                    .then(|| engine.assist(visible, free_ty).ok())
+                    .flatten()
+                    .and_then(|result| result.suggestions.into_iter().next());
+                match bound {
+                    Some(best) => {
+                        let sub_input = best.input_var.clone();
+                        let sub_var = compose_into(
+                            engine,
+                            &best.jungloid,
+                            sub_input.as_deref(),
+                            visible,
+                            config,
+                            depth - 1,
+                            pool,
+                            statements,
+                            unresolved,
+                        );
+                        match sub_var {
+                            Some(sub) => {
+                                // The main snippet refers to the free
+                                // variable's name. If the sub-result is the
+                                // most recent declaration, rename it in
+                                // place; otherwise rebind.
+                                match statements.last_mut() {
+                                    Some(Stmt::Local { name: last, .. }) if *last == sub => {
+                                        last.clone_from(&name);
+                                    }
+                                    _ => statements.push(Stmt::Local {
+                                        ty: ty_to_type_name(api, free_ty),
+                                        name: name.clone(),
+                                        init: Some(Expr::var(&sub)),
+                                    }),
+                                }
+                            }
+                            None => {
+                                unresolved.push((name.clone(), free_ty));
+                                statements.push(Stmt::Local { ty, name, init: None });
+                            }
+                        }
+                    }
+                    None => {
+                        unresolved.push((name.clone(), free_ty));
+                        statements.push(Stmt::Local { ty, name, init: None });
+                    }
+                }
+            }
+            Stmt::Local { ty, name, init } => {
+                result_var = Some(name.clone());
+                statements.push(Stmt::Local { ty, name, init });
+            }
+            other => statements.push(other),
+        }
+    }
+    result_var.or_else(|| input_name.map(str::to_owned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jungloid_apidef::ApiLoader;
+
+    fn engine() -> Prospector {
+        let mut loader = ApiLoader::with_prelude();
+        loader
+            .add_source(
+                "ui.api",
+                r"
+                package ui;
+                public interface IEditorInput {}
+                public interface IEditorPart { IEditorInput getEditorInput(); }
+                public interface IDocumentProvider {}
+                public class DocumentProviderRegistry {
+                    static DocumentProviderRegistry getDefault();
+                    IDocumentProvider getDocumentProvider(IEditorInput input);
+                }
+                public class Orphan {
+                    IDocumentProvider viaMystery(Mystery m);
+                }
+                public class Mystery {}
+                ",
+            )
+            .unwrap();
+        Prospector::new(loader.finish().unwrap())
+    }
+
+    #[test]
+    fn section_2_2_composition_is_automatic() {
+        let engine = engine();
+        let api = engine.api();
+        let part = api.types().resolve("IEditorPart").unwrap();
+        let provider = api.types().resolve("IDocumentProvider").unwrap();
+        let result = engine.query(part, provider).unwrap();
+        let best = result
+            .suggestions
+            .iter()
+            .find(|s| s.code.contains("getEditorInput"))
+            .expect("registry route present");
+
+        let composed = compose(
+            &engine,
+            &best.jungloid,
+            Some("ep"),
+            &[("ep", part)],
+            &ComposeConfig::default(),
+        )
+        .expect("composes");
+        assert!(composed.is_complete(), "unresolved: {:?}", composed.unresolved);
+        let text = composed.render();
+        assert!(text.contains("IEditorInput editorInput = ep.getEditorInput();"), "{text}");
+        assert!(
+            text.contains(
+                "DocumentProviderRegistry documentProviderRegistry = DocumentProviderRegistry.getDefault();"
+            ) || text.contains("= documentProviderRegistry2;"),
+            "{text}"
+        );
+        assert!(text.contains("getDocumentProvider(editorInput)"), "{text}");
+        // The whole block parses as MiniJava statements.
+        let wrapped = format!("class T {{ void m() {{\n{text}\n}} }}");
+        jungloid_minijava::parse::parse_unit("composed.mj", &wrapped).unwrap();
+    }
+
+    #[test]
+    fn unresolvable_free_variables_reported() {
+        let engine = engine();
+        let api = engine.api();
+        let orphan = api.types().resolve("Orphan").unwrap();
+        let provider = api.types().resolve("IDocumentProvider").unwrap();
+        let result = engine.query(orphan, provider).unwrap();
+        let best = result
+            .suggestions
+            .iter()
+            .find(|s| s.code.contains("viaMystery"))
+            .expect("mystery route present");
+        let composed = compose(
+            &engine,
+            &best.jungloid,
+            Some("o"),
+            &[("o", orphan)],
+            &ComposeConfig::default(),
+        )
+        .expect("composes");
+        // Mystery has no producers anywhere: left unresolved, still
+        // declared.
+        assert!(!composed.is_complete());
+        assert_eq!(composed.unresolved.len(), 1);
+        assert!(composed.render().contains("Mystery m;"));
+    }
+
+    #[test]
+    fn depth_zero_binds_nothing() {
+        let engine = engine();
+        let api = engine.api();
+        let part = api.types().resolve("IEditorPart").unwrap();
+        let provider = api.types().resolve("IDocumentProvider").unwrap();
+        let result = engine.query(part, provider).unwrap();
+        let best = result
+            .suggestions
+            .iter()
+            .find(|s| s.code.contains("getEditorInput"))
+            .unwrap();
+        let composed = compose(
+            &engine,
+            &best.jungloid,
+            Some("ep"),
+            &[("ep", part)],
+            &ComposeConfig { max_depth: 0, ..ComposeConfig::default() },
+        )
+        .unwrap();
+        assert!(!composed.is_complete());
+    }
+
+    #[test]
+    fn result_metadata_is_consistent() {
+        let engine = engine();
+        let api = engine.api();
+        let part = api.types().resolve("IEditorPart").unwrap();
+        let provider = api.types().resolve("IDocumentProvider").unwrap();
+        let result = engine.query(part, provider).unwrap();
+        let best = result.suggestions.first().unwrap();
+        let composed =
+            compose(&engine, &best.jungloid, Some("ep"), &[("ep", part)], &ComposeConfig::default())
+                .unwrap();
+        assert_eq!(composed.result_ty, provider);
+        // The result variable is declared by the last statement.
+        let last = stmt_to_string(composed.statements.last().unwrap());
+        assert!(last.contains(&composed.result_var), "{last}");
+    }
+}

@@ -1,0 +1,527 @@
+//! The Prospector query engine: the paper's tool pipeline (§5) minus the
+//! Eclipse GUI.
+//!
+//! * explicit queries `(tin, tout)` (§2.1);
+//! * content-assist queries: only `tout` is known, and the types of the
+//!   lexically visible variables plus `void` form the `tin` set, all
+//!   searched at once with multiple starting points (§1, §5);
+//! * results are ranked (§3.2), rendered as insertable code, and
+//!   deduplicated by rendered code.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jungloid_apidef::{Api, ElemJungloid};
+use jungloid_typesys::{Ty, TyId};
+use parking_lot::Mutex;
+
+use crate::generalize::generalize;
+use crate::graph::{ExampleError, GraphConfig, JungloidGraph};
+use crate::path::Jungloid;
+use crate::rank::{rank_key, RankKey, RankOptions};
+use crate::search::{enumerate, DistanceField, SearchConfig, SearchOutcome};
+use crate::synth::{synthesize, Snippet};
+
+/// A query failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// Queries are over reference types only (§2.1 footnote 4); `void` is
+    /// additionally allowed as an *input*.
+    NotAReferenceType {
+        /// Rendering of the offending type.
+        ty: String,
+        /// Whether it appeared as the query input or output.
+        position: &'static str,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NotAReferenceType { ty, position } => {
+                write!(f, "query {position} type `{ty}` is not a reference type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One ranked suggestion.
+#[derive(Clone, Debug)]
+pub struct Suggestion {
+    /// The underlying jungloid.
+    pub jungloid: Jungloid,
+    /// The synthesized snippet (expression + free variables).
+    pub snippet: Snippet,
+    /// Rendered nested-expression code.
+    pub code: String,
+    /// The in-scope variable used as input, if any.
+    pub input_var: Option<String>,
+    /// The rank key this suggestion was ordered by.
+    pub key: RankKey,
+}
+
+/// The outcome of one query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Ranked suggestions, best first, deduplicated by code.
+    pub suggestions: Vec<Suggestion>,
+    /// Shortest path length `m` found (non-widening steps).
+    pub shortest: Option<u32>,
+    /// Whether enumeration hit a cap.
+    pub truncated: bool,
+    /// Visible variables that already satisfy `tout` without any code
+    /// (their type widens to it). Only populated by
+    /// [`Prospector::assist`].
+    pub already_available: Vec<String>,
+}
+
+impl QueryResult {
+    /// 1-based rank of the first suggestion satisfying `pred`, if any.
+    pub fn rank_where<F: FnMut(&Suggestion) -> bool>(&self, pred: F) -> Option<usize> {
+        self.suggestions.iter().position(pred).map(|i| i + 1)
+    }
+}
+
+/// The Prospector engine: an API, its jungloid graph, and cached search
+/// state.
+#[derive(Debug)]
+pub struct Prospector {
+    api: Api,
+    graph: JungloidGraph,
+    /// Path-enumeration limits.
+    pub search: SearchConfig,
+    /// Ranking heuristic knobs.
+    pub ranking: RankOptions,
+    dist_cache: Mutex<HashMap<TyId, Arc<DistanceField>>>,
+}
+
+impl Prospector {
+    /// Builds an engine over the signature graph of `api` (public members
+    /// only, no mined examples).
+    #[must_use]
+    pub fn new(api: Api) -> Self {
+        Prospector::with_config(api, GraphConfig::default())
+    }
+
+    /// Builds with explicit graph options.
+    #[must_use]
+    pub fn with_config(api: Api, config: GraphConfig) -> Self {
+        let graph = JungloidGraph::from_api(&api, config);
+        Prospector {
+            api,
+            graph,
+            search: SearchConfig::default(),
+            ranking: RankOptions::default(),
+            dist_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Wraps an engine around a pre-built graph (e.g. one loaded from
+    /// disk).
+    #[must_use]
+    pub fn from_parts(api: Api, graph: JungloidGraph) -> Self {
+        Prospector {
+            api,
+            graph,
+            search: SearchConfig::default(),
+            ranking: RankOptions::default(),
+            dist_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The API under query.
+    #[must_use]
+    pub fn api(&self) -> &Api {
+        &self.api
+    }
+
+    /// The jungloid graph under query.
+    #[must_use]
+    pub fn graph(&self) -> &JungloidGraph {
+        &self.graph
+    }
+
+    /// Splices mined example jungloids into the graph, optionally
+    /// generalizing them first (§4.2). Returns how many distinct paths
+    /// were added.
+    ///
+    /// Examples that call members the synthesizer may not suggest
+    /// (protected members unless `include_protected`, private members
+    /// always) are skipped: the corpus could legally call them from its own
+    /// package, but the suggestion would not compile in the user's code.
+    /// This reproduces the paper's Table 1 failure on
+    /// `(AbstractGraphicalEditPart, ConnectionLayer)` — and flipping
+    /// [`GraphConfig::include_protected`] implements the fix §7 proposes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExampleError`] for ill-typed examples.
+    pub fn add_examples(
+        &mut self,
+        examples: &[Vec<ElemJungloid>],
+        generalize_first: bool,
+    ) -> Result<usize, ExampleError> {
+        let config = self.graph.config();
+        let visible: Vec<Vec<ElemJungloid>> = examples
+            .iter()
+            .filter(|e| e.iter().all(|elem| self.elem_visible(elem, config)))
+            .cloned()
+            .collect();
+        let prepared: Vec<Vec<ElemJungloid>> =
+            if generalize_first { generalize(&visible) } else { visible };
+        let mut added = 0;
+        for e in &prepared {
+            if self.graph.add_example(&self.api, e)? {
+                added += 1;
+            }
+        }
+        self.dist_cache.lock().clear();
+        Ok(added)
+    }
+
+    /// The §4.3 extension: splices *parameter-mined* examples — chains
+    /// ending in a call whose `Object`/`String` parameter the example
+    /// feeds. With [`GraphConfig::restrict_weak_params`] set, these are
+    /// the only way to synthesize code that passes values into such
+    /// parameters, which removes the "any Object will do" inviable
+    /// jungloids §4.3 describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExampleError`] for ill-typed examples.
+    pub fn add_param_examples(
+        &mut self,
+        examples: &[Vec<ElemJungloid>],
+        generalize_first: bool,
+    ) -> Result<usize, ExampleError> {
+        let config = self.graph.config();
+        let visible: Vec<Vec<ElemJungloid>> = examples
+            .iter()
+            .filter(|e| e.iter().all(|elem| self.elem_visible(elem, config)))
+            .cloned()
+            .collect();
+        let prepared: Vec<Vec<ElemJungloid>> = if generalize_first {
+            crate::generalize::generalize_terminal(&visible)
+        } else {
+            visible
+        };
+        let mut added = 0;
+        for e in &prepared {
+            if self.graph.add_example(&self.api, e)? {
+                added += 1;
+            }
+        }
+        self.dist_cache.lock().clear();
+        Ok(added)
+    }
+
+    fn elem_visible(&self, elem: &ElemJungloid, config: crate::graph::GraphConfig) -> bool {
+        use jungloid_apidef::Visibility;
+        let vis = match *elem {
+            ElemJungloid::Call { method, .. } => self.api.method(method).visibility,
+            ElemJungloid::FieldAccess { field } => self.api.field(field).visibility,
+            _ => return true,
+        };
+        match vis {
+            Visibility::Public => true,
+            Visibility::Protected => config.include_protected,
+            Visibility::Private => false,
+        }
+    }
+
+    fn distances(&self, target: TyId) -> Arc<DistanceField> {
+        let mut cache = self.dist_cache.lock();
+        cache
+            .entry(target)
+            .or_insert_with(|| Arc::new(DistanceField::towards(&self.graph, target)))
+            .clone()
+    }
+
+    /// Answers an explicit query `(tin, tout)` (§2.1). `tin` may be
+    /// `void`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects primitive/`void` outputs and primitive inputs.
+    pub fn query(&self, tin: TyId, tout: TyId) -> Result<QueryResult, QueryError> {
+        self.check_out(tout)?;
+        if tin != self.api.types().void() && !self.api.types().is_reference(tin) {
+            return Err(QueryError::NotAReferenceType {
+                ty: self.api.types().display(tin),
+                position: "input",
+            });
+        }
+        Ok(self.run(&[(None, tin)], tout))
+    }
+
+    /// Content-assist query (§5): find code producing `tout` from any
+    /// lexically visible variable, or from nothing (`void`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects primitive/`void` outputs.
+    pub fn assist(&self, visible: &[(&str, TyId)], tout: TyId) -> Result<QueryResult, QueryError> {
+        self.check_out(tout)?;
+        let mut sources: Vec<(Option<String>, TyId)> = Vec::new();
+        for (name, ty) in visible {
+            if self.api.types().is_reference(*ty) {
+                sources.push((Some((*name).to_owned()), *ty));
+            }
+        }
+        sources.push((None, self.api.types().void()));
+        let mut result = self.run(&sources, tout);
+        for (name, ty) in visible {
+            if self.api.types().is_subtype(*ty, tout) {
+                result.already_available.push((*name).to_owned());
+            }
+        }
+        Ok(result)
+    }
+
+    fn check_out(&self, tout: TyId) -> Result<(), QueryError> {
+        let kind = self.api.types().ty(tout);
+        if !self.api.types().is_reference(tout) || matches!(kind, Ty::Null) {
+            return Err(QueryError::NotAReferenceType {
+                ty: self.api.types().display(tout),
+                position: "output",
+            });
+        }
+        Ok(())
+    }
+
+    fn run(&self, sources: &[(Option<String>, TyId)], tout: TyId) -> QueryResult {
+        let tys: Vec<TyId> = sources.iter().map(|(_, t)| *t).collect();
+        let field = self.distances(tout);
+        let SearchOutcome { jungloids, shortest, truncated } =
+            enumerate(&self.graph, &tys, tout, &field, &self.search);
+
+        // Synthesize, rank, and dedupe by rendered code (distinct paths —
+        // e.g. differing only in widening — can render identically).
+        let mut best: HashMap<String, Suggestion> = HashMap::new();
+        for j in jungloids {
+            let input_var = sources
+                .iter()
+                .find(|(name, t)| *t == j.source && name.is_some())
+                .and_then(|(name, _)| name.clone());
+            let snippet = synthesize(&self.api, &j, input_var.as_deref());
+            let code = snippet.code();
+            let key = rank_key(&self.api, &j, code.clone(), &self.ranking);
+            match best.get(&code) {
+                Some(existing) if existing.key <= key => {}
+                _ => {
+                    best.insert(
+                        code.clone(),
+                        Suggestion { jungloid: j, snippet, code, input_var, key },
+                    );
+                }
+            }
+        }
+        let mut suggestions: Vec<Suggestion> = best.into_values().collect();
+        suggestions.sort_by(|a, b| a.key.cmp(&b.key));
+        QueryResult { suggestions, shortest, truncated, already_available: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jungloid_apidef::ApiLoader;
+
+    /// The paper's running example (§1): parsing an IFile into an AST.
+    fn eclipse_mini() -> Api {
+        let mut loader = ApiLoader::with_prelude();
+        loader
+            .add_source(
+                "jdt.api",
+                r"
+                package org.eclipse.core.resources;
+                public interface IFile { String getName(); }
+                package org.eclipse.jdt.core;
+                public interface ICompilationUnit {}
+                public class JavaCore {
+                    static ICompilationUnit createCompilationUnitFrom(org.eclipse.core.resources.IFile file);
+                }
+                package org.eclipse.jdt.core.dom;
+                public class ASTNode {}
+                public class CompilationUnit extends ASTNode {}
+                public class AST {
+                    static CompilationUnit parseCompilationUnit(org.eclipse.jdt.core.ICompilationUnit cu, boolean resolve);
+                }
+                ",
+            )
+            .unwrap();
+        loader.finish().unwrap()
+    }
+
+    #[test]
+    fn intro_example_rank_one() {
+        let api = eclipse_mini();
+        let ifile = api.types().resolve("IFile").unwrap();
+        let ast = api.types().resolve("ASTNode").unwrap();
+        let p = Prospector::new(api);
+        let result = p.query(ifile, ast).unwrap();
+        assert_eq!(result.shortest, Some(2));
+        let top = &result.suggestions[0];
+        assert_eq!(
+            top.code,
+            "AST.parseCompilationUnit(JavaCore.createCompilationUnitFrom(file), resolve)"
+        );
+        // grep-for-ASTNode fails (§1) because the return type is the
+        // subclass CompilationUnit; the graph finds it through widening.
+        assert_eq!(
+            top.jungloid.concrete_output_ty(p.api()),
+            p.api().types().resolve("CompilationUnit").unwrap()
+        );
+    }
+
+    #[test]
+    fn assist_finds_void_sources_and_matches_variables() {
+        let mut loader = ApiLoader::with_prelude();
+        loader
+            .add_source(
+                "ui.api",
+                r"
+                package ui;
+                public interface IEditorInput {}
+                public interface IEditorPart { IEditorInput getEditorInput(); }
+                public interface IDocumentProvider {}
+                public class DocumentProviderRegistry {
+                    static DocumentProviderRegistry getDefault();
+                    IDocumentProvider getDocumentProvider(IEditorInput input);
+                }
+                ",
+            )
+            .unwrap();
+        let api = loader.finish().unwrap();
+        let part = api.types().resolve("IEditorPart").unwrap();
+        let inp = api.types().resolve("IEditorInput").unwrap();
+        let reg = api.types().resolve("DocumentProviderRegistry").unwrap();
+        let p = Prospector::new(api);
+
+        // §2.2: the free-variable query for DocumentProviderRegistry —
+        // visible objects cannot produce one; the void query can.
+        let result = p.assist(&[("ep", part), ("inp", inp)], reg).unwrap();
+        assert_eq!(result.suggestions[0].code, "DocumentProviderRegistry.getDefault()");
+        assert!(result.suggestions[0].input_var.is_none());
+        assert!(result.already_available.is_empty());
+
+        // And the document-provider query uses the matched variable name.
+        let dp = p.api().types().resolve("IDocumentProvider").unwrap();
+        let result = p.assist(&[("ep", part), ("inp", inp)], dp).unwrap();
+        let top = &result.suggestions[0];
+        assert!(top.code.contains("getDocumentProvider(inp)"), "got {}", top.code);
+        assert_eq!(top.input_var.as_deref(), Some("inp"));
+    }
+
+    #[test]
+    fn assist_reports_already_available() {
+        let api = eclipse_mini();
+        let ast = api.types().resolve("ASTNode").unwrap();
+        let cu = api.types().resolve("CompilationUnit").unwrap();
+        let p = Prospector::new(api);
+        let result = p.assist(&[("unit", cu)], ast).unwrap();
+        assert_eq!(result.already_available, vec!["unit".to_owned()]);
+    }
+
+    #[test]
+    fn non_reference_queries_rejected() {
+        let api = eclipse_mini();
+        let void = api.types().void();
+        let int = api.types().prim(jungloid_typesys::Prim::Int);
+        let ifile = api.types().resolve("IFile").unwrap();
+        let p = Prospector::new(api);
+        assert!(p.query(ifile, void).is_err());
+        assert!(p.query(ifile, int).is_err());
+        assert!(p.query(int, ifile).is_err());
+        // void as *input* is fine.
+        assert!(p.query(void, ifile).is_ok());
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_empty_not_error() {
+        let api = eclipse_mini();
+        let ast = api.types().resolve("ASTNode").unwrap();
+        let ifile = api.types().resolve("IFile").unwrap();
+        let p = Prospector::new(api);
+        let result = p.query(ast, ifile).unwrap();
+        assert!(result.suggestions.is_empty());
+        assert_eq!(result.shortest, None);
+    }
+
+    #[test]
+    fn mined_examples_change_answers() {
+        use jungloid_apidef::elem::elems_of_method;
+        let mut loader = ApiLoader::with_prelude();
+        loader
+            .add_source(
+                "sel.api",
+                r"
+                package ui;
+                public interface ISelection {}
+                public interface IStructuredSelection extends ISelection { Object getFirstElement(); }
+                public class SelectionChangedEvent { ISelection getSelection(); }
+                ",
+            )
+            .unwrap();
+        let api = loader.finish().unwrap();
+        let event = api.types().resolve("SelectionChangedEvent").unwrap();
+        let sel = api.types().resolve("ISelection").unwrap();
+        let structured = api.types().resolve("IStructuredSelection").unwrap();
+        let get_sel = elems_of_method(&api, api.lookup_instance_method(event, "getSelection", 0)[0])[0];
+
+        let mut p = Prospector::new(api);
+        // Without mining, the downcast query has no answer.
+        assert!(p.query(event, structured).unwrap().suggestions.is_empty());
+
+        p.add_examples(
+            &[vec![get_sel, ElemJungloid::Downcast { from: sel, to: structured }]],
+            false,
+        )
+        .unwrap();
+        let result = p.query(event, structured).unwrap();
+        assert_eq!(
+            result.suggestions[0].code,
+            "(IStructuredSelection) selectionChangedEvent.getSelection()"
+        );
+    }
+
+    #[test]
+    fn dedupe_keeps_best_ranked_duplicate() {
+        // Two widening routes can render the same code; only one survives.
+        let mut loader = ApiLoader::with_prelude();
+        loader
+            .add_source(
+                "d.api",
+                r"
+                package d;
+                public interface I {}
+                public interface J extends I {}
+                public class X implements J { Y make(); }
+                public class Y implements J, I {}
+                ",
+            )
+            .unwrap();
+        let api = loader.finish().unwrap();
+        let x = api.types().resolve("d.X").unwrap();
+        let i = api.types().resolve("d.I").unwrap();
+        let p = Prospector::new(api);
+        let result = p.query(x, i).unwrap();
+        // Y -> J -> I and Y -> I both render `x.make()`.
+        assert_eq!(result.suggestions.len(), 1);
+        assert_eq!(result.suggestions[0].code, "x.make()");
+    }
+
+    #[test]
+    fn rank_where_is_one_based() {
+        let api = eclipse_mini();
+        let ifile = api.types().resolve("IFile").unwrap();
+        let ast = api.types().resolve("ASTNode").unwrap();
+        let p = Prospector::new(api);
+        let result = p.query(ifile, ast).unwrap();
+        assert_eq!(result.rank_where(|s| s.code.contains("parseCompilationUnit")), Some(1));
+        assert_eq!(result.rank_where(|s| s.code.contains("nope")), None);
+    }
+}

@@ -1,0 +1,646 @@
+//! The signature graph (§3.1) and its refinement with mined examples, the
+//! jungloid graph (§4.2).
+//!
+//! Nodes are reference types (plus `void`); edges are non-downcast
+//! elementary jungloids derived from the API's signatures. Every jungloid
+//! supported by the API is a path in this graph, so synthesis is graph
+//! search.
+//!
+//! Downcast edges are deliberately absent from the signature graph: adding
+//! `(T) x : Object → T` for every `T` would represent mostly inviable
+//! jungloids and, being short, they would crowd the top ranks (§4.1,
+//! Figure 3). Instead, [`JungloidGraph::add_example`] splices in a path per
+//! *mined* example jungloid, introducing a fresh node for every
+//! intermediate object. Those fresh "typestate" nodes (the paper cites
+//! Strom & Yemini) ensure the example lends viability only to jungloids
+//! that reproduce its call sequence — Figure 6's `Object-1` node.
+
+use jungloid_apidef::elem::{elem_of_field, elems_of_method};
+use jungloid_apidef::{Api, ElemJungloid, Visibility};
+use jungloid_typesys::TyId;
+use serde::{Deserialize, Serialize};
+
+/// A node: an API type or a fresh mined (typestate) node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeId {
+    /// The node for an interned type.
+    Ty(TyId),
+    /// The `i`-th fresh node introduced by mined examples.
+    Mined(u32),
+}
+
+/// An out-edge: an elementary jungloid and its destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The elementary jungloid this edge represents.
+    pub elem: ElemJungloid,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+/// Construction options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct GraphConfig {
+    /// Include `protected` members. The paper's implementation supports
+    /// public members only and loses one Table 1 query to that (§7); this
+    /// switch implements the fix it proposes.
+    pub include_protected: bool,
+    /// The §4.3 extension: exclude signature edges that consume an
+    /// `Object`- or `String`-typed *parameter* slot — the call sites the
+    /// paper observes are "usually not any Object or String" — so that
+    /// only parameter-mined examples
+    /// ([`Prospector::add_param_examples`](crate::Prospector::add_param_examples))
+    /// drive values into such parameters. Off by default (the paper left
+    /// this untested).
+    pub restrict_weak_params: bool,
+}
+
+
+/// Per-kind composition of a jungloid graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Mined typestate nodes.
+    pub mined_nodes: usize,
+    /// Spliced example paths.
+    pub examples: usize,
+    /// Field-access edges.
+    pub field_edges: usize,
+    /// Instance-call edges.
+    pub instance_edges: usize,
+    /// Static-call edges.
+    pub static_edges: usize,
+    /// Constructor edges.
+    pub constructor_edges: usize,
+    /// Widening edges.
+    pub widening_edges: usize,
+    /// Downcast edges (only from mined paths, unless naive downcasts were
+    /// added).
+    pub downcast_edges: usize,
+}
+
+impl GraphStats {
+    /// Total edges.
+    #[must_use]
+    pub fn total_edges(&self) -> usize {
+        self.field_edges
+            + self.instance_edges
+            + self.static_edges
+            + self.constructor_edges
+            + self.widening_edges
+            + self.downcast_edges
+    }
+}
+
+/// An invalid mined example.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExampleError {
+    /// Explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ExampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid example jungloid: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ExampleError {}
+
+/// The jungloid graph: signature edges plus mined example paths.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JungloidGraph {
+    config: GraphConfig,
+    /// Number of type-backed nodes (= type-table size at build time).
+    ty_count: u32,
+    /// Base type of each mined node (the static type at that program
+    /// point; used for display and ranking).
+    mined_base: Vec<TyId>,
+    /// Out-edges, indexed by dense node index (types first, then mined).
+    out: Vec<Vec<Edge>>,
+    /// Reverse adjacency for distance-to-target pruning:
+    /// `(from, step_cost)` per in-edge.
+    rev: Vec<Vec<(NodeId, u8)>>,
+    /// Example step-sequences already added (dedup).
+    examples: Vec<Vec<ElemJungloid>>,
+    edge_count: usize,
+}
+
+impl JungloidGraph {
+    /// Builds the signature graph of an API (§3.1): field, call, and
+    /// widening edges; no downcasts.
+    #[must_use]
+    pub fn from_api(api: &Api, config: GraphConfig) -> Self {
+        let ty_count = u32::try_from(api.types().len()).expect("type arena fits u32");
+        let mut graph = JungloidGraph {
+            config,
+            ty_count,
+            mined_base: Vec::new(),
+            out: vec![Vec::new(); ty_count as usize],
+            rev: vec![Vec::new(); ty_count as usize],
+            examples: Vec::new(),
+            edge_count: 0,
+        };
+        let visible = |v: Visibility| match v {
+            Visibility::Public => true,
+            Visibility::Protected => config.include_protected,
+            Visibility::Private => false,
+        };
+        for f in api.field_ids() {
+            // Definition 2: the output must be a class type, so
+            // primitive-typed fields induce no elementary jungloid.
+            if visible(api.field(f).visibility) && api.types().is_reference(api.field(f).ty) {
+                let elem = elem_of_field(f);
+                graph.push_edge(NodeId::Ty(elem.input_ty(api)), elem, NodeId::Ty(elem.output_ty(api)));
+            }
+        }
+        let weak_tys: Vec<TyId> = if config.restrict_weak_params {
+            [api.types().object(), api.types().resolve("java.lang.String").ok()]
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for m in api.method_ids() {
+            if visible(api.method(m).visibility) {
+                for elem in elems_of_method(api, m) {
+                    // §4.3 restriction: drop edges that feed a weakly
+                    // typed parameter slot.
+                    if let ElemJungloid::Call { method, input: Some(jungloid_apidef::InputSlot::Arg(i)) } =
+                        elem
+                    {
+                        if weak_tys.contains(&api.method(method).params[i]) {
+                            continue;
+                        }
+                    }
+                    graph.push_edge(
+                        NodeId::Ty(elem.input_ty(api)),
+                        elem,
+                        NodeId::Ty(elem.output_ty(api)),
+                    );
+                }
+            }
+        }
+        // Widening edges along direct supertype links (transitive widening
+        // arises by composing them, at zero cost).
+        for t in api.types().ids() {
+            for sup in api.types().direct_supertypes(t) {
+                let elem = ElemJungloid::Widen { from: t, to: sup };
+                graph.push_edge(NodeId::Ty(t), elem, NodeId::Ty(sup));
+            }
+        }
+        graph
+    }
+
+    /// The configuration the graph was built with.
+    #[must_use]
+    pub fn config(&self) -> GraphConfig {
+        self.config
+    }
+
+    /// Total node count (type nodes + mined nodes).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.ty_count as usize + self.mined_base.len()
+    }
+
+    /// Number of mined (typestate) nodes.
+    #[must_use]
+    pub fn mined_node_count(&self) -> usize {
+        self.mined_base.len()
+    }
+
+    /// Total edge count.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The mined example step-sequences spliced into this graph.
+    #[must_use]
+    pub fn examples(&self) -> &[Vec<ElemJungloid>] {
+        &self.examples
+    }
+
+    /// Dense index of a node.
+    #[must_use]
+    pub fn index_of(&self, node: NodeId) -> usize {
+        match node {
+            NodeId::Ty(t) => t.index(),
+            NodeId::Mined(i) => self.ty_count as usize + i as usize,
+        }
+    }
+
+    /// The node at a dense index.
+    #[must_use]
+    pub fn node_at(&self, index: usize) -> NodeId {
+        if index < self.ty_count as usize {
+            NodeId::Ty(TyId::from_index(index))
+        } else {
+            NodeId::Mined(u32::try_from(index - self.ty_count as usize).expect("mined fits u32"))
+        }
+    }
+
+    /// The underlying type of a node: the type itself, or a mined node's
+    /// static ("base") type.
+    #[must_use]
+    pub fn base_ty(&self, node: NodeId) -> TyId {
+        match node {
+            NodeId::Ty(t) => t,
+            NodeId::Mined(i) => self.mined_base[i as usize],
+        }
+    }
+
+    /// Out-edges of a node.
+    #[must_use]
+    pub fn out_edges(&self, node: NodeId) -> &[Edge] {
+        &self.out[self.index_of(node)]
+    }
+
+    /// In-edges of a node as `(from, step_cost)` pairs.
+    #[must_use]
+    pub fn in_edges(&self, node: NodeId) -> &[(NodeId, u8)] {
+        &self.rev[self.index_of(node)]
+    }
+
+    fn push_edge(&mut self, from: NodeId, elem: ElemJungloid, to: NodeId) {
+        let cost = u8::from(!elem.is_widen());
+        let fi = self.index_of(from);
+        self.out[fi].push(Edge { elem, to });
+        let ti = self.index_of(to);
+        self.rev[ti].push((from, cost));
+        self.edge_count += 1;
+    }
+
+    fn fresh_mined(&mut self, base: TyId) -> NodeId {
+        let id = u32::try_from(self.mined_base.len()).expect("mined arena fits u32");
+        self.mined_base.push(base);
+        self.out.push(Vec::new());
+        self.rev.push(Vec::new());
+        NodeId::Mined(id)
+    }
+
+    /// Splices a mined example jungloid into the graph (§4.2, Figure 6).
+    ///
+    /// The path starts at the existing node for the example's input type,
+    /// runs through fresh mined nodes for every intermediate object, and
+    /// its final step lands on the existing node for the final output type
+    /// (for a downcast-terminated example, the cast's target).
+    ///
+    /// Returns `false` (and adds nothing) if an identical step sequence was
+    /// already spliced in.
+    ///
+    /// # Errors
+    ///
+    /// The steps must be non-empty and well-typed (each step's input type
+    /// equal to its predecessor's output type).
+    pub fn add_example(&mut self, api: &Api, steps: &[ElemJungloid]) -> Result<bool, ExampleError> {
+        if steps.is_empty() {
+            return Err(ExampleError { detail: "empty step sequence".to_owned() });
+        }
+        for pair in steps.windows(2) {
+            let out_ty = pair[0].output_ty(api);
+            let in_ty = pair[1].input_ty(api);
+            if out_ty != in_ty {
+                return Err(ExampleError {
+                    detail: format!(
+                        "ill-typed composition: {} outputs {} but {} expects {}",
+                        pair[0].label(api),
+                        api.types().display(out_ty),
+                        pair[1].label(api),
+                        api.types().display(in_ty)
+                    ),
+                });
+            }
+        }
+        for step in steps {
+            match *step {
+                ElemJungloid::Widen { from, to }
+                    if from == to || !api.types().is_subtype(from, to) =>
+                {
+                    return Err(ExampleError {
+                        detail: format!(
+                            "invalid widening {} -> {}",
+                            api.types().display(from),
+                            api.types().display(to)
+                        ),
+                    })
+                }
+                ElemJungloid::Downcast { from, to }
+                    if from == to || !api.types().is_subtype(to, from) =>
+                {
+                    return Err(ExampleError {
+                        detail: format!(
+                            "invalid downcast {} -> {}",
+                            api.types().display(from),
+                            api.types().display(to)
+                        ),
+                    })
+                }
+                _ => {}
+            }
+        }
+        if self.examples.iter().any(|e| e == steps) {
+            return Ok(false);
+        }
+        let mut from = NodeId::Ty(steps[0].input_ty(api));
+        for (i, &elem) in steps.iter().enumerate() {
+            let to = if i + 1 == steps.len() {
+                NodeId::Ty(elem.output_ty(api))
+            } else {
+                self.fresh_mined(elem.output_ty(api))
+            };
+            self.push_edge(from, elem, to);
+            from = to;
+        }
+        self.examples.push(steps.to_vec());
+        Ok(true)
+    }
+
+    /// Adds *all downcast elementary jungloids* to a copy of this graph:
+    /// `(U) x : T → U` for every declared `U <: T`. This is the naive
+    /// strategy of §4.1 / Figure 3, reproduced for the mining-ablation
+    /// experiment; it is intentionally terrible.
+    #[must_use]
+    pub fn with_naive_downcasts(&self, api: &Api) -> JungloidGraph {
+        let mut g = self.clone();
+        for t in api.types().ids() {
+            if !api.types().is_reference(t) || t == api.types().null() {
+                continue;
+            }
+            for sub in api.types().strict_subtypes(t) {
+                let elem = ElemJungloid::Downcast { from: t, to: sub };
+                g.push_edge(NodeId::Ty(t), elem, NodeId::Ty(sub));
+            }
+        }
+        g
+    }
+
+    /// Per-kind edge statistics (the §3.1/§4.2 composition of the graph).
+    #[must_use]
+    pub fn stats(&self, api: &Api) -> GraphStats {
+        let mut stats = GraphStats {
+            nodes: self.node_count(),
+            mined_nodes: self.mined_node_count(),
+            examples: self.examples.len(),
+            ..GraphStats::default()
+        };
+        for idx in 0..self.node_count() {
+            for e in self.out_edges(self.node_at(idx)) {
+                match e.elem {
+                    ElemJungloid::FieldAccess { .. } => stats.field_edges += 1,
+                    ElemJungloid::Call { method, .. } => {
+                        let def = api.method(method);
+                        if def.is_constructor {
+                            stats.constructor_edges += 1;
+                        } else if def.is_static {
+                            stats.static_edges += 1;
+                        } else {
+                            stats.instance_edges += 1;
+                        }
+                    }
+                    ElemJungloid::Widen { .. } => stats.widening_edges += 1,
+                    ElemJungloid::Downcast { .. } => stats.downcast_edges += 1,
+                }
+            }
+        }
+        stats
+    }
+
+    /// Rough in-memory footprint in bytes (adjacency only), for the §5
+    /// size report.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let edge = std::mem::size_of::<Edge>();
+        let rev = std::mem::size_of::<(NodeId, u8)>();
+        let node = 2 * std::mem::size_of::<Vec<Edge>>();
+        self.edge_count * (edge + rev) + self.node_count() * node + self.mined_base.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jungloid_apidef::{ApiLoader, InputSlot};
+
+    fn api() -> Api {
+        let mut loader = ApiLoader::with_prelude();
+        loader
+            .add_source(
+                "t.api",
+                r"
+                package t;
+                public class A { B toB(); }
+                public class B extends A {}
+                public class C {
+                    C(A a);
+                    static B make(A a, B b);
+                    protected B prot();
+                    private B priv();
+                    static C instance();
+                }
+                ",
+            )
+            .unwrap();
+        loader.finish().unwrap()
+    }
+
+    fn ty(api: &Api, name: &str) -> TyId {
+        api.types().resolve(name).unwrap()
+    }
+
+    #[test]
+    fn signature_edges_present() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let c = ty(&api, "t.C");
+
+        // a.toB(): A -> B
+        let out_a = g.out_edges(NodeId::Ty(a));
+        assert!(out_a.iter().any(|e| e.to == NodeId::Ty(b) && !e.elem.is_widen()));
+        // new C(a): A -> C
+        assert!(out_a.iter().any(|e| e.to == NodeId::Ty(c)));
+        // C.make consumes either A or B.
+        assert!(g.out_edges(NodeId::Ty(b)).iter().any(|e| e.to == NodeId::Ty(b)));
+        // static C.instance(): void -> C
+        let void = api.types().void();
+        assert!(g.out_edges(NodeId::Ty(void)).iter().any(|e| e.to == NodeId::Ty(c)));
+    }
+
+    #[test]
+    fn widening_edges_follow_hierarchy() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let obj = api.types().object().unwrap();
+        let widens: Vec<_> =
+            g.out_edges(NodeId::Ty(b)).iter().filter(|e| e.elem.is_widen()).collect();
+        assert_eq!(widens.len(), 1);
+        assert_eq!(widens[0].to, NodeId::Ty(a));
+        assert!(g.out_edges(NodeId::Ty(a)).iter().any(|e| e.elem.is_widen() && e.to == NodeId::Ty(obj)));
+    }
+
+    #[test]
+    fn no_downcast_edges_in_signature_graph() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        for idx in 0..g.node_count() {
+            for e in g.out_edges(g.node_at(idx)) {
+                assert!(!e.elem.is_downcast());
+            }
+        }
+    }
+
+    #[test]
+    fn visibility_filtering() {
+        let api = api();
+        let c = ty(&api, "t.C");
+        let count_from_c = |g: &JungloidGraph| {
+            g.out_edges(NodeId::Ty(c)).iter().filter(|e| !e.elem.is_widen()).count()
+        };
+        let public_only = JungloidGraph::from_api(&api, GraphConfig::default());
+        let with_protected = JungloidGraph::from_api(
+            &api,
+            GraphConfig { include_protected: true, ..GraphConfig::default() },
+        );
+        // `prot()` appears only with include_protected; `priv()` never.
+        assert_eq!(count_from_c(&public_only) + 1, count_from_c(&with_protected));
+    }
+
+    #[test]
+    fn reverse_edges_mirror_forward() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let mut fwd = 0;
+        let mut rev = 0;
+        for idx in 0..g.node_count() {
+            let n = g.node_at(idx);
+            fwd += g.out_edges(n).len();
+            rev += g.in_edges(n).len();
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, g.edge_count());
+    }
+
+    #[test]
+    fn add_example_creates_typestate_path() {
+        let api = api();
+        let mut g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let obj = api.types().object().unwrap();
+        let m = api.lookup_instance_method(a, "toB", 0)[0];
+        // a.toB() widened to Object, then cast back down to B:
+        let steps = vec![
+            ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+            ElemJungloid::Widen { from: b, to: obj },
+            ElemJungloid::Downcast { from: obj, to: b },
+        ];
+        assert!(g.add_example(&api, &steps).unwrap());
+        assert_eq!(g.mined_node_count(), 2);
+        // Duplicate insert is a no-op.
+        assert!(!g.add_example(&api, &steps).unwrap());
+        assert_eq!(g.mined_node_count(), 2);
+
+        // The path enters at A and its last edge lands on the real B node.
+        let first: Vec<_> = g
+            .out_edges(NodeId::Ty(a))
+            .iter()
+            .filter(|e| matches!(e.to, NodeId::Mined(_)))
+            .collect();
+        assert_eq!(first.len(), 1);
+        let mid = first[0].to;
+        assert_eq!(g.base_ty(mid), b);
+        let second = &g.out_edges(mid)[0];
+        assert!(second.elem.is_widen());
+        let last = &g.out_edges(second.to)[0];
+        assert!(last.elem.is_downcast());
+        assert_eq!(last.to, NodeId::Ty(b));
+    }
+
+    #[test]
+    fn ill_typed_example_rejected() {
+        let api = api();
+        let mut g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let c = ty(&api, "t.C");
+        let m = api.lookup_instance_method(a, "toB", 0)[0];
+        let steps = vec![
+            ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+            // B is not C: composition is ill-typed.
+            ElemJungloid::Downcast { from: c, to: c },
+        ];
+        assert!(g.add_example(&api, &steps).is_err());
+        assert!(g.add_example(&api, &[]).is_err());
+    }
+
+    #[test]
+    fn naive_downcasts_explode() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let naive = g.with_naive_downcasts(&api);
+        // Every declared type gains a downcast edge from Object (and more).
+        assert!(naive.edge_count() > g.edge_count() + 4);
+        let obj = api.types().object().unwrap();
+        let b = ty(&api, "t.B");
+        assert!(naive
+            .out_edges(NodeId::Ty(obj))
+            .iter()
+            .any(|e| e.elem.is_downcast() && e.to == NodeId::Ty(b)));
+    }
+
+    #[test]
+    fn stats_count_per_kind() {
+        let api = api();
+        let mut g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let stats = g.stats(&api);
+        assert_eq!(stats.total_edges(), g.edge_count());
+        assert_eq!(stats.downcast_edges, 0);
+        assert!(stats.widening_edges > 0);
+        assert!(stats.instance_edges > 0);
+        assert!(stats.constructor_edges > 0);
+        assert!(stats.static_edges > 0);
+
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let m = api.lookup_instance_method(a, "toB", 0)[0];
+        g.add_example(
+            &api,
+            &[
+                ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+                ElemJungloid::Downcast { from: b, to: b }, // placeholder replaced below
+            ],
+        )
+        .err(); // invalid (b -> b); ensure stats unaffected by failed add
+        let before = g.stats(&api);
+        assert_eq!(before.downcast_edges, 0);
+    }
+
+    #[test]
+    fn node_index_round_trip() {
+        let api = api();
+        let mut g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let m = api.lookup_instance_method(a, "toB", 0)[0];
+        let b = ty(&api, "t.B");
+        let obj = api.types().object().unwrap();
+        g.add_example(
+            &api,
+            &[
+                ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+                ElemJungloid::Widen { from: b, to: obj },
+                ElemJungloid::Downcast { from: obj, to: b },
+            ],
+        )
+        .unwrap();
+        for idx in 0..g.node_count() {
+            assert_eq!(g.index_of(g.node_at(idx)), idx);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Bounded acyclic path enumeration over the jungloid graph.
+//!
+//! §3.1: "solution jungloids can be enumerated by standard graph search
+//! algorithms … all the desired solution jungloids we have observed so far
+//! are acyclic, so we limit our search to acyclic paths."
+//!
+//! §5: "we configured the graph search library to construct all paths of
+//! length less than or equal to *m + 1* where *m* is the length of the
+//! shortest path for the query" — length counts non-widening steps
+//! (widenings are free, §3.2). We implement that as a 0/1-weighted
+//! multi-source shortest-path pass (0-1 BFS), followed by a depth-first
+//! enumeration pruned with exact distance-to-target lower bounds, so the
+//! enumeration only ever walks prefixes that can still finish within the
+//! bound.
+
+use std::collections::VecDeque;
+
+use jungloid_typesys::TyId;
+
+use crate::graph::{JungloidGraph, NodeId};
+use crate::path::Jungloid;
+
+/// Enumeration limits and the `m + extra` window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Paths up to `m + extra_steps` non-widening steps are produced
+    /// (paper: 1).
+    pub extra_steps: u32,
+    /// Hard cap on produced paths.
+    pub max_results: usize,
+    /// Hard cap on DFS edge expansions (safety valve for pathological
+    /// graphs).
+    pub max_expansions: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { extra_steps: 1, max_results: 10_000, max_expansions: 5_000_000 }
+    }
+}
+
+/// The result of one enumeration.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// All solution jungloids found, unranked (enumeration order).
+    pub jungloids: Vec<Jungloid>,
+    /// Shortest length `m` (non-widening steps), if any path exists.
+    pub shortest: Option<u32>,
+    /// Whether a cap stopped the enumeration early.
+    pub truncated: bool,
+}
+
+/// Distances from every node *to* a fixed target, in non-widening steps.
+///
+/// Reusable across queries with the same target; the engine caches these.
+#[derive(Clone, Debug)]
+pub struct DistanceField {
+    target: TyId,
+    dist: Vec<u32>,
+}
+
+impl DistanceField {
+    /// Runs a reverse 0-1 BFS from `target`.
+    #[must_use]
+    pub fn towards(graph: &JungloidGraph, target: TyId) -> Self {
+        let n = graph.node_count();
+        let mut dist = vec![u32::MAX; n];
+        let ti = graph.index_of(NodeId::Ty(target));
+        let mut queue = VecDeque::new();
+        dist[ti] = 0;
+        queue.push_back(ti);
+        while let Some(i) = queue.pop_front() {
+            let d = dist[i];
+            for &(from, cost) in graph.in_edges(graph.node_at(i)) {
+                let fi = graph.index_of(from);
+                let nd = d + u32::from(cost);
+                if nd < dist[fi] {
+                    dist[fi] = nd;
+                    if cost == 0 {
+                        queue.push_front(fi);
+                    } else {
+                        queue.push_back(fi);
+                    }
+                }
+            }
+        }
+        DistanceField { target, dist }
+    }
+
+    /// The target this field points at.
+    #[must_use]
+    pub fn target(&self) -> TyId {
+        self.target
+    }
+
+    /// Distance from `node` to the target (`u32::MAX` if unreachable).
+    #[must_use]
+    pub fn from(&self, graph: &JungloidGraph, node: NodeId) -> u32 {
+        self.dist[graph.index_of(node)]
+    }
+}
+
+/// Enumerates all acyclic solution jungloids for sources → `target`
+/// within `m + extra_steps`, where `m` is the global shortest length over
+/// all sources (the paper's multi-starting-point search, §5).
+///
+/// Sources that cannot reach the target contribute nothing. The empty
+/// jungloid (`source == target`) is never produced.
+#[must_use]
+pub fn enumerate(
+    graph: &JungloidGraph,
+    sources: &[TyId],
+    target: TyId,
+    field: &DistanceField,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    assert_eq!(field.target(), target, "distance field target mismatch");
+    let mut uniq_sources: Vec<TyId> = Vec::new();
+    for &s in sources {
+        if !uniq_sources.contains(&s) {
+            uniq_sources.push(s);
+        }
+    }
+    let m = uniq_sources
+        .iter()
+        .map(|&s| field.from(graph, NodeId::Ty(s)))
+        .filter(|&d| d != u32::MAX)
+        .min();
+    let Some(m) = m else {
+        return SearchOutcome { jungloids: Vec::new(), shortest: None, truncated: false };
+    };
+    let bound = m + config.extra_steps;
+
+    let mut dfs = Dfs {
+        graph,
+        field,
+        target_idx: graph.index_of(NodeId::Ty(target)),
+        bound,
+        config,
+        on_path: vec![false; graph.node_count()],
+        elems: Vec::new(),
+        out: Vec::new(),
+        expansions: 0,
+        truncated: false,
+    };
+    for &s in &uniq_sources {
+        if field.from(graph, NodeId::Ty(s)) == u32::MAX {
+            continue;
+        }
+        let si = graph.index_of(NodeId::Ty(s));
+        dfs.on_path[si] = true;
+        dfs.walk(s, si, 0);
+        dfs.on_path[si] = false;
+        if dfs.truncated {
+            break;
+        }
+    }
+    // `m` could be 0 when a source widens straight into the target; in that
+    // case the shortest *produced* path still reports 0.
+    SearchOutcome { jungloids: dfs.out, shortest: Some(m), truncated: dfs.truncated }
+}
+
+struct Dfs<'a> {
+    graph: &'a JungloidGraph,
+    field: &'a DistanceField,
+    target_idx: usize,
+    bound: u32,
+    config: &'a SearchConfig,
+    on_path: Vec<bool>,
+    elems: Vec<jungloid_apidef::ElemJungloid>,
+    out: Vec<Jungloid>,
+    expansions: usize,
+    truncated: bool,
+}
+
+impl Dfs<'_> {
+    fn walk(&mut self, source: TyId, at: usize, cost: u32) {
+        if self.truncated {
+            return;
+        }
+        for edge in self.graph.out_edges(self.graph.node_at(at)) {
+            self.expansions += 1;
+            if self.expansions > self.config.max_expansions {
+                self.truncated = true;
+                return;
+            }
+            let to_idx = self.graph.index_of(edge.to);
+            if self.on_path[to_idx] {
+                continue;
+            }
+            let step = u32::from(!edge.elem.is_widen());
+            let new_cost = cost + step;
+            let to_go = self.field.from(self.graph, edge.to);
+            if to_go == u32::MAX || new_cost + to_go > self.bound {
+                continue;
+            }
+            self.elems.push(edge.elem);
+            if to_idx == self.target_idx {
+                // Pure-widening paths contain no code ("you already have a
+                // tout"); the engine reports those separately.
+                if self.elems.iter().any(|e| !e.is_widen()) {
+                    self.out.push(Jungloid { source, elems: self.elems.clone() });
+                    if self.out.len() >= self.config.max_results {
+                        self.truncated = true;
+                        self.elems.pop();
+                        return;
+                    }
+                }
+            } else {
+                self.on_path[to_idx] = true;
+                self.walk(source, to_idx, new_cost);
+                self.on_path[to_idx] = false;
+                if self.truncated {
+                    self.elems.pop();
+                    return;
+                }
+            }
+            self.elems.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphConfig;
+    use jungloid_apidef::{Api, ApiLoader};
+
+    fn api() -> Api {
+        let mut loader = ApiLoader::with_prelude();
+        loader
+            .add_source(
+                "t.api",
+                r"
+                package t;
+                public class A { B toB(); C toC(); }
+                public class B { C toC(); D toD(); }
+                public class C { D toD(); }
+                public class D {}
+                public class Sub extends D {}
+                public class Maker { static Sub makeSub(); }
+                ",
+            )
+            .unwrap();
+        loader.finish().unwrap()
+    }
+
+    fn ty(api: &Api, name: &str) -> TyId {
+        api.types().resolve(name).unwrap()
+    }
+
+    fn run(graph: &JungloidGraph, from: &[TyId], to: TyId) -> SearchOutcome {
+        let field = DistanceField::towards(graph, to);
+        enumerate(graph, from, to, &field, &SearchConfig::default())
+    }
+
+    #[test]
+    fn finds_shortest_and_m_plus_one() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let d = ty(&api, "t.D");
+        let outcome = run(&g, &[a], d);
+        assert_eq!(outcome.shortest, Some(2)); // a.toB().toD() or a.toC().toD()
+        let lengths: Vec<u32> = outcome.jungloids.iter().map(Jungloid::steps).collect();
+        assert!(lengths.iter().all(|&l| l <= 3));
+        assert!(lengths.contains(&2));
+        // The length-3 chain a.toB().toC().toD() is within m+1 and present.
+        assert!(lengths.contains(&3));
+        // Every produced path is well-typed.
+        for j in &outcome.jungloids {
+            j.validate(&api).unwrap();
+        }
+    }
+
+    #[test]
+    fn widening_is_free_and_reaches_supertype_targets() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let void = api.types().void();
+        let d = ty(&api, "t.D");
+        // Maker.makeSub(): void -> Sub, widen Sub -> D costs 0.
+        let outcome = run(&g, &[void], d);
+        assert_eq!(outcome.shortest, Some(1));
+        assert!(outcome
+            .jungloids
+            .iter()
+            .any(|j| j.steps() == 1 && j.concrete_output_ty(&api) == ty(&api, "t.Sub")));
+    }
+
+    #[test]
+    fn unreachable_yields_empty() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let d = ty(&api, "t.D");
+        let a = ty(&api, "t.A");
+        let outcome = run(&g, &[d], a);
+        assert!(outcome.jungloids.is_empty());
+        assert_eq!(outcome.shortest, None);
+    }
+
+    #[test]
+    fn multi_source_uses_global_minimum() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let c = ty(&api, "t.C");
+        let d = ty(&api, "t.D");
+        // From C the distance is 1; from A it is 2. Global m = 1, so paths
+        // from A of length 2 (= m+1) still appear, length-3 ones do not.
+        let outcome = run(&g, &[a, c], d);
+        assert_eq!(outcome.shortest, Some(1));
+        let from_a: Vec<u32> = outcome
+            .jungloids
+            .iter()
+            .filter(|j| j.source == a)
+            .map(Jungloid::steps)
+            .collect();
+        assert!(!from_a.is_empty());
+        assert!(from_a.iter().all(|&l| l == 2));
+    }
+
+    #[test]
+    fn paths_are_acyclic() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let d = ty(&api, "t.D");
+        let outcome = run(&g, &[a], d);
+        for j in &outcome.jungloids {
+            let mut seen = vec![j.source];
+            for e in &j.elems {
+                let current = e.output_ty(&api);
+                // Types may repeat only through distinct mined nodes; in a
+                // pure signature graph they must not repeat at all.
+                assert!(!seen.contains(&current), "cycle in {}", j.describe(&api));
+                seen.push(current);
+            }
+        }
+    }
+
+    #[test]
+    fn max_results_truncates() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let d = ty(&api, "t.D");
+        let field = DistanceField::towards(&g, d);
+        let cfg = SearchConfig { max_results: 1, ..SearchConfig::default() };
+        let outcome = enumerate(&g, &[a], d, &field, &cfg);
+        assert_eq!(outcome.jungloids.len(), 1);
+        assert!(outcome.truncated);
+    }
+
+    #[test]
+    fn duplicate_sources_deduped() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let d = ty(&api, "t.D");
+        let once = run(&g, &[a], d).jungloids.len();
+        let twice = run(&g, &[a, a], d).jungloids.len();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn mined_paths_are_searchable() {
+        use jungloid_apidef::{ElemJungloid, InputSlot};
+        let api = api();
+        let mut g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let b = ty(&api, "t.B");
+        let d = ty(&api, "t.D");
+        let sub = ty(&api, "t.Sub");
+        let to_d = api.lookup_instance_method(b, "toD", 0)[0];
+        g.add_example(
+            &api,
+            &[
+                ElemJungloid::Call { method: to_d, input: Some(InputSlot::Receiver) },
+                ElemJungloid::Downcast { from: d, to: sub },
+            ],
+        )
+        .unwrap();
+        let outcome = run(&g, &[b], sub);
+        assert_eq!(outcome.shortest, Some(2));
+        assert!(outcome.jungloids.iter().any(Jungloid::contains_downcast));
+        for j in &outcome.jungloids {
+            j.validate(&api).unwrap();
+        }
+    }
+}

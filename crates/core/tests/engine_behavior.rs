@@ -1,0 +1,150 @@
+//! Behavioral tests of the engine's configuration surface: the search
+//! window, result caps, ranking knobs, and cache consistency across graph
+//! mutation.
+
+use jungloid_apidef::{Api, ApiLoader, ElemJungloid};
+use prospector_core::{Prospector, RankOptions, SearchConfig};
+
+fn api() -> Api {
+    let mut loader = ApiLoader::with_prelude();
+    loader
+        .add_source(
+            "t.api",
+            r"
+            package t;
+            public class A { B toB(); C toC(); }
+            public class B { C toC(); D toD(); }
+            public class C { D toD(); }
+            public class D {}
+            public class DSub extends D {}
+            ",
+        )
+        .unwrap();
+    loader.finish().unwrap()
+}
+
+#[test]
+fn extra_steps_widens_the_result_set() {
+    let api = api();
+    let a = api.types().resolve("t.A").unwrap();
+    let d = api.types().resolve("t.D").unwrap();
+    let mut engine = Prospector::new(api);
+
+    engine.search = SearchConfig { extra_steps: 0, ..SearchConfig::default() };
+    let tight = engine.query(a, d).unwrap().suggestions.len();
+    engine.search = SearchConfig { extra_steps: 1, ..SearchConfig::default() };
+    let paper = engine.query(a, d).unwrap().suggestions.len();
+    engine.search = SearchConfig { extra_steps: 2, ..SearchConfig::default() };
+    let wide = engine.query(a, d).unwrap().suggestions.len();
+    assert!(tight <= paper && paper <= wide);
+    assert!(tight < wide, "window must matter: {tight} vs {wide}");
+}
+
+#[test]
+fn max_results_truncates_and_reports() {
+    let api = api();
+    let a = api.types().resolve("t.A").unwrap();
+    let d = api.types().resolve("t.D").unwrap();
+    let mut engine = Prospector::new(api);
+    engine.search = SearchConfig { max_results: 1, ..SearchConfig::default() };
+    let result = engine.query(a, d).unwrap();
+    assert!(result.truncated);
+    assert_eq!(result.suggestions.len(), 1);
+}
+
+#[test]
+fn distance_cache_invalidated_by_new_examples() {
+    let api = api();
+    let b = api.types().resolve("t.B").unwrap();
+    let d = api.types().resolve("t.D").unwrap();
+    let dsub = api.types().resolve("DSub").unwrap();
+    let to_d = api.lookup_instance_method(b, "toD", 0)[0];
+    let mut engine = Prospector::new(api);
+
+    // Warm the cache on the (B, DSub) target.
+    assert!(engine.query(b, dsub).unwrap().suggestions.is_empty());
+
+    // Splice an example; the cached distance field must be rebuilt, or the
+    // new path would be invisible.
+    engine
+        .add_examples(
+            &[vec![
+                ElemJungloid::Call {
+                    method: to_d,
+                    input: Some(jungloid_apidef::InputSlot::Receiver),
+                },
+                ElemJungloid::Downcast { from: d, to: dsub },
+            ]],
+            false,
+        )
+        .unwrap();
+    let after = engine.query(b, dsub).unwrap();
+    assert_eq!(after.suggestions.len(), 1);
+    assert!(after.suggestions[0].code.contains("(DSub)"));
+}
+
+#[test]
+fn ranking_knobs_change_order_not_set() {
+    let api = api();
+    let a = api.types().resolve("t.A").unwrap();
+    let d = api.types().resolve("t.D").unwrap();
+    let mut engine = Prospector::new(api);
+    let full: Vec<String> =
+        engine.query(a, d).unwrap().suggestions.into_iter().map(|s| s.code).collect();
+    engine.ranking = RankOptions {
+        free_ref_cost: 0,
+        free_prim_cost: 0,
+        use_crossings: false,
+        use_generality: false,
+    };
+    let bare: Vec<String> =
+        engine.query(a, d).unwrap().suggestions.into_iter().map(|s| s.code).collect();
+    let mut full_sorted = full.clone();
+    let mut bare_sorted = bare.clone();
+    full_sorted.sort();
+    bare_sorted.sort();
+    assert_eq!(full_sorted, bare_sorted, "ranking must not add/remove candidates");
+}
+
+#[test]
+fn assist_prefers_named_variables_and_void_sources_coexist() {
+    let mut loader = ApiLoader::with_prelude();
+    loader
+        .add_source(
+            "v.api",
+            r"
+            package v;
+            public class Target {}
+            public class Maker { Target make(); static Maker instance(); }
+            ",
+        )
+        .unwrap();
+    let api = loader.finish().unwrap();
+    let maker = api.types().resolve("Maker").unwrap();
+    let target = api.types().resolve("Target").unwrap();
+    let engine = Prospector::new(api);
+    let result = engine.assist(&[("m", maker)], target).unwrap();
+    // Both the variable route and the void route are present.
+    assert!(result.suggestions.iter().any(|s| s.code == "m.make()"));
+    assert!(result
+        .suggestions
+        .iter()
+        .any(|s| s.code == "Maker.instance().make()" && s.input_var.is_none()));
+    // The variable route ranks first (shorter).
+    assert_eq!(result.suggestions[0].code, "m.make()");
+    assert_eq!(result.suggestions[0].input_var.as_deref(), Some("m"));
+}
+
+#[test]
+fn duplicate_visible_variables_take_first_name() {
+    let api = api();
+    let a = api.types().resolve("t.A").unwrap();
+    let d = api.types().resolve("t.D").unwrap();
+    let engine = Prospector::new(api);
+    let result = engine.assist(&[("first", a), ("second", a)], d).unwrap();
+    for s in &result.suggestions {
+        if s.jungloid.source == a {
+            assert_eq!(s.input_var.as_deref(), Some("first"));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Property tests over randomly generated APIs: search soundness and
+//! completeness-within-window, ranking monotonicity, mined-path
+//! reachability, and the generalization algorithm against a naive
+//! reference implementation.
+
+use jungloid_apidef::{Api, ElemJungloid, MethodDef, Visibility};
+use jungloid_typesys::{Prim, TyId, TypeKind};
+use prospector_core::generalize::generalize;
+use prospector_core::{
+    search, DistanceField, GraphConfig, Jungloid, JungloidGraph, Prospector, SearchConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministically generates a random API from a seed.
+fn random_api(seed: u64, n_classes: usize, n_methods: usize) -> Api {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut api = Api::new();
+    api.types_mut().declare("java.lang", "Object", TypeKind::Class).unwrap();
+    let mut classes = Vec::new();
+    for i in 0..n_classes {
+        let pkg = format!("p{}", rng.gen_range(0..3));
+        let id = api.declare_class(&pkg, &format!("C{i}")).unwrap();
+        if !classes.is_empty() && rng.gen_bool(0.4) {
+            let sup = classes[rng.gen_range(0..classes.len())];
+            api.types_mut().set_superclass(id, sup).unwrap();
+        }
+        classes.push(id);
+    }
+    for m in 0..n_methods {
+        let declaring = classes[rng.gen_range(0..classes.len())];
+        let is_ctor = rng.gen_bool(0.2);
+        let is_static = !is_ctor && rng.gen_bool(0.3);
+        let n_params = rng.gen_range(0..=2);
+        let params: Vec<TyId> = (0..n_params)
+            .map(|_| {
+                if rng.gen_bool(0.15) {
+                    api.types().prim(Prim::Int)
+                } else {
+                    classes[rng.gen_range(0..classes.len())]
+                }
+            })
+            .collect();
+        let ret = if is_ctor { declaring } else { classes[rng.gen_range(0..classes.len())] };
+        let _ = api.add_method(MethodDef {
+            name: if is_ctor { "<init>".into() } else { format!("m{m}") },
+            declaring,
+            params,
+            param_names: Vec::new(),
+            ret,
+            visibility: Visibility::Public,
+            is_static,
+            is_constructor: is_ctor,
+        });
+    }
+    api
+}
+
+fn classes_of(api: &Api) -> Vec<TyId> {
+    api.types()
+        .decls()
+        .filter(|d| d.simple_name.starts_with('C'))
+        .map(|d| d.id)
+        .collect()
+}
+
+/// Forward 0-1 BFS reference for the shortest length.
+fn reference_shortest(graph: &JungloidGraph, from: TyId, to: TyId) -> Option<u32> {
+    use std::collections::VecDeque;
+    let n = graph.node_count();
+    let mut dist = vec![u32::MAX; n];
+    let fi = graph.index_of(prospector_core::NodeId::Ty(from));
+    dist[fi] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(fi);
+    while let Some(i) = queue.pop_front() {
+        for e in graph.out_edges(graph.node_at(i)) {
+            let ti = graph.index_of(e.to);
+            let nd = dist[i] + u32::from(!e.elem.is_widen());
+            if nd < dist[ti] {
+                dist[ti] = nd;
+                if e.elem.is_widen() {
+                    queue.push_front(ti);
+                } else {
+                    queue.push_back(ti);
+                }
+            }
+        }
+    }
+    let t = dist[graph.index_of(prospector_core::NodeId::Ty(to))];
+    (t != u32::MAX).then_some(t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn enumeration_sound_and_windowed(seed in any::<u64>()) {
+        let api = random_api(seed, 8, 24);
+        let graph = JungloidGraph::from_api(&api, GraphConfig::default());
+        let classes = classes_of(&api);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let tin = classes[rng.gen_range(0..classes.len())];
+        let tout = classes[rng.gen_range(0..classes.len())];
+        if tin == tout { return Ok(()); }
+
+        let field = DistanceField::towards(&graph, tout);
+        let outcome = search::enumerate(&graph, &[tin], tout, &field, &SearchConfig::default());
+
+        // m agrees with an independent forward BFS (when any code-bearing
+        // path exists; a pure-widening connection reports m=0 but yields
+        // no jungloids).
+        let reference = reference_shortest(&graph, tin, tout);
+        prop_assert_eq!(outcome.shortest, reference);
+
+        let m = outcome.shortest.unwrap_or(0);
+        let mut seen = Vec::new();
+        for j in &outcome.jungloids {
+            // Sound: well-typed, correct endpoints.
+            j.validate(&api).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(j.source, tin);
+            prop_assert_eq!(j.output_ty(&api), tout);
+            // Windowed: within m+1 non-widening steps.
+            prop_assert!(j.steps() >= 1 && j.steps() <= m + 1,
+                "length {} outside [1, {}]", j.steps(), m + 1);
+            // Distinct.
+            prop_assert!(!seen.contains(j));
+            seen.push(j.clone());
+        }
+        // Non-empty whenever a code-bearing path exists within the window.
+        if reference.is_some_and(|r| r >= 1) && !outcome.truncated {
+            prop_assert!(!outcome.jungloids.is_empty());
+        }
+    }
+
+    #[test]
+    fn engine_ranking_monotone_and_deduped(seed in any::<u64>()) {
+        let api = random_api(seed, 7, 20);
+        let classes = classes_of(&api);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let tin = classes[rng.gen_range(0..classes.len())];
+        let tout = classes[rng.gen_range(0..classes.len())];
+        if tin == tout { return Ok(()); }
+        let engine = Prospector::new(api);
+        let result = engine.query(tin, tout).unwrap();
+        let mut codes = Vec::new();
+        let mut prev: Option<prospector_core::RankKey> = None;
+        for s in &result.suggestions {
+            prop_assert!(!codes.contains(&s.code), "duplicate code {}", s.code);
+            codes.push(s.code.clone());
+            if let Some(p) = &prev {
+                prop_assert!(p <= &s.key);
+            }
+            prev = Some(s.key.clone());
+            // Rendered code reparses.
+            jungloid_minijava::parse::parse_expr(&s.code)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        }
+    }
+
+    #[test]
+    fn mined_examples_become_reachable(seed in any::<u64>()) {
+        let api = random_api(seed, 8, 24);
+        let graph = JungloidGraph::from_api(&api, GraphConfig::default());
+        let classes = classes_of(&api);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+
+        // Random walk of 1..=3 code steps through the signature graph.
+        let start = classes[rng.gen_range(0..classes.len())];
+        let mut at = prospector_core::NodeId::Ty(start);
+        let mut steps: Vec<ElemJungloid> = Vec::new();
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let edges = graph.out_edges(at);
+            if edges.is_empty() { break; }
+            let e = edges[rng.gen_range(0..edges.len())];
+            steps.push(e.elem);
+            at = e.to;
+        }
+        if steps.is_empty() || steps.iter().all(ElemJungloid::is_widen) { return Ok(()); }
+        // End with a downcast to a strict subtype of the walk's output.
+        let out_ty = steps.last().unwrap().output_ty(&api);
+        let subs = api.types().strict_subtypes(out_ty);
+        let Some(&target) = subs.first() else { return Ok(()) };
+        steps.push(ElemJungloid::Downcast { from: out_ty, to: target });
+
+        let j = Jungloid::new(&api, steps[0].input_ty(&api), steps.clone());
+        prop_assert!(j.is_ok(), "constructed example must be well-typed: {:?}", j.err());
+
+        let source = steps[0].input_ty(&api);
+        let mut engine = Prospector::new(api);
+        engine.add_examples(&[steps.clone()], false).unwrap();
+        if source == engine.api().types().void() || source == target { return Ok(()); }
+        let result = engine.query(source, target).unwrap();
+        // The spliced path is guaranteed to surface only when it fits the
+        // m+1 enumeration window (a shorter signature-only path may
+        // exist — e.g. a constructor of the cast target).
+        let mined_len = steps.iter().filter(|e| !e.is_widen()).count() as u32;
+        let window = result.shortest.expect("target now reachable") + 1;
+        if mined_len <= window {
+            prop_assert!(
+                result.suggestions.iter().any(|s| s.jungloid.contains_downcast()),
+                "spliced example (len {mined_len}, window {window}) not reachable: {:?}",
+                result.suggestions.iter().map(|s| &s.code).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn generalize_matches_reference(seed in any::<u64>(), count in 1usize..6) {
+        let api = random_api(seed, 8, 24);
+        let graph = JungloidGraph::from_api(&api, GraphConfig::default());
+        let classes = classes_of(&api);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+
+        // Build `count` random cast-terminated examples.
+        let mut examples: Vec<Vec<ElemJungloid>> = Vec::new();
+        for _ in 0..count {
+            let start = classes[rng.gen_range(0..classes.len())];
+            let mut at = prospector_core::NodeId::Ty(start);
+            let mut steps = Vec::new();
+            for _ in 0..rng.gen_range(1..=3usize) {
+                let edges = graph.out_edges(at);
+                if edges.is_empty() { break; }
+                let e = edges[rng.gen_range(0..edges.len())];
+                steps.push(e.elem);
+                at = e.to;
+            }
+            if steps.is_empty() { continue; }
+            let out_ty = steps.last().unwrap().output_ty(&api);
+            let subs = api.types().strict_subtypes(out_ty);
+            if subs.is_empty() { continue; }
+            let target = subs[rng.gen_range(0..subs.len())];
+            steps.push(ElemJungloid::Downcast { from: out_ty, to: target });
+            examples.push(steps);
+        }
+
+        let got = generalize(&examples);
+
+        // Reference: for each example, the shortest suffix of the body
+        // such that no differently-cast example shares that body suffix.
+        let mut expected: Vec<Vec<ElemJungloid>> = Vec::new();
+        for e in &examples {
+            let ElemJungloid::Downcast { to, .. } = e[e.len() - 1] else { unreachable!() };
+            let body = &e[..e.len() - 1];
+            let mut keep = body.len();
+            'k: for k in 0..=body.len() {
+                for other in &examples {
+                    let ElemJungloid::Downcast { to: to2, .. } = other[other.len() - 1] else {
+                        unreachable!()
+                    };
+                    if to2 == to {
+                        continue;
+                    }
+                    let body2 = &other[..other.len() - 1];
+                    if body2.len() >= k && body2[body2.len() - k..] == body[body.len() - k..] {
+                        continue 'k; // not distinguishing yet
+                    }
+                }
+                keep = k;
+                break;
+            }
+            let suffix = e[e.len() - 1 - keep..].to_vec();
+            if !expected.contains(&suffix) {
+                expected.push(suffix);
+            }
+        }
+        let mut got_sorted = got.clone();
+        let mut expected_sorted = expected.clone();
+        got_sorted.sort_by_key(|e| format!("{e:?}"));
+        expected_sorted.sort_by_key(|e| format!("{e:?}"));
+        prop_assert_eq!(got_sorted, expected_sorted);
+
+        // Every generalized example is a suffix of some input and ends in
+        // the same cast.
+        for g in &got {
+            prop_assert!(examples.iter().any(|e| e.len() >= g.len()
+                && e[e.len() - g.len()..] == g[..]));
+        }
+    }
+}

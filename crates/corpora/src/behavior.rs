@@ -1,0 +1,152 @@
+//! The run-time behavior model of the modeled APIs (§4.1's "environment").
+//!
+//! This encodes what the modeled Eclipse/J2SE members *really* produce at
+//! run time — the facts that live outside the static type system and that
+//! the corpus knows implicitly. It is used only to *score* synthesis
+//! output (viability rates); the synthesizer never sees it.
+
+use jungloid_apidef::Api;
+use jungloid_typesys::TyId;
+use prospector_core::viability::Behavior;
+
+/// Builds the behavior model for the hand-modeled APIs (and, when the
+/// extended pack is loaded, its members too).
+///
+/// # Panics
+///
+/// Panics if a modeled type is missing (a corpus bug).
+#[must_use]
+pub fn eclipse_behavior(api: &Api) -> Behavior {
+    let mut behavior = Behavior::new();
+    let ty = |name: &str| -> TyId {
+        api.types().resolve(name).unwrap_or_else(|e| panic!("behavior model: {e}"))
+    };
+    let mut method = |class: &str, name: &str, dynamics: &[&str]| {
+        let c = ty(class);
+        let ds: Vec<TyId> = dynamics.iter().map(|d| ty(d)).collect();
+        for arity in 0..3 {
+            for m in api
+                .lookup_instance_method(c, name, arity)
+                .into_iter()
+                .chain(api.lookup_static_method(c, name, arity))
+            {
+                behavior.method_returns(m, &ds);
+            }
+        }
+    };
+
+    // Selections: a workbench selection is structured when anything is
+    // selected, and the selected element is one of the model objects the
+    // corpus casts to.
+    method("Viewer", "getSelection", &["IStructuredSelection"]);
+    method("IWorkbenchPage", "getSelection", &["IStructuredSelection"]);
+    method("SelectionChangedEvent", "getSelection", &["IStructuredSelection"]);
+    method("ISelectionProvider", "getSelection", &["IStructuredSelection"]);
+    method(
+        "IStructuredSelection",
+        "getFirstElement",
+        &["JavaInspectExpression", "IFile", "IResource"],
+    );
+    method("IWorkbenchPart", "getAdapter", &["IDebugView"]);
+
+    // Parts and editors.
+    method("IWorkbenchPage", "getActivePart", &["ITextEditor", "IViewPart"]);
+    method("IWorkbenchPage", "getActiveEditor", &["ITextEditor"]);
+    method("IEditorPart", "getEditorInput", &["IFileEditorInput"]);
+
+    // Widgets.
+    method("ScrollingGraphicalViewer", "getControl", &["FigureCanvas"]);
+    method("IActionBars", "getMenuManager", &["MenuManager"]);
+
+    // Resources and Java model.
+    method("IContainer", "findMember", &["IFile", "IFolder", "IProject"]);
+    method("JavaCore", "create", &["ICompilationUnit", "IClassFile"]);
+
+    // GEF layers.
+    method("AbstractGraphicalEditPart", "getLayer", &["ConnectionLayer", "Layer"]);
+
+    // Figure 7's ant maps.
+    if api.types().resolve("Project").is_ok() {
+        method("Map", "get", &["Target", "Task"]);
+    }
+
+    // Extended pack, when loaded.
+    if api.types().resolve("ZipFile").is_ok() {
+        method("Enumeration", "nextElement", &["ZipEntry"]);
+        method("NodeList", "item", &["Element", "Text", "Attr"]);
+        method("org.w3c.dom.Node", "getFirstChild", &["Element", "Text", "Attr"]);
+        method("TreePath", "getLastPathComponent", &["DefaultMutableTreeNode"]);
+        method("TreeModel", "getRoot", &["DefaultMutableTreeNode"]);
+    }
+    behavior
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build, BuildOptions};
+    use prospector_core::viability::{execute, viability_rate};
+
+    #[test]
+    fn every_mined_table1_answer_is_viable() {
+        let built = build(&BuildOptions::default()).unwrap();
+        let engine = built.prospector;
+        let api = engine.api();
+        let behavior = eclipse_behavior(api);
+        for problem in crate::problems::table1() {
+            let tin = api.types().resolve(problem.tin).unwrap();
+            let tout = api.types().resolve(problem.tout).unwrap();
+            let result = engine.query(tin, tout).unwrap();
+            for s in result.suggestions.iter().take(5) {
+                if s.jungloid.contains_downcast() {
+                    let outcome = execute(api, &behavior, &s.jungloid);
+                    assert!(
+                        outcome.is_viable(),
+                        "P{}: mined suggestion `{}` is inviable: {:?}",
+                        problem.id,
+                        s.code,
+                        outcome
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_downcast_suggestions_are_mostly_inviable() {
+        use prospector_core::Prospector;
+        let signature = build(&BuildOptions { mining: false, ..BuildOptions::default() })
+            .unwrap()
+            .prospector;
+        let naive_graph = signature.graph().with_naive_downcasts(signature.api());
+        let api = crate::eclipse_api().unwrap();
+        let naive = Prospector::from_parts(api, naive_graph);
+        let api = naive.api();
+        let behavior = eclipse_behavior(api);
+
+        let debug_view = api.types().resolve("IDebugView").unwrap();
+        let expr = api.types().resolve("JavaInspectExpression").unwrap();
+        let result = naive.query(debug_view, expr).unwrap();
+        assert!(!result.suggestions.is_empty());
+        let jungloids: Vec<_> = result.suggestions.iter().map(|s| &s.jungloid).collect();
+        let rate = viability_rate(api, &behavior, &jungloids);
+        assert!(
+            rate < 0.5,
+            "naive downcasts should be mostly inviable, got {rate} over {} suggestions",
+            jungloids.len()
+        );
+    }
+
+    #[test]
+    fn behavior_builds_for_extended_pack() {
+        let built = build(&BuildOptions { extended: true, ..BuildOptions::default() }).unwrap();
+        let api = built.prospector.api();
+        let behavior = eclipse_behavior(api);
+        // The zip idiom is viable under it.
+        let zip = api.types().resolve("ZipFile").unwrap();
+        let entry = api.types().resolve("ZipEntry").unwrap();
+        let result = built.prospector.query(zip, entry).unwrap();
+        let top = &result.suggestions[0];
+        assert!(execute(api, &behavior, &top.jungloid).is_viable());
+    }
+}

@@ -1,0 +1,90 @@
+//! Extended mining corpus: the era-defining pre-generics cast idioms
+//! matching `stubs_ext`.
+
+/// Zip iteration: the canonical `(ZipEntry) entries.nextElement()` cast,
+/// in both single-shot and guarded-loop shapes.
+pub const ZIP_CORPUS: &str = r#"
+package corpus.zip;
+
+class ArchiveLister {
+    String firstEntryName(ZipFile zip) {
+        ZipEntry entry = (ZipEntry) zip.entries().nextElement();
+        return entry.getName();
+    }
+
+    void listAll(ZipFile zip) {
+        Enumeration entries = zip.entries();
+        while (entries.hasMoreElements()) {
+            ZipEntry entry = (ZipEntry) entries.nextElement();
+            if (!entry.isDirectory()) {
+                entry.getName().length();
+            }
+        }
+    }
+
+    InputStream openFirst(ZipFile zip) {
+        ZipEntry entry = (ZipEntry) zip.entries().nextElement();
+        return zip.getInputStream(entry);
+    }
+}
+"#;
+
+/// DOM traversal: `(Element) list.item(i)` and `(Text)
+/// element.getFirstChild()`, plus the factory chain clients use to get a
+/// `Document` in the first place.
+pub const DOM_CORPUS: &str = r#"
+package corpus.xml;
+
+class ConfigReader {
+    Element rootOf(String uri) {
+        Document doc = DocumentBuilderFactory.newInstance().newDocumentBuilder().parse(uri);
+        return doc.getDocumentElement();
+    }
+
+    Element firstNamed(Document doc, String tag) {
+        NodeList list = doc.getElementsByTagName(tag);
+        if (list.getLength() > 0) {
+            return (Element) list.item(0);
+        }
+        return doc.getDocumentElement();
+    }
+
+    String textOf(Element element) {
+        Text text = (Text) element.getFirstChild();
+        return text.getData();
+    }
+
+    Attr namedAttr(Node node) {
+        return (Attr) node.getFirstChild();
+    }
+}
+"#;
+
+/// Swing trees: `(DefaultMutableTreeNode)
+/// path.getLastPathComponent()` and the model-root variant.
+pub const TREE_CORPUS: &str = r#"
+package corpus.swing;
+
+class TreeSelectionReader {
+    Object selectedUserObject(JTree tree) {
+        TreePath path = tree.getSelectionPath();
+        if (path == null) {
+            return null;
+        }
+        DefaultMutableTreeNode node = (DefaultMutableTreeNode) path.getLastPathComponent();
+        return node.getUserObject();
+    }
+
+    DefaultMutableTreeNode rootNode(JTree tree) {
+        TreeModel model = tree.getModel();
+        return (DefaultMutableTreeNode) model.getRoot();
+    }
+}
+"#;
+
+/// All extended corpus sources as `(label, text)` pairs.
+pub const EXTENDED_CORPUS: [(&str, &str); 3] = [
+    ("zip.mj", ZIP_CORPUS),
+    ("dom.mj", DOM_CORPUS),
+    ("tree.mj", TREE_CORPUS),
+];

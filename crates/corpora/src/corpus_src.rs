@@ -1,0 +1,218 @@
+//! The MiniJava client-code corpus Prospector mines.
+//!
+//! Each constant is one "production" source file. The corpus plays the
+//! role of the paper's sample client programs: it contains the downcast
+//! idioms (Figure 4's watch-expression chain, adapter lookups,
+//! selection narrowing, `IActionBars`→`MenuManager`, GEF layers, the ant
+//! Project/Target shapes of Figure 7) that the signature graph alone
+//! cannot express.
+
+/// Figure 4 (§4.2): the watch-expression chain from Eclipse's Java
+/// debugger, verbatim modulo MiniJava syntax.
+pub const FIGURE4: &str = r#"
+package corpus.debug;
+
+class WatchExpressionContext {
+    protected Object getObjectContext() {
+        IWorkbenchPage page = JDIDebugUIPlugin.getActivePage();
+        IWorkbenchPart activePart = page.getActivePart();
+        IDebugView view = (IDebugView) activePart.getAdapter(IDebugView.class);
+        ISelection s = view.getViewer().getSelection();
+        IStructuredSelection sel = (IStructuredSelection) s;
+        Object selection = sel.getFirstElement();
+        JavaInspectExpression var = (JavaInspectExpression) selection;
+        return var;
+    }
+}
+"#;
+
+/// Selection narrowing idioms (Table 1 rows 8, 15; Figure 2's cast).
+pub const SELECTIONS: &str = r#"
+package corpus.handlers;
+
+class SelectionHandlers {
+    IStructuredSelection currentSelection(IWorkbenchPage page) {
+        ISelection s = page.getSelection();
+        return (IStructuredSelection) s;
+    }
+
+    IFile selectedFile(IStructuredSelection sel) {
+        Object first = sel.getFirstElement();
+        return (IFile) first;
+    }
+
+    IResource selectedResource(SelectionChangedEvent event) {
+        IStructuredSelection sel = (IStructuredSelection) event.getSelection();
+        return (IResource) sel.getFirstElement();
+    }
+
+    IStructuredSelection viewerSelection(Viewer viewer) {
+        return (IStructuredSelection) viewer.getSelection();
+    }
+}
+"#;
+
+/// Editor and document-provider idioms (Table 1 rows 16, 18).
+pub const EDITORS: &str = r#"
+package corpus.editors;
+
+class EditorHelpers {
+    ITextEditor activeTextEditor(IWorkbenchPage page) {
+        IEditorPart editor = page.getActiveEditor();
+        return (ITextEditor) editor;
+    }
+
+    ITextEditor partAsTextEditor(IWorkbenchPage page) {
+        IWorkbenchPart part = page.getActivePart();
+        return (ITextEditor) part;
+    }
+
+    IViewPart activeView(IWorkbenchPage page) {
+        IWorkbenchPart part = page.getActivePart();
+        return (IViewPart) part;
+    }
+
+    IDocument currentDocument(IWorkbenchPage page) {
+        ITextEditor editor = (ITextEditor) page.getActiveEditor();
+        IDocumentProvider provider = editor.getDocumentProvider();
+        return provider.getDocument(editor.getEditorInput());
+    }
+}
+"#;
+
+/// Menu-manager narrowing (Table 1 row 11).
+pub const MENUS: &str = r#"
+package corpus.views;
+
+class ViewMenus {
+    MenuManager viewMenu(IViewPart view) {
+        IActionBars bars = view.getViewSite().getActionBars();
+        IMenuManager mm = bars.getMenuManager();
+        return (MenuManager) mm;
+    }
+
+    MenuManager editorMenu(IEditorPart editor) {
+        IActionBars bars = editor.getEditorSite().getActionBars();
+        return (MenuManager) bars.getMenuManager();
+    }
+}
+"#;
+
+/// Workspace-resource idioms (Table 1 rows 17, 20; intro example's
+/// neighborhood).
+pub const RESOURCES: &str = r#"
+package corpus.resources;
+
+class ResourceAccess {
+    IFile fileByName(IWorkspace workspace, String name) {
+        IResource member = workspace.getRoot().findMember(name);
+        return (IFile) member;
+    }
+
+    IFile fileFromInput(IEditorPart editor) {
+        IFileEditorInput input = (IFileEditorInput) editor.getEditorInput();
+        return input.getFile();
+    }
+
+    ICompilationUnit unitFor(IFile file) {
+        IJavaElement element = JavaCore.create(file);
+        return (ICompilationUnit) element;
+    }
+}
+"#;
+
+/// GEF layer and canvas idioms (Table 1 rows 5, 19). `getLayer` is a
+/// `protected` member of `AbstractGraphicalEditPart`: the corpus may call
+/// it (subclasses), but the synthesizer may not suggest it to arbitrary
+/// client code — reproducing the paper's `ConnectionLayer` failure.
+pub const GEF: &str = r#"
+package corpus.gef;
+
+class DiagramEditPart extends AbstractGraphicalEditPart {
+    void routeConnections() {
+        ConnectionLayer layer = (ConnectionLayer) getLayer(LayerConstants.CONNECTION_LAYER);
+        layer.setConnectionRouter(null);
+    }
+}
+
+class OverlayEditPart extends AbstractGraphicalEditPart {
+    Layer primaryLayer() {
+        return (Layer) getLayer(LayerConstants.PRIMARY_LAYER);
+    }
+}
+
+class CanvasAccess {
+    FigureCanvas canvasOf(ScrollingGraphicalViewer viewer) {
+        return (FigureCanvas) viewer.getControl();
+    }
+}
+"#;
+
+/// Figure 7's ant shapes: two chains sharing `Map.get` but diverging one
+/// call earlier, ending in different casts.
+pub const ANT_CORPUS: &str = r#"
+package corpus.ant;
+
+class BuildInspector {
+    Target mainTarget(String buildFile) {
+        Project project = ProjectHelper.createProject(buildFile);
+        Object t = project.getTargets().get("main");
+        return (Target) t;
+    }
+
+    Task firstTask(Project project) {
+        Object t = project.getTasks().get("compile");
+        return (Task) t;
+    }
+}
+"#;
+
+/// Guarded, loopy client code: realistic production shape (null checks,
+/// retries) exercising the slicer's flow-insensitivity — both branches of
+/// every `if` contribute definitions, exactly like the paper's
+/// "flow-insensitive slice".
+pub const GUARDED: &str = r#"
+package corpus.guarded;
+
+class GuardedSelection {
+    IStructuredSelection robustSelection(IWorkbenchPage page) {
+        ISelection s = page.getSelection();
+        if (s == null) {
+            s = page.getSelection();
+        }
+        while (s.isEmpty()) {
+            s = page.getSelection();
+        }
+        return (IStructuredSelection) s;
+    }
+
+    void openEditorFile(IWorkbenchPage page) {
+        IEditorPart editor = page.getActiveEditor();
+        if (editor != null) {
+            IEditorInput input = editor.getEditorInput();
+            if (input != null) {
+                IFileEditorInput fileInput = (IFileEditorInput) input;
+                process(fileInput.getFile());
+            }
+        }
+    }
+
+    void process(IFile file) {
+        if (file.exists() && file.getFileExtension() != null) {
+            file.toString();
+        }
+    }
+}
+"#;
+
+/// All corpus sources as `(label, text)` pairs.
+pub const ALL_CORPUS: [(&str, &str); 8] = [
+    ("figure4.mj", FIGURE4),
+    ("selections.mj", SELECTIONS),
+    ("editors.mj", EDITORS),
+    ("menus.mj", MENUS),
+    ("resources.mj", RESOURCES),
+    ("gef.mj", GEF),
+    ("ant.mj", ANT_CORPUS),
+    ("guarded.mj", GUARDED),
+];

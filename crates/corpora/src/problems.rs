@@ -1,0 +1,315 @@
+//! The paper's evaluation problems: Table 1's twenty query-processing
+//! problems and the four user-study problems (§6).
+
+/// One Table 1 row.
+#[derive(Clone, Copy, Debug)]
+pub struct Problem {
+    /// Row number (1-based, paper order).
+    pub id: u32,
+    /// The paper's description of the programming problem.
+    pub label: &'static str,
+    /// Where the paper got the problem (Tester / Author / Eclipse FAQs /
+    /// Almanac).
+    pub source: &'static str,
+    /// Query input type (simple name).
+    pub tin: &'static str,
+    /// Query output type (simple name).
+    pub tout: &'static str,
+    /// PROSPECTOR's reported query time in seconds (Table 1).
+    pub paper_time_s: f64,
+    /// The paper's rank of the desired solution; `None` = "No" (not
+    /// found).
+    pub paper_rank: Option<u32>,
+    /// Substrings that must all appear in a suggestion's code for it to
+    /// count as the desired solution.
+    pub desired: &'static [&'static str],
+}
+
+/// The twenty problems of Table 1, in the paper's order.
+#[must_use]
+pub fn table1() -> Vec<Problem> {
+    vec![
+        Problem {
+            id: 1,
+            label: "Read lines from an input stream",
+            source: "Tester",
+            tin: "InputStream",
+            tout: "BufferedReader",
+            paper_time_s: 0.32,
+            paper_rank: Some(1),
+            desired: &["new BufferedReader(new InputStreamReader(", "))"],
+        },
+        Problem {
+            id: 2,
+            label: "Open a named file for memory-mapped I/O",
+            source: "Almanac",
+            tin: "String",
+            tout: "MappedByteBuffer",
+            paper_time_s: 0.17,
+            paper_rank: Some(1),
+            desired: &["new FileInputStream(", ".getChannel().map("],
+        },
+        Problem {
+            id: 3,
+            label: "Get table widget from an Eclipse view",
+            source: "Eclipse FAQs",
+            tin: "TableViewer",
+            tout: "Table",
+            paper_time_s: 0.04,
+            paper_rank: Some(1),
+            desired: &[".getTable()"],
+        },
+        Problem {
+            id: 4,
+            label: "Get the active editor",
+            source: "Eclipse FAQs",
+            tin: "IWorkbench",
+            tout: "IEditorPart",
+            paper_time_s: 0.16,
+            paper_rank: Some(1),
+            desired: &["getActiveWorkbenchWindow().getActivePage().getActiveEditor()"],
+        },
+        Problem {
+            id: 5,
+            label: "Retrieve canvas from scrolling viewer",
+            source: "Author",
+            tin: "ScrollingGraphicalViewer",
+            tout: "FigureCanvas",
+            paper_time_s: 0.08,
+            paper_rank: Some(1),
+            desired: &["(FigureCanvas)", ".getControl()"],
+        },
+        Problem {
+            id: 6,
+            label: "Get window for MessageBox",
+            source: "Author",
+            tin: "KeyEvent",
+            tout: "Shell",
+            paper_time_s: 0.09,
+            paper_rank: Some(1),
+            desired: &["getActiveShell()"],
+        },
+        Problem {
+            id: 7,
+            label: "Convert legacy class",
+            source: "Author",
+            tin: "Enumeration",
+            tout: "Iterator",
+            paper_time_s: 0.06,
+            paper_rank: Some(1),
+            desired: &["IteratorUtils.asIterator("],
+        },
+        Problem {
+            id: 8,
+            label: "Get selection from event",
+            source: "Author",
+            tin: "SelectionChangedEvent",
+            tout: "ISelection",
+            paper_time_s: 0.02,
+            paper_rank: Some(1),
+            desired: &[".getSelection()"],
+        },
+        Problem {
+            id: 9,
+            label: "Get image handle for lazy image loading",
+            source: "Tester",
+            tin: "ImageRegistry",
+            tout: "ImageDescriptor",
+            paper_time_s: 0.08,
+            paper_rank: Some(1),
+            desired: &[".getDescriptor("],
+        },
+        Problem {
+            id: 10,
+            label: "Iterate over map values",
+            source: "Tester",
+            tin: "Map",
+            tout: "Iterator",
+            paper_time_s: 0.17,
+            paper_rank: Some(1),
+            desired: &[".values().iterator()"],
+        },
+        Problem {
+            id: 11,
+            label: "Add menu bars to a view",
+            source: "Eclipse FAQs",
+            tin: "IViewPart",
+            tout: "MenuManager",
+            paper_time_s: 0.21,
+            paper_rank: Some(1),
+            desired: &["getViewSite().getActionBars().getMenuManager()"],
+        },
+        Problem {
+            id: 12,
+            label: "Set captions on table columns",
+            source: "Author",
+            tin: "TableViewer",
+            tout: "TableColumn",
+            paper_time_s: 0.37,
+            paper_rank: Some(2),
+            desired: &["new TableColumn("],
+        },
+        Problem {
+            id: 13,
+            label: "Track selection changes in another widget",
+            source: "Eclipse FAQs",
+            tin: "IEditorSite",
+            tout: "ISelectionService",
+            paper_time_s: 0.01,
+            paper_rank: Some(2),
+            desired: &["getWorkbenchWindow().getSelectionService()"],
+        },
+        Problem {
+            id: 14,
+            label: "Read lines from a file",
+            source: "Almanac",
+            tin: "String",
+            tout: "BufferedReader",
+            paper_time_s: 0.17,
+            paper_rank: Some(3),
+            desired: &["new BufferedReader(new FileReader("],
+        },
+        Problem {
+            id: 15,
+            label: "Find out what object is selected",
+            source: "Eclipse FAQs",
+            tin: "IWorkbenchPage",
+            tout: "IStructuredSelection",
+            paper_time_s: 0.15,
+            paper_rank: Some(3),
+            desired: &["(IStructuredSelection)", ".getSelection()"],
+        },
+        Problem {
+            id: 16,
+            label: "Manipulate document of visual editor",
+            source: "Eclipse FAQs",
+            tin: "IWorkbenchPage",
+            tout: "IDocumentProvider",
+            paper_time_s: 1.07,
+            paper_rank: Some(3),
+            desired: &["documentProviderRegistry.getDocumentProvider("],
+        },
+        Problem {
+            id: 17,
+            label: "Convert file handle to file name",
+            source: "Author",
+            tin: "IFile",
+            tout: "String",
+            paper_time_s: 0.11,
+            paper_rank: Some(4),
+            desired: &[".toOSString()"],
+        },
+        Problem {
+            id: 18,
+            label: "Get an Eclipse view by name",
+            source: "Eclipse FAQs",
+            tin: "IWorkbenchWindow",
+            tout: "IViewPart",
+            paper_time_s: 0.61,
+            paper_rank: Some(4),
+            desired: &[".findView("],
+        },
+        Problem {
+            id: 19,
+            label: "Set graph edge routing algorithm",
+            source: "Author",
+            tin: "AbstractGraphicalEditPart",
+            tout: "ConnectionLayer",
+            paper_time_s: 0.08,
+            paper_rank: None,
+            desired: &[".getLayer("],
+        },
+        Problem {
+            id: 20,
+            label: "Retrieve file from workspace",
+            source: "Author",
+            tin: "IWorkspace",
+            tout: "IFile",
+            paper_time_s: 0.59,
+            paper_rank: None,
+            desired: &["getRoot().getFile("],
+        },
+    ]
+}
+
+/// One user-study problem (§6). The study tool condition answers these
+/// with content assist over the listed visible variables.
+#[derive(Clone, Copy, Debug)]
+pub struct StudyProblem {
+    /// Problem number (1-based, paper order).
+    pub id: u32,
+    /// Short label.
+    pub label: &'static str,
+    /// Visible variables at the cursor: `(name, simple type name)`.
+    pub visible: &'static [(&'static str, &'static str)],
+    /// The requested output type.
+    pub tout: &'static str,
+    /// Substrings identifying the desired (best) solution.
+    pub desired: &'static [&'static str],
+    /// Substrings identifying an acceptable but inefficient reuse
+    /// solution (the paper's "copying the elements into a list" class of
+    /// answers), if one exists.
+    pub inefficient: &'static [&'static str],
+    /// When the inefficient solution answers a *different* output type
+    /// (problem 4's accepted `getSharedImages().getImage(...)` returns an
+    /// `Image`, not the requested `ImageRegistry`), the type it targets.
+    pub inefficient_tout: Option<&'static str>,
+    /// Relative difficulty weight used by the study simulator (problem 2
+    /// is "the hardest", problem 1 "the easiest", per §7).
+    pub difficulty: f64,
+    /// Probability that a *baseline* (no-tool) reuse answer carries the
+    /// subtle bug §7 describes (4 of 7 manual solutions to problem 3
+    /// threw when the highlighted window was not an editor).
+    pub subtle_bug: f64,
+}
+
+/// The four user-study problems (§6).
+#[must_use]
+pub fn user_study() -> Vec<StudyProblem> {
+    vec![
+        StudyProblem {
+            id: 1,
+            label: "Convert an Enumeration to an Iterator",
+            visible: &[("en", "Enumeration")],
+            tout: "Iterator",
+            desired: &["IteratorUtils.asIterator("],
+            inefficient: &["Collections.list(", ".iterator()"],
+            inefficient_tout: None,
+            difficulty: 1.0,
+            subtle_bug: 0.12,
+        },
+        StudyProblem {
+            id: 2,
+            label: "Play a sound file at a URL",
+            visible: &[("url", "String")],
+            tout: "AudioClip",
+            desired: &["Applet.newAudioClip(new URL("],
+            inefficient: &[],
+            inefficient_tout: None,
+            difficulty: 2.2,
+            subtle_bug: 0.0,
+        },
+        StudyProblem {
+            id: 3,
+            label: "Get the active editor from the workbench",
+            visible: &[("workbench", "IWorkbench")],
+            tout: "IEditorPart",
+            desired: &["getActiveWorkbenchWindow().getActivePage().getActiveEditor()"],
+            inefficient: &[],
+            inefficient_tout: None,
+            difficulty: 1.6,
+            subtle_bug: 0.57,
+        },
+        StudyProblem {
+            id: 4,
+            label: "Get the shared image registry",
+            visible: &[("workbench", "IWorkbench")],
+            tout: "ImageRegistry",
+            desired: &["JFaceResources.getImageRegistry()"],
+            inefficient: &["getSharedImages().getImage("],
+            inefficient_tout: Some("Image"),
+            difficulty: 1.3,
+            subtle_bug: 0.0,
+        },
+    ]
+}

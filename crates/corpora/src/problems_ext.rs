@@ -1,0 +1,184 @@
+//! Extended problem set — our own additional evaluation over the
+//! classic downcast-heavy J2SE corners (`stubs_ext`), in the style of
+//! Table 1. These go beyond the paper's 20 problems; they validate that
+//! the pipeline generalizes past the hand-tuned Eclipse corpus.
+
+use crate::problems::Problem;
+
+/// Sixteen extended problems. `paper_rank`/`paper_time_s` hold our own
+/// *expected* rank (these are not from the paper).
+#[must_use]
+pub fn extended() -> Vec<Problem> {
+    vec![
+        Problem {
+            id: 101,
+            label: "Get the first entry of a zip archive",
+            source: "extended",
+            tin: "ZipFile",
+            tout: "ZipEntry",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["(ZipEntry)", ".entries().nextElement()"],
+        },
+        Problem {
+            id: 102,
+            label: "Open a stream for a zip entry",
+            source: "extended",
+            tin: "ZipFile",
+            tout: "InputStream",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &[".getInputStream("],
+        },
+        Problem {
+            id: 103,
+            label: "Parse an XML document from a URI",
+            source: "extended",
+            tin: "String",
+            tout: "Document",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            // From a lone String the factory chain is a *follow-up* query
+            // (§2.2): the direct answer parses via a free DocumentBuilder.
+            desired: &["documentBuilder.parse("],
+        },
+        Problem {
+            id: 104,
+            label: "Parse an XML document from a file",
+            source: "extended",
+            tin: "File",
+            tout: "Document",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["documentBuilder.parse(file)"],
+        },
+        Problem {
+            id: 105,
+            label: "Get elements by tag name",
+            source: "extended",
+            tin: "Document",
+            tout: "NodeList",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["getElementsByTagName("],
+        },
+        Problem {
+            id: 106,
+            label: "Get an element out of a node list",
+            source: "extended",
+            tin: "NodeList",
+            tout: "Element",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["(Element)", ".item("],
+        },
+        Problem {
+            id: 107,
+            label: "Read the text body of an element",
+            source: "extended",
+            tin: "Element",
+            tout: "Text",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["(Text)", "getFirstChild()"],
+        },
+        Problem {
+            id: 108,
+            label: "Get the selection path of a tree",
+            source: "extended",
+            tin: "JTree",
+            tout: "TreePath",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["getSelectionPath()"],
+        },
+        Problem {
+            id: 109,
+            label: "Get the root node of a tree model",
+            source: "extended",
+            tin: "TreeModel",
+            tout: "DefaultMutableTreeNode",
+            paper_time_s: 0.0,
+            // Rank 3: `new DefaultMutableTreeNode(treeModel)` and
+            // `new DefaultMutableTreeNode(treeModel.getRoot())` — wrapping
+            // via the Object-typed constructor — rank above. Exactly the
+            // §4.3 imprecision; see tests/param_mining.rs for the fix.
+            paper_rank: Some(3),
+            desired: &["(DefaultMutableTreeNode)", ".getRoot()"],
+        },
+        Problem {
+            id: 113,
+            label: "Get the selected tree node from a path",
+            source: "extended",
+            tin: "TreePath",
+            tout: "DefaultMutableTreeNode",
+            paper_time_s: 0.0,
+            // Rank 3 behind the same §4.3 constructor junk as E109.
+            paper_rank: Some(3),
+            desired: &["(DefaultMutableTreeNode)", "getLastPathComponent()"],
+        },
+        Problem {
+            id: 110,
+            label: "Run a SQL query",
+            source: "extended",
+            tin: "String",
+            tout: "ResultSet",
+            paper_time_s: 0.0,
+            // The String is ambiguous (SQL text vs connection URL — the
+            // paper's §3.2 String ambiguity); the SQL reading wins and the
+            // free Statement receiver is bound by a follow-up query.
+            paper_rank: Some(1),
+            desired: &[".executeQuery(string)"],
+        },
+        Problem {
+            id: 115,
+            label: "Open a named file for printing",
+            source: "extended",
+            tin: "String",
+            tout: "PrintWriter",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["new PrintWriter(new File"],
+        },
+        Problem {
+            id: 116,
+            label: "Iterate over the keys of a Properties table",
+            source: "extended",
+            tin: "Properties",
+            tout: "Iterator",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["IteratorUtils.asIterator("],
+        },
+        Problem {
+            id: 114,
+            label: "Connect to a database URL",
+            source: "extended",
+            tin: "String",
+            tout: "Connection",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["DriverManager.getConnection("],
+        },
+        Problem {
+            id: 111,
+            label: "Read a zip archive from a file",
+            source: "extended",
+            tin: "File",
+            tout: "ZipFile",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["new ZipFile(file)"],
+        },
+        Problem {
+            id: 112,
+            label: "Wrap a stream for zip reading",
+            source: "extended",
+            tin: "InputStream",
+            tout: "ZipEntry",
+            paper_time_s: 0.0,
+            paper_rank: Some(1),
+            desired: &["new ZipInputStream(", ".getNextEntry()"],
+        },
+    ]
+}

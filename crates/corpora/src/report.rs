@@ -1,0 +1,153 @@
+//! Runners that regenerate the paper's evaluation artifacts from a live
+//! engine — Table 1 here; Figure 8 lives in `prospector-study`.
+
+use std::time::{Duration, Instant};
+
+use prospector_core::Prospector;
+
+use crate::problems::{table1, Problem};
+
+/// How many suggestions the user is assumed to read before giving up.
+///
+/// The paper reports that users found every answered query "after looking
+/// at fewer than 5 code snippets" and marks two queries `No`; we treat a
+/// desired solution ranked past this cutoff as not found.
+pub const READ_CUTOFF: usize = 10;
+
+/// One measured Table 1 row.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// The problem definition (including the paper's numbers).
+    pub problem: Problem,
+    /// Query wall-clock time.
+    pub time: Duration,
+    /// Measured rank of the desired solution (1-based), if within
+    /// [`READ_CUTOFF`].
+    pub rank: Option<usize>,
+    /// Rank even beyond the cutoff, for diagnostics.
+    pub raw_rank: Option<usize>,
+    /// Shortest solution length `m`.
+    pub shortest: Option<u32>,
+    /// Number of ranked candidates produced.
+    pub candidates: usize,
+    /// Top suggestion's code (diagnostics).
+    pub top_code: Option<String>,
+}
+
+impl Table1Row {
+    /// Whether the measured outcome matches the paper's found/not-found
+    /// verdict.
+    #[must_use]
+    pub fn agrees_on_found(&self) -> bool {
+        self.rank.is_some() == self.problem.paper_rank.is_some()
+    }
+}
+
+/// Runs one problem.
+///
+/// # Panics
+///
+/// Panics if the problem's type names do not resolve in `p`'s API (a
+/// corpus bug).
+#[must_use]
+pub fn run_problem(p: &Prospector, problem: &Problem) -> Table1Row {
+    let tin = p.api().types().resolve(problem.tin).expect("tin resolves");
+    let tout = p.api().types().resolve(problem.tout).expect("tout resolves");
+    let start = Instant::now();
+    let result = p.query(tin, tout).expect("reference-type query");
+    let time = start.elapsed();
+    let raw_rank = result
+        .rank_where(|s| problem.desired.iter().all(|needle| s.code.contains(needle)));
+    Table1Row {
+        problem: *problem,
+        time,
+        rank: raw_rank.filter(|&r| r <= READ_CUTOFF),
+        raw_rank,
+        shortest: result.shortest,
+        candidates: result.suggestions.len(),
+        top_code: result.suggestions.first().map(|s| s.code.clone()),
+    }
+}
+
+/// Runs all twenty problems.
+#[must_use]
+pub fn run_table1(p: &Prospector) -> Vec<Table1Row> {
+    table1().iter().map(|problem| run_problem(p, problem)).collect()
+}
+
+/// Formats rows like the paper's Table 1 (plus the paper's own numbers
+/// for side-by-side comparison).
+#[must_use]
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<42} {:<28} {:<22} {:>8} {:>5}   {:>9} {:>6}",
+        "Programming problem", "tin", "tout", "Time(ms)", "Rank", "paper(s)", "paper"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(130));
+    let mut found = 0;
+    for row in rows {
+        let rank = row.rank.map_or_else(|| "No".to_owned(), |r| r.to_string());
+        let paper_rank =
+            row.problem.paper_rank.map_or_else(|| "No".to_owned(), |r| r.to_string());
+        if row.rank.is_some() {
+            found += 1;
+        }
+        let _ = writeln!(
+            out,
+            "{:<42} {:<28} {:<22} {:>8.2} {:>5}   {:>9.2} {:>6}",
+            row.problem.label,
+            row.problem.tin,
+            row.problem.tout,
+            row.time.as_secs_f64() * 1000.0,
+            rank,
+            row.problem.paper_time_s,
+            paper_rank,
+        );
+    }
+    let avg_ms: f64 =
+        rows.iter().map(|r| r.time.as_secs_f64() * 1000.0).sum::<f64>() / rows.len() as f64;
+    let _ = writeln!(out, "{}", "-".repeat(130));
+    let _ = writeln!(
+        out,
+        "found {found}/{} (paper: 18/20); average time {avg_ms:.2} ms (paper: 230 ms)",
+        rows.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_default;
+
+    #[test]
+    fn format_includes_every_row_and_summary() {
+        let engine = build_default();
+        let rows = run_table1(&engine);
+        let text = format_table1(&rows);
+        for row in &rows {
+            assert!(text.contains(row.problem.label), "missing row: {}", row.problem.label);
+        }
+        assert!(text.contains("found "));
+        assert!(text.contains("average time"));
+        // Paper columns present.
+        assert!(text.contains("paper"));
+    }
+
+    #[test]
+    fn run_problem_reports_raw_rank_beyond_cutoff() {
+        let engine = build_default();
+        // A problem whose desired matcher never matches: rank is None but
+        // candidates are still counted.
+        let mut problem = crate::problems::table1()[0];
+        problem.desired = &["no-such-snippet-xyz"];
+        let row = run_problem(&engine, &problem);
+        assert_eq!(row.rank, None);
+        assert_eq!(row.raw_rank, None);
+        assert!(row.candidates > 0);
+        assert!(!row.agrees_on_found());
+    }
+}

@@ -1,0 +1,713 @@
+//! Hand-modeled `.api` stubs: the fragments of J2SE 1.4 and Eclipse 2.1
+//! that the paper's worked examples, Table 1 queries, and user-study
+//! problems exercise.
+//!
+//! Modeling rules (documented in DESIGN.md):
+//!
+//! * every class/method named by the paper is present with its real
+//!   shape (declaring class, parameter/return types, staticness,
+//!   `protected` where the paper's failure analysis depends on it);
+//! * each class carries a *subset* of its real members — enough for the
+//!   distractor structure the evaluation relies on, not the full API
+//!   (the procedural jungle generator adds bulk distractor mass for the
+//!   performance experiments);
+//! * reflection (`Object.getClass`) is excluded, consistent with the
+//!   paper's exclusion of reflective object creation from the static
+//!   model (§4.1).
+
+/// `java.io` — streams and readers (Table 1 rows 1, 2, 14).
+pub const J2SE_IO: &str = r"
+package java.io;
+
+public class InputStream {
+    int read();
+    int available();
+    void close();
+}
+
+public class File {
+    File(String pathname);
+    String getName();
+    String getPath();
+    boolean exists();
+    long length();
+}
+
+public class FileInputStream extends InputStream {
+    FileInputStream(String name);
+    FileInputStream(File file);
+    java.nio.channels.FileChannel getChannel();
+}
+
+public class Reader {
+    int read();
+    void close();
+}
+
+public class InputStreamReader extends Reader {
+    InputStreamReader(InputStream in);
+    InputStreamReader(InputStream in, String charsetName);
+    String getEncoding();
+}
+
+public class FileReader extends InputStreamReader {
+    FileReader(String fileName);
+    FileReader(File file);
+}
+
+public class StringReader extends Reader {
+    StringReader(String s);
+}
+
+public class BufferedReader extends Reader {
+    BufferedReader(Reader in);
+    BufferedReader(Reader in, int sz);
+    String readLine();
+}
+
+public class LineNumberReader extends BufferedReader {
+    LineNumberReader(Reader in);
+    int getLineNumber();
+}
+
+public class RandomAccessFile {
+    RandomAccessFile(String name, String mode);
+    RandomAccessFile(File file, String mode);
+    java.nio.channels.FileChannel getChannel();
+    long length();
+}
+";
+
+/// `java.nio` — memory-mapped I/O (Table 1 row 2).
+pub const J2SE_NIO: &str = r"
+package java.nio;
+
+public class Buffer {
+    int capacity();
+    int position();
+}
+
+public class ByteBuffer extends Buffer {
+    static ByteBuffer allocate(int capacity);
+    byte get(int index);
+}
+
+public class MappedByteBuffer extends ByteBuffer {
+    boolean isLoaded();
+    MappedByteBuffer load();
+}
+
+package java.nio.channels;
+
+public class MapMode {
+    static MapMode READ_ONLY;
+    static MapMode READ_WRITE;
+}
+
+public class FileChannel {
+    MappedByteBuffer map(MapMode mode, long position, long size);
+    long size();
+    void close();
+}
+";
+
+/// `java.util` — collections (Table 1 rows 7, 10).
+pub const J2SE_UTIL: &str = r"
+package java.util;
+
+public interface Enumeration {
+    boolean hasMoreElements();
+    Object nextElement();
+}
+
+public interface Iterator {
+    boolean hasNext();
+    Object next();
+    void remove();
+}
+
+public interface ListIterator extends Iterator {
+    boolean hasPrevious();
+    Object previous();
+}
+
+public interface Collection {
+    Iterator iterator();
+    int size();
+    boolean isEmpty();
+    Object[] toArray();
+}
+
+public interface List extends Collection {
+    Object get(int index);
+    ListIterator listIterator();
+}
+
+public interface Set extends Collection {
+}
+
+public interface Map {
+    Collection values();
+    Set keySet();
+    Set entrySet();
+    Object get(Object key);
+    Object put(Object key, Object value);
+    int size();
+}
+
+public class ArrayList implements List {
+    ArrayList();
+    ArrayList(Collection c);
+}
+
+public class HashMap implements Map {
+    HashMap();
+}
+
+public class Vector implements List {
+    Vector();
+    Enumeration elements();
+}
+
+public class Collections {
+    static ArrayList list(Enumeration e);
+    static List unmodifiableList(List list);
+    static Set unmodifiableSet(Set s);
+}
+";
+
+/// `org.apache.commons.collections` — the Enumeration→Iterator wrapper
+/// (Table 1 row 7's "expected, concise, efficient solution based on
+/// reusing a wrapper class").
+pub const COMMONS_COLLECTIONS: &str = r"
+package org.apache.commons.collections;
+
+public class IteratorUtils {
+    static java.util.Iterator asIterator(java.util.Enumeration enumeration);
+    static java.util.List toList(java.util.Iterator iterator);
+}
+";
+
+/// `java.net` + `java.applet` — playing a sound at a URL (user-study
+/// problem 2).
+pub const J2SE_NET_APPLET: &str = r"
+package java.net;
+
+public class URL {
+    URL(String spec);
+    java.io.InputStream openStream();
+    String getHost();
+    String getFile();
+}
+
+package java.applet;
+
+public interface AudioClip {
+    void play();
+    void loop();
+    void stop();
+}
+
+public class Applet {
+    static AudioClip newAudioClip(java.net.URL url);
+    AudioClip getAudioClip(java.net.URL url);
+    void showStatus(String msg);
+}
+";
+
+/// `org.apache.lucene.demo.html` — the §3.2 ranking anecdote: a
+/// same-length but package-crossing route to `BufferedReader`.
+pub const LUCENE_DEMO: &str = r"
+package org.apache.lucene.demo.html;
+
+public class HTMLParser {
+    HTMLParser(java.io.InputStream in);
+    java.io.BufferedReader getReader();
+    String getTitle();
+}
+";
+
+/// `org.apache.tools.ant` — Figure 7's Project/Target/Task shapes.
+pub const ANT: &str = r"
+package org.apache.tools.ant;
+
+public class Project {
+    Project();
+    java.util.Map getTargets();
+    java.util.Map getTasks();
+    String getName();
+}
+
+public class Target {
+    String getName();
+}
+
+public class Task {
+    String getTaskName();
+}
+
+public class ProjectHelper {
+    static Project createProject(String buildFile);
+}
+";
+
+/// `org.eclipse.core.resources` + `org.eclipse.core.runtime` — workspace
+/// resources (intro example, Table 1 rows 17, 20).
+pub const ECLIPSE_RESOURCES: &str = r"
+package org.eclipse.core.runtime;
+
+public interface IPath {
+    String toOSString();
+    boolean isAbsolute();
+    int segmentCount();
+}
+
+public class Path implements IPath {
+    Path(String fullPath);
+}
+
+package org.eclipse.core.resources;
+
+public interface IResource {
+    String getName();
+    String getFileExtension();
+    org.eclipse.core.runtime.IPath getFullPath();
+    org.eclipse.core.runtime.IPath getLocation();
+    boolean exists();
+    int getType();
+}
+
+public interface IContainer extends IResource {
+    IResource[] members();
+    IResource findMember(String path);
+    IFile getFile(org.eclipse.core.runtime.IPath path);
+    IFolder getFolder(org.eclipse.core.runtime.IPath path);
+}
+
+public interface IFile extends IResource {
+    void setContents(java.io.InputStream source, boolean force);
+}
+
+public interface IFolder extends IContainer {
+}
+
+public interface IProject extends IContainer {
+    boolean isOpen();
+}
+
+public interface IWorkspaceRoot extends IContainer {
+    IFile getFileForLocation(org.eclipse.core.runtime.IPath location);
+    IContainer getContainerForLocation(org.eclipse.core.runtime.IPath location);
+    IProject getProject(String name);
+    IProject[] getProjects();
+}
+
+public interface IWorkspace {
+    IWorkspaceRoot getRoot();
+    void checkpoint(boolean build);
+}
+
+public class ResourcesPlugin {
+    static IWorkspace getWorkspace();
+}
+";
+
+/// `org.eclipse.jdt.core` + `dom` — the §1 parsing example and Figure 1.
+pub const ECLIPSE_JDT: &str = r"
+package org.eclipse.jdt.core;
+
+public interface IJavaElement {
+    org.eclipse.core.resources.IResource getResource();
+    String getElementName();
+    IJavaElement getParent();
+}
+
+public interface ICompilationUnit extends IJavaElement {
+    IType[] getTypes();
+}
+
+public interface IClassFile extends IJavaElement {
+}
+
+public interface IType extends IJavaElement {
+    String getFullyQualifiedName();
+}
+
+public class JavaCore {
+    static ICompilationUnit createCompilationUnitFrom(org.eclipse.core.resources.IFile file);
+    static IJavaElement create(org.eclipse.core.resources.IResource resource);
+}
+
+package org.eclipse.jdt.core.dom;
+
+public class ASTNode {
+    int getStartPosition();
+    int getLength();
+    ASTNode getParent();
+}
+
+public class CompilationUnit extends ASTNode {
+    Object[] getProblems();
+}
+
+public class AST {
+    static CompilationUnit parseCompilationUnit(org.eclipse.jdt.core.ICompilationUnit unit, boolean resolveBindings);
+}
+";
+
+/// `org.eclipse.swt` — widgets, events, graphics (Table 1 rows 3, 6, 12).
+pub const ECLIPSE_SWT: &str = r"
+package org.eclipse.swt.graphics;
+
+public class Image {
+    boolean isDisposed();
+    void dispose();
+}
+
+package org.eclipse.swt.widgets;
+
+public class Widget {
+    Display getDisplay();
+    boolean isDisposed();
+    void dispose();
+}
+
+public class Display {
+    Shell getActiveShell();
+    Shell[] getShells();
+    static Display getCurrent();
+    static Display getDefault();
+}
+
+public class Control extends Widget {
+    Shell getShell();
+    Composite getParent();
+    boolean setFocus();
+}
+
+public class Composite extends Control {
+    Control[] getChildren();
+}
+
+public class Canvas extends Composite {
+}
+
+public class Shell extends Canvas {
+    void open();
+    void close();
+}
+
+public class Item extends Widget {
+    String getText();
+    void setText(String string);
+}
+
+public class Table extends Composite {
+    TableColumn getColumn(int index);
+    TableColumn[] getColumns();
+    int getItemCount();
+}
+
+public class TableColumn extends Item {
+    TableColumn(Table parent, int style);
+    void setWidth(int width);
+}
+
+package org.eclipse.swt.events;
+
+public class TypedEvent {
+    Widget widget;
+    Display display;
+}
+
+public class KeyEvent extends TypedEvent {
+    char character;
+    int keyCode;
+}
+";
+
+/// `org.eclipse.jface` — viewers, actions, image resources (Table 1 rows
+/// 3, 8, 9, 11, 12, 15).
+pub const ECLIPSE_JFACE: &str = r"
+package org.eclipse.jface.viewers;
+
+public interface ISelection {
+    boolean isEmpty();
+}
+
+public interface IStructuredSelection extends ISelection {
+    Object getFirstElement();
+    java.util.List toList();
+    int size();
+}
+
+public interface ISelectionProvider {
+    ISelection getSelection();
+}
+
+public class SelectionChangedEvent {
+    SelectionChangedEvent(ISelectionProvider source, ISelection selection);
+    ISelection getSelection();
+    ISelectionProvider getSelectionProvider();
+}
+
+public class Viewer implements ISelectionProvider {
+    org.eclipse.swt.widgets.Control getControl();
+    Object getInput();
+    ISelection getSelection();
+}
+
+public class ContentViewer extends Viewer {
+}
+
+public class StructuredViewer extends ContentViewer {
+}
+
+public class TableViewer extends StructuredViewer {
+    TableViewer(org.eclipse.swt.widgets.Composite parent);
+    org.eclipse.swt.widgets.Table getTable();
+}
+
+package org.eclipse.jface.action;
+
+public interface IMenuManager {
+    void update(boolean force);
+    void removeAll();
+}
+
+public class MenuManager implements IMenuManager {
+    MenuManager();
+}
+
+public interface IToolBarManager {
+    void update(boolean force);
+}
+
+public interface IStatusLineManager {
+    void setMessage(String message);
+}
+
+package org.eclipse.jface.resource;
+
+public class ImageRegistry {
+    ImageRegistry();
+    org.eclipse.swt.graphics.Image get(String key);
+    ImageDescriptor getDescriptor(String key);
+    void put(String key, ImageDescriptor descriptor);
+}
+
+public class ImageDescriptor {
+    org.eclipse.swt.graphics.Image createImage();
+}
+
+public class JFaceResources {
+    static ImageRegistry getImageRegistry();
+}
+";
+
+/// `org.eclipse.ui` — workbench, parts, sites, editors (Table 1 rows 4,
+/// 11, 13, 15, 16, 18; user-study problems 3, 4).
+pub const ECLIPSE_UI: &str = r"
+package org.eclipse.ui;
+
+public interface ISharedImages {
+    org.eclipse.swt.graphics.Image getImage(String symbolicName);
+    org.eclipse.jface.resource.ImageDescriptor getImageDescriptor(String symbolicName);
+}
+
+public interface IWorkbench {
+    IWorkbenchWindow getActiveWorkbenchWindow();
+    IWorkbenchWindow[] getWorkbenchWindows();
+    ISharedImages getSharedImages();
+}
+
+public interface IWorkbenchWindow {
+    IWorkbenchPage getActivePage();
+    IWorkbenchPage[] getPages();
+    IWorkbench getWorkbench();
+    org.eclipse.swt.widgets.Shell getShell();
+    ISelectionService getSelectionService();
+}
+
+public interface ISelectionService {
+    org.eclipse.jface.viewers.ISelection getSelection();
+}
+
+public interface IWorkbenchPage {
+    IEditorPart getActiveEditor();
+    IWorkbenchPart getActivePart();
+    IViewPart findView(String viewId);
+    IViewPart showView(String viewId);
+    IEditorPart[] getEditors();
+    org.eclipse.jface.viewers.ISelection getSelection();
+    IWorkbenchWindow getWorkbenchWindow();
+}
+
+public interface IWorkbenchPart {
+    IWorkbenchPartSite getSite();
+    String getTitle();
+    Object getAdapter(Class adapter);
+}
+
+public interface IWorkbenchPartSite {
+    IWorkbenchPage getPage();
+    IWorkbenchWindow getWorkbenchWindow();
+    org.eclipse.jface.viewers.ISelectionProvider getSelectionProvider();
+    org.eclipse.swt.widgets.Shell getShell();
+    String getId();
+}
+
+public interface IEditorInput {
+    String getName();
+    boolean exists();
+}
+
+public interface IFileEditorInput extends IEditorInput {
+    org.eclipse.core.resources.IFile getFile();
+}
+
+public interface IEditorSite extends IWorkbenchPartSite {
+    IActionBars getActionBars();
+}
+
+public interface IViewSite extends IWorkbenchPartSite {
+    IActionBars getActionBars();
+}
+
+public interface IActionBars {
+    org.eclipse.jface.action.IMenuManager getMenuManager();
+    org.eclipse.jface.action.IToolBarManager getToolBarManager();
+    org.eclipse.jface.action.IStatusLineManager getStatusLineManager();
+}
+
+public interface IEditorPart extends IWorkbenchPart {
+    IEditorInput getEditorInput();
+    IEditorSite getEditorSite();
+}
+
+public interface IViewPart extends IWorkbenchPart {
+    IViewSite getViewSite();
+}
+
+public class PlatformUI {
+    static IWorkbench getWorkbench();
+}
+
+package org.eclipse.ui.texteditor;
+
+public interface IDocumentProvider {
+    org.eclipse.jface.text.IDocument getDocument(Object element);
+}
+
+public interface ITextEditor extends org.eclipse.ui.IEditorPart {
+    IDocumentProvider getDocumentProvider();
+    void selectAndReveal(int start, int length);
+}
+
+public class DocumentProviderRegistry {
+    static DocumentProviderRegistry getDefault();
+    IDocumentProvider getDocumentProvider(org.eclipse.ui.IEditorInput input);
+}
+
+package org.eclipse.jface.text;
+
+public interface IDocument {
+    String get();
+    int getLength();
+    void set(String text);
+}
+";
+
+/// `org.eclipse.debug.ui` + JDT debug — Figure 2/4's watch-expression
+/// chain.
+pub const ECLIPSE_DEBUG: &str = r"
+package org.eclipse.debug.ui;
+
+public interface IDebugView {
+    org.eclipse.jface.viewers.Viewer getViewer();
+}
+
+package org.eclipse.jdt.debug.ui;
+
+public class JavaInspectExpression {
+    String getExpressionText();
+}
+
+public class JDIDebugUIPlugin {
+    static org.eclipse.ui.IWorkbenchPage getActivePage();
+}
+";
+
+/// `org.eclipse.gef` + `org.eclipse.draw2d` — graphical editors (Table 1
+/// rows 5, 19). `getLayer` is `protected`, which is exactly why the
+/// paper's tool cannot answer `(AbstractGraphicalEditPart,
+/// ConnectionLayer)` (§7).
+pub const ECLIPSE_GEF: &str = r"
+package org.eclipse.draw2d;
+
+public interface IFigure {
+    void repaint();
+}
+
+public class Figure implements IFigure {
+    Figure();
+}
+
+public class Layer extends Figure {
+}
+
+public class ConnectionLayer extends Layer {
+    void setConnectionRouter(Object router);
+}
+
+public class FigureCanvas extends org.eclipse.swt.widgets.Canvas {
+    void setContents(IFigure figure);
+    IFigure getContents();
+}
+
+package org.eclipse.gef;
+
+public interface EditPartViewer {
+    org.eclipse.swt.widgets.Control getControl();
+}
+
+public class LayerConstants {
+    static Object CONNECTION_LAYER;
+    static Object PRIMARY_LAYER;
+}
+
+package org.eclipse.gef.editparts;
+
+public class AbstractGraphicalEditPart {
+    org.eclipse.draw2d.IFigure getFigure();
+    protected org.eclipse.draw2d.IFigure getLayer(Object key);
+    org.eclipse.gef.EditPartViewer getViewer();
+}
+
+package org.eclipse.gef.ui.parts;
+
+public class ScrollingGraphicalViewer implements org.eclipse.gef.EditPartViewer {
+    ScrollingGraphicalViewer();
+    org.eclipse.swt.widgets.Control getControl();
+}
+";
+
+/// All stub sources, in load order, as `(label, text)` pairs.
+pub const ALL_STUBS: [(&str, &str); 12] = [
+    ("j2se_io.api", J2SE_IO),
+    ("j2se_nio.api", J2SE_NIO),
+    ("j2se_util.api", J2SE_UTIL),
+    ("j2se_net_applet.api", J2SE_NET_APPLET),
+    ("commons_collections.api", COMMONS_COLLECTIONS),
+    ("lucene_demo.api", LUCENE_DEMO),
+    ("ant.api", ANT),
+    ("eclipse_resources.api", ECLIPSE_RESOURCES),
+    ("eclipse_jdt.api", ECLIPSE_JDT),
+    ("eclipse_swt.api", ECLIPSE_SWT),
+    ("eclipse_jface.api", ECLIPSE_JFACE),
+    ("eclipse_ui.api", ECLIPSE_UI),
+];
+
+/// Stubs loaded only with the debug/GEF corpora.
+pub const EXTRA_STUBS: [(&str, &str); 2] =
+    [("eclipse_debug.api", ECLIPSE_DEBUG), ("eclipse_gef.api", ECLIPSE_GEF)];

@@ -1,0 +1,170 @@
+//! Distractor mass: realistic neighboring API surface that the paper's
+//! tool also faced. None of these members are needed by any problem's
+//! desired solution; they exist so ranking works against a plausible
+//! jungle rather than a minimal happy path. `tests/table1.rs` pins the
+//! ranks, so any accidental interference is caught.
+
+/// `java.lang` utilities.
+pub const J2SE_LANG_EXTRA: &str = r"
+package java.lang;
+
+public class StringBuffer {
+    StringBuffer();
+    StringBuffer(String str);
+    StringBuffer append(String str);
+    int length();
+}
+
+public class System {
+    static long currentTimeMillis();
+    static String getProperty(String key);
+}
+";
+
+/// `java.util` legacy collections and helpers.
+pub const J2SE_UTIL_EXTRA: &str = r"
+package java.util;
+
+public class Hashtable implements Map {
+    Hashtable();
+    Enumeration keys();
+    Enumeration elements();
+}
+
+public class Properties extends Hashtable {
+    Properties();
+    String getProperty(String key);
+    void load(java.io.InputStream inStream);
+}
+
+public class Stack extends Vector {
+    Stack();
+    Object push(Object item);
+    Object pop();
+    Object peek();
+}
+
+public class LinkedList implements List {
+    LinkedList();
+    LinkedList(Collection c);
+    Object getFirst();
+    Object getLast();
+}
+
+public class StringTokenizer {
+    StringTokenizer(String str);
+    StringTokenizer(String str, String delim);
+    boolean hasMoreTokens();
+    String nextToken();
+    int countTokens();
+}
+
+public class Arrays {
+    static List asList(Object[] a);
+}
+";
+
+/// `java.io` output side.
+pub const J2SE_IO_EXTRA: &str = r"
+package java.io;
+
+public class OutputStream {
+    void flush();
+    void close();
+}
+
+public class FileOutputStream extends OutputStream {
+    FileOutputStream(String name);
+    FileOutputStream(File file);
+}
+
+public class Writer {
+    void flush();
+    void close();
+}
+
+public class OutputStreamWriter extends Writer {
+    OutputStreamWriter(OutputStream out);
+    String getEncoding();
+}
+
+public class FileWriter extends OutputStreamWriter {
+    FileWriter(String fileName);
+    FileWriter(File file);
+}
+
+public class BufferedWriter extends Writer {
+    BufferedWriter(Writer out);
+    void newLine();
+}
+
+public class PrintWriter extends Writer {
+    PrintWriter(Writer out);
+    PrintWriter(OutputStream out);
+    void println(String x);
+}
+
+public class StringWriter extends Writer {
+    StringWriter();
+    StringBuffer getBuffer();
+}
+
+public class DataInputStream extends InputStream {
+    DataInputStream(InputStream in);
+}
+";
+
+/// SWT widgets and JFace dialogs beyond the evaluation's needs.
+pub const ECLIPSE_UI_EXTRA: &str = r"
+package org.eclipse.swt.widgets;
+
+public class Button extends Control {
+    Button(Composite parent, int style);
+    String getText();
+    void setText(String string);
+}
+
+public class Label extends Control {
+    Label(Composite parent, int style);
+    String getText();
+    void setText(String string);
+}
+
+public class Menu extends Widget {
+    Menu(Shell parent);
+    MenuItem getDefaultItem();
+}
+
+public class MenuItem extends Item {
+    MenuItem(Menu parent, int style);
+    Menu getMenu();
+}
+
+package org.eclipse.jface.dialogs;
+
+public class Dialog {
+    protected Dialog(org.eclipse.swt.widgets.Shell parentShell);
+    int open();
+    protected org.eclipse.swt.widgets.Shell getShell();
+}
+
+public class MessageDialog extends Dialog {
+    static boolean openConfirm(org.eclipse.swt.widgets.Shell parent, String title, String message);
+    static void openInformation(org.eclipse.swt.widgets.Shell parent, String title, String message);
+}
+
+package org.eclipse.ui;
+
+public interface IPerspectiveDescriptor {
+    String getId();
+    String getLabel();
+}
+";
+
+/// All distractor stubs as `(label, text)` pairs.
+pub const DISTRACTOR_STUBS: [(&str, &str); 4] = [
+    ("j2se_lang_extra.api", J2SE_LANG_EXTRA),
+    ("j2se_util_extra.api", J2SE_UTIL_EXTRA),
+    ("j2se_io_extra.api", J2SE_IO_EXTRA),
+    ("eclipse_ui_extra.api", ECLIPSE_UI_EXTRA),
+];

@@ -1,0 +1,162 @@
+//! Extended API pack: the classic downcast-heavy J2SE 1.4 corners.
+//!
+//! The paper's corpus was mined from real pre-generics Java, where these
+//! APIs produced the era's most recognizable casts: `(ZipEntry)
+//! entries.nextElement()`, `(Element) nodeList.item(0)`,
+//! `(DefaultMutableTreeNode) path.getLastPathComponent()`. The pack is
+//! loaded with `BuildOptions::extended` and drives the extended problem
+//! set (`problems_ext`).
+
+/// `java.util.zip` — archives iterate via legacy `Enumeration`.
+pub const J2SE_ZIP: &str = r"
+package java.util.zip;
+
+public class ZipEntry {
+    String getName();
+    long getSize();
+    boolean isDirectory();
+}
+
+public class ZipFile {
+    ZipFile(String name);
+    ZipFile(java.io.File file);
+    java.util.Enumeration entries();
+    java.io.InputStream getInputStream(ZipEntry entry);
+    int size();
+    void close();
+}
+
+public class ZipInputStream extends java.io.InputStream {
+    ZipInputStream(java.io.InputStream in);
+    ZipEntry getNextEntry();
+}
+";
+
+/// `org.w3c.dom` + `javax.xml.parsers` — DOM traversal is cast central:
+/// `NodeList.item` returns `Node`, and everything useful is a subtype.
+pub const J2SE_DOM: &str = r"
+package org.w3c.dom;
+
+public interface Node {
+    String getNodeName();
+    NodeList getChildNodes();
+    Node getFirstChild();
+    Node getParentNode();
+}
+
+public interface Document extends Node {
+    Element getDocumentElement();
+    NodeList getElementsByTagName(String tagname);
+    Element createElement(String tagName);
+}
+
+public interface Element extends Node {
+    String getAttribute(String name);
+    NodeList getElementsByTagName(String name);
+}
+
+public interface Text extends Node {
+    String getData();
+}
+
+public interface Attr extends Node {
+    String getValue();
+}
+
+public interface NodeList {
+    Node item(int index);
+    int getLength();
+}
+
+package javax.xml.parsers;
+
+public class DocumentBuilderFactory {
+    static DocumentBuilderFactory newInstance();
+    DocumentBuilder newDocumentBuilder();
+}
+
+public class DocumentBuilder {
+    org.w3c.dom.Document parse(java.io.File f);
+    org.w3c.dom.Document parse(java.io.InputStream is);
+    org.w3c.dom.Document parse(String uri);
+}
+";
+
+/// `javax.swing` tree fragment — `TreePath.getLastPathComponent()`
+/// returns `Object`; every Swing tutorial casts it.
+pub const SWING_TREE: &str = r"
+package javax.swing.tree;
+
+public interface TreeNode {
+    TreeNode getChildAt(int childIndex);
+    int getChildCount();
+}
+
+public class DefaultMutableTreeNode implements TreeNode {
+    DefaultMutableTreeNode(Object userObject);
+    Object getUserObject();
+    java.util.Enumeration children();
+    void add(DefaultMutableTreeNode newChild);
+}
+
+public class TreePath {
+    Object getLastPathComponent();
+    int getPathCount();
+}
+
+public interface TreeModel {
+    Object getRoot();
+    int getChildCount(Object parent);
+}
+
+public class DefaultTreeModel implements TreeModel {
+    DefaultTreeModel(TreeNode root);
+}
+
+package javax.swing;
+
+public class JTree {
+    JTree(javax.swing.tree.TreeModel newModel);
+    javax.swing.tree.TreePath getSelectionPath();
+    javax.swing.tree.TreeModel getModel();
+}
+";
+
+/// `java.sql` — a pure-signature chain domain (no casts needed).
+pub const J2SE_SQL: &str = r"
+package java.sql;
+
+public class DriverManager {
+    static Connection getConnection(String url);
+}
+
+public interface Connection {
+    Statement createStatement();
+    PreparedStatement prepareStatement(String sql);
+    void close();
+}
+
+public interface Statement {
+    ResultSet executeQuery(String sql);
+    void close();
+}
+
+public interface PreparedStatement extends Statement {
+    ResultSet executeQuery();
+}
+
+public interface ResultSet {
+    boolean next();
+    String getString(String columnLabel);
+    Object getObject(String columnLabel);
+    void close();
+}
+";
+
+/// All extended stubs as `(label, text)` pairs.
+pub const EXTENDED_STUBS: [(&str, &str); 4] = [
+    ("j2se_zip.api", J2SE_ZIP),
+    ("j2se_dom.api", J2SE_DOM),
+    ("swing_tree.api", SWING_TREE),
+    ("j2se_sql.api", J2SE_SQL),
+];

@@ -1,0 +1,222 @@
+//! The untyped MiniJava AST.
+//!
+//! Names are kept as raw strings; resolution against an API model happens in
+//! `jungloid-dataflow`. In particular a dotted name like `a.b.c` is kept as
+//! one [`Expr::Name`] node because without symbol tables it could be a local
+//! plus field accesses, a static field of type `a.b`, or a package-qualified
+//! type.
+
+/// A source type name: dotted parts plus array dimensions.
+///
+/// `java.io.Reader[][]` is `parts = ["java","io","Reader"]`, `dims = 2`.
+/// Primitives arrive as a single part (`["int"]`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TypeName {
+    /// Dotted name components.
+    pub parts: Vec<String>,
+    /// Number of `[]` suffixes.
+    pub dims: usize,
+}
+
+impl TypeName {
+    /// A non-array type name from dotted text, e.g. `"java.io.Reader"`.
+    #[must_use]
+    pub fn simple(dotted: &str) -> Self {
+        TypeName { parts: dotted.split('.').map(str::to_owned).collect(), dims: 0 }
+    }
+
+    /// Renders back to source form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = self.parts.join(".");
+        for _ in 0..self.dims {
+            s.push_str("[]");
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for TypeName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lit {
+    /// An integer literal.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A dotted name whose meaning (locals, fields, types, packages) is
+    /// decided during resolution.
+    Name {
+        /// The dotted components.
+        parts: Vec<String>,
+    },
+    /// A literal.
+    Lit(Lit),
+    /// `T.class`.
+    ClassLit {
+        /// The named type.
+        ty: TypeName,
+    },
+    /// `new T(args)`.
+    New {
+        /// The constructed class.
+        class: TypeName,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+    },
+    /// `(T) expr`.
+    Cast {
+        /// Target type of the cast.
+        ty: TypeName,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// `recv.name(args)` or a receiverless `name(args)` (a call to a
+    /// method of the enclosing class). A [`Expr::Name`] receiver may later
+    /// resolve to a type (static call) or a value (instance call).
+    Call {
+        /// Receiver expression; `None` for receiverless calls.
+        recv: Option<Box<Expr>>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.name` where the receiver is *not* a bare name (e.g.
+    /// `f().field`); bare dotted chains stay inside [`Expr::Name`].
+    Field {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Field name.
+        name: String,
+    },
+    /// A binary operation (comparisons, logic, `+`/`-`). The miner does
+    /// not follow data flow through these; they exist so realistic corpus
+    /// code (null checks, guards) parses.
+    Binary {
+        /// Operator text (`==`, `!=`, `<`, `>`, `<=`, `>=`, `&&`, `||`,
+        /// `+`, `-`).
+        op: &'static str,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation `!e`.
+    Not {
+        /// The operand.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a one-part name.
+    #[must_use]
+    pub fn var(name: &str) -> Expr {
+        Expr::Name { parts: vec![name.to_owned()] }
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `T x = init;` or `T x;`
+    Local {
+        /// Declared type.
+        ty: TypeName,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `x = value;`
+    Assign {
+        /// Assigned variable.
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// An expression statement.
+    Expr(Expr),
+    /// `if (cond) { … } else { … }` — branches are plain statement lists
+    /// (the miner is flow-insensitive, so both arms pool into the same
+    /// definition sets).
+    If {
+        /// The condition.
+        cond: Expr,
+        /// The then-branch.
+        then: Vec<Stmt>,
+        /// The optional else-branch.
+        els: Option<Vec<Stmt>>,
+    },
+    /// `while (cond) { … }`.
+    While {
+        /// The condition.
+        cond: Expr,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A method (or constructor, when `ret` is `None`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Method {
+    /// Modifier keywords in source order (`static`, `public`, ...).
+    pub mods: Vec<String>,
+    /// Return type; `None` for constructors, `Some(void)` renders `void`.
+    pub ret: Option<TypeName>,
+    /// Method name (class name for constructors).
+    pub name: String,
+    /// `(type, name)` parameter pairs.
+    pub params: Vec<(TypeName, String)>,
+    /// Statement list.
+    pub body: Vec<Stmt>,
+}
+
+impl Method {
+    /// Whether the `static` modifier is present.
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        self.mods.iter().any(|m| m == "static")
+    }
+}
+
+/// A class declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Class {
+    /// Simple name.
+    pub name: String,
+    /// `extends` clause.
+    pub extends: Option<TypeName>,
+    /// `implements` clause.
+    pub implements: Vec<TypeName>,
+    /// Methods and constructors.
+    pub methods: Vec<Method>,
+}
+
+/// One parsed source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unit {
+    /// File label used in diagnostics.
+    pub file: String,
+    /// `package` declaration, if any.
+    pub package: Option<String>,
+    /// Top-level classes.
+    pub classes: Vec<Class>,
+}

@@ -1,0 +1,395 @@
+//! A small Java-ish lexer, shared by the MiniJava parser and the `.api`
+//! stub parser in `jungloid-apidef`.
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token payloads.
+///
+/// Keywords are not distinguished from identifiers; parsers match on the
+/// identifier text, which keeps the lexer reusable across the two grammars.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (content, unescaped).
+    Str(String),
+    /// A single punctuation character: `(){}[];,.=`.
+    Punct(char),
+    /// A (possibly multi-character) operator: `== != < > <= >= && || ! + -`.
+    Op(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokKind {
+    /// The identifier text, if this is an identifier token.
+    #[must_use]
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TokKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "`{s}`"),
+            TokKind::Int(n) => write!(f, "integer `{n}`"),
+            TokKind::Str(s) => write!(f, "string {s:?}"),
+            TokKind::Punct(c) => write!(f, "`{c}`"),
+            TokKind::Op(o) => write!(f, "`{o}`"),
+            TokKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// An error produced while lexing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation of the failure.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCT: &str = "(){}[];,.";
+const OPS: [&str; 11] = ["==", "!=", "<=", ">=", "&&", "||", "=", "<", ">", "!", "+"];
+
+/// Lexes `src` into tokens, ending with a single [`TokKind::Eof`].
+///
+/// Skips `//` line comments and `/* ... */` block comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings/comments or characters
+/// outside the supported alphabet.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let (tline, tcol) = (line, col);
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token { kind: TokKind::Eof, line, col });
+            return Ok(tokens);
+        };
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        if c == '/' {
+            // Possible comment.
+            bump!();
+            match chars.peek() {
+                Some('/') => {
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                    continue;
+                }
+                Some('*') => {
+                    bump!();
+                    let mut closed = false;
+                    while let Some(c2) = bump!() {
+                        if c2 == '*' && chars.peek() == Some(&'/') {
+                            bump!();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LexError {
+                            message: "unterminated block comment".to_owned(),
+                            line: tline,
+                            col: tcol,
+                        });
+                    }
+                    continue;
+                }
+                _ => {
+                    return Err(LexError {
+                        message: "unexpected character `/`".to_owned(),
+                        line: tline,
+                        col: tcol,
+                    })
+                }
+            }
+        }
+        if c == '"' {
+            bump!();
+            let mut s = String::new();
+            loop {
+                match bump!() {
+                    Some('"') => break,
+                    Some('\\') => match bump!() {
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        other => {
+                            return Err(LexError {
+                                message: format!("bad escape {other:?}"),
+                                line,
+                                col,
+                            })
+                        }
+                    },
+                    Some(c2) => s.push(c2),
+                    None => {
+                        return Err(LexError {
+                            message: "unterminated string literal".to_owned(),
+                            line: tline,
+                            col: tcol,
+                        })
+                    }
+                }
+            }
+            tokens.push(Token { kind: TokKind::Str(s), line: tline, col: tcol });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut n: i64 = 0;
+            while let Some(&d) = chars.peek() {
+                if let Some(v) = d.to_digit(10) {
+                    n = n.checked_mul(10).and_then(|n| n.checked_add(i64::from(v))).ok_or(
+                        LexError {
+                            message: "integer literal overflows i64".to_owned(),
+                            line: tline,
+                            col: tcol,
+                        },
+                    )?;
+                    bump!();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { kind: TokKind::Int(n), line: tline, col: tcol });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let mut s = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_alphanumeric() || d == '_' || d == '$' {
+                    s.push(d);
+                    bump!();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { kind: TokKind::Ident(s), line: tline, col: tcol });
+            continue;
+        }
+        if PUNCT.contains(c) {
+            bump!();
+            tokens.push(Token { kind: TokKind::Punct(c), line: tline, col: tcol });
+            continue;
+        }
+        if "=!<>&|+-".contains(c) {
+            bump!();
+            let mut two = String::from(c);
+            if let Some(&next) = chars.peek() {
+                two.push(next);
+            }
+            let op = OPS
+                .iter()
+                .find(|o| **o == two)
+                .or_else(|| OPS.iter().find(|o| **o == c.to_string()))
+                .copied();
+            match op {
+                Some(op) => {
+                    if op.len() == 2 {
+                        bump!();
+                    }
+                    if op == "=" {
+                        tokens.push(Token { kind: TokKind::Punct('='), line: tline, col: tcol });
+                    } else {
+                        tokens.push(Token { kind: TokKind::Op(op), line: tline, col: tcol });
+                    }
+                    continue;
+                }
+                None if c == '-' => {
+                    tokens.push(Token { kind: TokKind::Op("-"), line: tline, col: tcol });
+                    continue;
+                }
+                None => {
+                    return Err(LexError {
+                        message: format!("unexpected character `{c}`"),
+                        line: tline,
+                        col: tcol,
+                    })
+                }
+            }
+        }
+        return Err(LexError { message: format!("unexpected character `{c}`"), line, col });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds("a.b(c);"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Punct('.'),
+                TokKind::Ident("b".into()),
+                TokKind::Punct('('),
+                TokKind::Ident("c".into()),
+                TokKind::Punct(')'),
+                TokKind::Punct(';'),
+                TokKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            kinds(r#""hi\n" 42"#),
+            vec![TokKind::Str("hi\n".into()), TokKind::Int(42), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // line\n /* block\n still */ b"),
+            vec![TokKind::Ident("a".into()), TokKind::Ident("b".into()), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn dollar_and_underscore_idents() {
+        assert_eq!(
+            kinds("_x $y a$b"),
+            vec![
+                TokKind::Ident("_x".into()),
+                TokKind::Ident("$y".into()),
+                TokKind::Ident("a$b".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e < f > g && h || i + j - k"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Op("=="),
+                TokKind::Ident("b".into()),
+                TokKind::Op("!="),
+                TokKind::Ident("c".into()),
+                TokKind::Op("<="),
+                TokKind::Ident("d".into()),
+                TokKind::Op(">="),
+                TokKind::Ident("e".into()),
+                TokKind::Op("<"),
+                TokKind::Ident("f".into()),
+                TokKind::Op(">"),
+                TokKind::Ident("g".into()),
+                TokKind::Op("&&"),
+                TokKind::Ident("h".into()),
+                TokKind::Op("||"),
+                TokKind::Ident("i".into()),
+                TokKind::Op("+"),
+                TokKind::Ident("j".into()),
+                TokKind::Op("-"),
+                TokKind::Ident("k".into()),
+                TokKind::Eof,
+            ]
+        );
+        // `!i` splits into Op("!") + ident.
+        assert_eq!(
+            kinds("!x"),
+            vec![TokKind::Op("!"), TokKind::Ident("x".into()), TokKind::Eof]
+        );
+        // `=` stays an assignment punct; `==` is an operator.
+        assert_eq!(
+            kinds("x = y == z"),
+            vec![
+                TokKind::Ident("x".into()),
+                TokKind::Punct('='),
+                TokKind::Ident("y".into()),
+                TokKind::Op("=="),
+                TokKind::Ident("z".into()),
+                TokKind::Eof
+            ]
+        );
+        // A lone `&` or `|` is rejected.
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("/ x").is_err());
+        assert!(lex("\"bad \\q\"").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let err = lex("  #").unwrap_err();
+        assert_eq!(err.to_string(), "1:3: unexpected character `#`");
+    }
+}

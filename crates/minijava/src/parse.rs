@@ -1,0 +1,704 @@
+//! Recursive-descent parser for MiniJava-client source.
+
+use crate::ast::{Class, Expr, Lit, Method, Stmt, TypeName, Unit};
+use crate::lex::{lex, TokKind, Token};
+
+/// A parse (or lex) failure with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// File label.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Keywords that may prefix a class or member declaration and that the
+/// miner does not interpret (beyond `static`, which it keeps).
+const MODIFIERS: [&str; 6] = ["public", "protected", "private", "static", "final", "abstract"];
+
+/// Parses one source file.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+pub fn parse_unit(file: &str, src: &str) -> Result<Unit, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        file: file.to_owned(),
+        line: e.line,
+        col: e.col,
+        message: e.message,
+    })?;
+    Parser { file: file.to_owned(), toks: tokens, pos: 0 }.unit()
+}
+
+/// Parses a single expression (used by tests and by the CLI's query box).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if `src` is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        file: "<expr>".to_owned(),
+        line: e.line,
+        col: e.col,
+        message: e.message,
+    })?;
+    let mut p = Parser { file: "<expr>".to_owned(), toks: tokens, pos: 0 };
+    let e = p.expr()?;
+    if !matches!(p.peek(), TokKind::Eof) {
+        return Err(p.err_here(&format!("trailing input after expression: {}", p.peek())));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    file: String,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokKind {
+        let i = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[i].kind
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err_here(&self, message: &str) -> ParseError {
+        let t = &self.toks[self.pos];
+        ParseError {
+            file: self.file.clone(),
+            line: t.line,
+            col: t.col,
+            message: message.to_owned(),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        if *self.peek() == TokKind::Punct(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected `{c}`, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            TokKind::Ident(_) => {
+                let TokKind::Ident(s) = self.bump() else { unreachable!() };
+                Ok(s)
+            }
+            other => Err(self.err_here(&format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().as_ident() == Some(kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_punct(&self, n: usize, c: char) -> bool {
+        *self.peek_at(n) == TokKind::Punct(c)
+    }
+
+    // unit := ('package' dotted ';')? classdecl* EOF
+    fn unit(mut self) -> Result<Unit, ParseError> {
+        let package = if self.eat_kw("package") {
+            let name = self.dotted_name()?;
+            self.expect_punct(';')?;
+            Some(name.join("."))
+        } else {
+            None
+        };
+        let mut classes = Vec::new();
+        while !matches!(self.peek(), TokKind::Eof) {
+            classes.push(self.class()?);
+        }
+        Ok(Unit { file: self.file, package, classes })
+    }
+
+    fn dotted_name(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut parts = vec![self.expect_ident()?];
+        while self.is_punct(0, '.') && matches!(self.peek_at(1), TokKind::Ident(_)) {
+            self.bump();
+            parts.push(self.expect_ident()?);
+        }
+        Ok(parts)
+    }
+
+    fn type_name(&mut self) -> Result<TypeName, ParseError> {
+        let parts = self.dotted_name()?;
+        let mut dims = 0;
+        while self.is_punct(0, '[') && self.is_punct(1, ']') {
+            self.bump();
+            self.bump();
+            dims += 1;
+        }
+        Ok(TypeName { parts, dims })
+    }
+
+    fn modifiers(&mut self) -> Vec<String> {
+        let mut mods = Vec::new();
+        while let Some(word) = self.peek().as_ident() {
+            if MODIFIERS.contains(&word) {
+                mods.push(word.to_owned());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        mods
+    }
+
+    fn class(&mut self) -> Result<Class, ParseError> {
+        self.modifiers();
+        if !self.eat_kw("class") {
+            return Err(self.err_here(&format!("expected `class`, found {}", self.peek())));
+        }
+        let name = self.expect_ident()?;
+        let extends = if self.eat_kw("extends") { Some(self.type_name()?) } else { None };
+        let mut implements = Vec::new();
+        if self.eat_kw("implements") {
+            implements.push(self.type_name()?);
+            while self.is_punct(0, ',') {
+                self.bump();
+                implements.push(self.type_name()?);
+            }
+        }
+        self.expect_punct('{')?;
+        let mut methods = Vec::new();
+        while !self.is_punct(0, '}') {
+            methods.push(self.method(&name)?);
+        }
+        self.expect_punct('}')?;
+        Ok(Class { name, extends, implements, methods })
+    }
+
+    fn method(&mut self, class_name: &str) -> Result<Method, ParseError> {
+        let mods = self.modifiers();
+        // Constructor: `Name (` with Name == enclosing class.
+        let (ret, name) = if self.peek().as_ident() == Some(class_name) && self.is_punct(1, '(') {
+            let name = self.expect_ident()?;
+            (None, name)
+        } else {
+            let ret = if self.at_kw("void") {
+                self.bump();
+                TypeName::simple("void")
+            } else {
+                self.type_name()?
+            };
+            let name = self.expect_ident()?;
+            (Some(ret), name)
+        };
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !self.is_punct(0, ')') {
+            loop {
+                let ty = self.type_name()?;
+                let pname = self.expect_ident()?;
+                params.push((ty, pname));
+                if self.is_punct(0, ',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        self.expect_punct('{')?;
+        let mut body = Vec::new();
+        while !self.is_punct(0, '}') {
+            body.push(self.stmt()?);
+        }
+        self.expect_punct('}')?;
+        Ok(Method { mods, ret, name, params, body })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("if") {
+            self.expect_punct('(')?;
+            let cond = self.expr()?;
+            self.expect_punct(')')?;
+            let then = self.block()?;
+            let els = if self.eat_kw("else") { Some(self.block()?) } else { None };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct('(')?;
+            let cond = self.expr()?;
+            self.expect_punct(')')?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("return") {
+            if self.is_punct(0, ';') {
+                self.bump();
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_punct(';')?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        // `x = e;`
+        if matches!(self.peek(), TokKind::Ident(_)) && self.is_punct(1, '=') {
+            let name = self.expect_ident()?;
+            self.bump(); // `=`
+            let value = self.expr()?;
+            self.expect_punct(';')?;
+            return Ok(Stmt::Assign { name, value });
+        }
+        // Local declaration: TypeName Ident (`=` | `;`). Tentative parse.
+        if matches!(self.peek(), TokKind::Ident(_)) {
+            let save = self.pos;
+            if let Ok(ty) = self.type_name() {
+                if matches!(self.peek(), TokKind::Ident(_))
+                    && (self.is_punct(1, '=') || self.is_punct(1, ';'))
+                {
+                    let name = self.expect_ident()?;
+                    let init = if self.is_punct(0, '=') {
+                        self.bump();
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect_punct(';')?;
+                    return Ok(Stmt::Local { ty, name, init });
+                }
+            }
+            self.pos = save;
+        }
+        let e = self.expr()?;
+        self.expect_punct(';')?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct('{')?;
+        let mut body = Vec::new();
+        while !self.is_punct(0, '}') {
+            body.push(self.stmt()?);
+        }
+        self.expect_punct('}')?;
+        Ok(body)
+    }
+
+    /// Expressions: `||` < `&&` < comparisons < `+`/`-` < unary, where a
+    /// unary is `!`-prefixes over a postfix chain.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, level: usize) -> Result<Expr, ParseError> {
+        const LEVELS: [&[&str]; 4] =
+            [&["||"], &["&&"], &["==", "!=", "<", ">", "<=", ">="], &["+", "-"]];
+        if level >= LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Op(o) if LEVELS[level].contains(o) => *o,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokKind::Op("!")) {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr::Not { expr: Box::new(operand) });
+        }
+        self.postfix()
+    }
+
+    /// A primary followed by selectors (the original operator-free
+    /// expression form).
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if !(self.is_punct(0, '.') && matches!(self.peek_at(1), TokKind::Ident(_))) {
+                break;
+            }
+            // `.class` on a bare name is handled inside `primary`; here it
+            // can only follow a non-name expression, which is an error we
+            // report when resolving.
+            let is_call = self.is_punct(2, '(');
+            self.bump(); // `.`
+            let name = self.expect_ident()?;
+            if is_call {
+                let args = self.arg_list()?;
+                e = Expr::Call { recv: Some(Box::new(e)), name, args };
+            } else if name == "class" {
+                let Expr::Name { parts } = e else {
+                    return Err(self.err_here("`.class` requires a type name"));
+                };
+                e = Expr::ClassLit { ty: TypeName { parts, dims: 0 } };
+            } else if let Expr::Name { mut parts } = e {
+                parts.push(name);
+                e = Expr::Name { parts };
+            } else {
+                e = Expr::Field { recv: Box::new(e), name };
+            }
+        }
+        Ok(e)
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct('(')?;
+        let mut args = Vec::new();
+        if !self.is_punct(0, ')') {
+            loop {
+                args.push(self.expr()?);
+                if self.is_punct(0, ',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokKind::Punct('(') => {
+                if self.looks_like_cast() {
+                    self.bump(); // `(`
+                    let ty = self.type_name()?;
+                    self.expect_punct(')')?;
+                    // Java precedence: a cast binds the following unary
+                    // (postfix chain), not a whole binary expression.
+                    let operand = self.unary()?;
+                    Ok(Expr::Cast { ty, expr: Box::new(operand) })
+                } else {
+                    self.bump();
+                    let inner = self.expr()?;
+                    self.expect_punct(')')?;
+                    Ok(inner)
+                }
+            }
+            TokKind::Ident(word) => match word.as_str() {
+                "new" => {
+                    self.bump();
+                    let class = self.type_name()?;
+                    let args = self.arg_list()?;
+                    Ok(Expr::New { class, args })
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Lit(Lit::Null))
+                }
+                "true" | "false" => {
+                    self.bump();
+                    Ok(Expr::Lit(Lit::Bool(word == "true")))
+                }
+                _ => {
+                    // A dotted name; stops before a segment that is a call
+                    // (`.m(`) or `.class`, which the selector loop handles.
+                    // A lone identifier followed by `(` is a receiverless
+                    // call to a method of the enclosing class.
+                    if self.is_punct(1, '(') {
+                        let name = self.expect_ident()?;
+                        let args = self.arg_list()?;
+                        return Ok(Expr::Call { recv: None, name, args });
+                    }
+                    let mut parts = vec![self.expect_ident()?];
+                    while self.is_punct(0, '.') {
+                        let TokKind::Ident(next) = self.peek_at(1) else { break };
+                        if next == "class" || self.is_punct(2, '(') {
+                            break;
+                        }
+                        self.bump();
+                        parts.push(self.expect_ident()?);
+                    }
+                    Ok(Expr::Name { parts })
+                }
+            },
+            TokKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Int(n)))
+            }
+            TokKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Str(s)))
+            }
+            other => Err(self.err_here(&format!("expected expression, found {other}"))),
+        }
+    }
+
+    /// Cast lookahead: `( Name (. Name)* ([])* )` followed by a token that
+    /// can begin an operand (identifier, literal, `new`, `(`).
+    fn looks_like_cast(&self) -> bool {
+        let mut i = 1; // past `(`
+        if !matches!(self.peek_at(i), TokKind::Ident(_)) {
+            return false;
+        }
+        i += 1;
+        while *self.peek_at(i) == TokKind::Punct('.') && matches!(self.peek_at(i + 1), TokKind::Ident(_)) {
+            i += 2;
+        }
+        while *self.peek_at(i) == TokKind::Punct('[') && *self.peek_at(i + 1) == TokKind::Punct(']') {
+            i += 2;
+        }
+        if *self.peek_at(i) != TokKind::Punct(')') {
+            return false;
+        }
+        matches!(
+            self.peek_at(i + 1),
+            TokKind::Ident(_) | TokKind::Int(_) | TokKind::Str(_) | TokKind::Punct('(')
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn dotted_names_stay_joined() {
+        assert_eq!(expr("a.b.c"), Expr::Name { parts: vec!["a".into(), "b".into(), "c".into()] });
+    }
+
+    #[test]
+    fn calls_split_names() {
+        let e = expr("page.getActivePart()");
+        assert_eq!(
+            e,
+            Expr::Call {
+                recv: Some(Box::new(Expr::var("page"))),
+                name: "getActivePart".into(),
+                args: vec![],
+            }
+        );
+    }
+
+    #[test]
+    fn static_call_keeps_dotted_receiver() {
+        let e = expr("org.eclipse.JavaCore.create(file)");
+        let Expr::Call { recv, name, args } = e else { panic!() };
+        assert_eq!(*recv.unwrap(), Expr::Name { parts: vec!["org".into(), "eclipse".into(), "JavaCore".into()] });
+        assert_eq!(name, "create");
+        assert_eq!(args, vec![Expr::var("file")]);
+    }
+
+    #[test]
+    fn cast_binds_whole_chain() {
+        let e = expr("(IStructuredSelection) event.getSelection()");
+        let Expr::Cast { ty, expr } = e else { panic!("not a cast") };
+        assert_eq!(ty, TypeName::simple("IStructuredSelection"));
+        assert!(matches!(*expr, Expr::Call { .. }));
+    }
+
+    #[test]
+    fn parenthesized_cast_receiver() {
+        let e = expr("((ITextEditor) part).getDocumentProvider()");
+        let Expr::Call { recv, name, .. } = e else { panic!() };
+        assert_eq!(name, "getDocumentProvider");
+        assert!(matches!(*recv.unwrap(), Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn paren_expr_is_not_cast() {
+        // `(x).m()` — after `)` comes `.`, so it is not a cast.
+        let e = expr("(x).m()");
+        let Expr::Call { recv, .. } = e else { panic!() };
+        assert_eq!(*recv.unwrap(), Expr::var("x"));
+    }
+
+    #[test]
+    fn array_cast() {
+        let e = expr("(java.lang.String[]) xs");
+        let Expr::Cast { ty, .. } = e else { panic!() };
+        assert_eq!(ty, TypeName { parts: vec!["java".into(), "lang".into(), "String".into()], dims: 1 });
+    }
+
+    #[test]
+    fn class_literal() {
+        let e = expr("part.getAdapter(IDebugView.class)");
+        let Expr::Call { args, .. } = e else { panic!() };
+        assert_eq!(args, vec![Expr::ClassLit { ty: TypeName::simple("IDebugView") }]);
+    }
+
+    #[test]
+    fn new_and_literals() {
+        let e = expr(r#"new BufferedReader(new InputStreamReader(in), 42, "x", null, true)"#);
+        let Expr::New { class, args } = e else { panic!() };
+        assert_eq!(class, TypeName::simple("BufferedReader"));
+        assert_eq!(args.len(), 5);
+        assert_eq!(args[1], Expr::Lit(Lit::Int(42)));
+        assert_eq!(args[2], Expr::Lit(Lit::Str("x".into())));
+        assert_eq!(args[3], Expr::Lit(Lit::Null));
+        assert_eq!(args[4], Expr::Lit(Lit::Bool(true)));
+    }
+
+    #[test]
+    fn field_after_call() {
+        let e = expr("f().data");
+        assert!(matches!(e, Expr::Field { .. }));
+    }
+
+    #[test]
+    fn figure4_method_parses() {
+        let src = r#"
+            package corpus;
+            class Sample {
+                protected IJavaObject getObjectContext() {
+                    IWorkbenchPage page = JDIDebugUIPlugin.getActivePage();
+                    IWorkbenchPart activePart = page.getActivePart();
+                    IDebugView view = (IDebugView) activePart.getAdapter(IDebugView.class);
+                    ISelection s = view.getViewer().getSelection();
+                    IStructuredSelection sel = (IStructuredSelection) s;
+                    Object selection = sel.getFirstElement();
+                    JavaInspectExpression var = (JavaInspectExpression) selection;
+                    return var;
+                }
+            }
+        "#;
+        let unit = parse_unit("fig4.mj", src).unwrap();
+        assert_eq!(unit.package.as_deref(), Some("corpus"));
+        let m = &unit.classes[0].methods[0];
+        assert_eq!(m.name, "getObjectContext");
+        assert_eq!(m.body.len(), 8);
+        assert!(matches!(m.body[7], Stmt::Return(Some(_))));
+    }
+
+    #[test]
+    fn constructors_and_modifiers() {
+        let src = r#"
+            class B extends A implements I, J {
+                B(int size) { this0 = size; }
+                static void run() { return; }
+            }
+        "#;
+        let unit = parse_unit("b.mj", src).unwrap();
+        let c = &unit.classes[0];
+        assert_eq!(c.extends, Some(TypeName::simple("A")));
+        assert_eq!(c.implements.len(), 2);
+        assert!(c.methods[0].ret.is_none());
+        assert!(c.methods[1].is_static());
+    }
+
+    #[test]
+    fn assignment_vs_decl() {
+        let src = r#"
+            class C {
+                void m() {
+                    Foo x = make();
+                    x = remake();
+                    Foo y;
+                    y = x;
+                }
+            }
+        "#;
+        let unit = parse_unit("c.mj", src).unwrap();
+        let body = &unit.classes[0].methods[0].body;
+        assert!(matches!(&body[0], Stmt::Local { init: Some(_), .. }));
+        assert!(matches!(&body[1], Stmt::Assign { .. }));
+        assert!(matches!(&body[2], Stmt::Local { init: None, .. }));
+        assert!(matches!(&body[3], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_unit("bad.mj", "class { }").unwrap_err();
+        assert_eq!(err.file, "bad.mj");
+        assert!(err.to_string().contains("expected identifier"));
+        assert!(parse_expr("a +").is_err());
+        assert!(parse_expr("a b").is_err());
+        assert!(parse_unit("bad2.mj", "interface I {}").is_err());
+    }
+
+    #[test]
+    fn expr_trailing_input_rejected() {
+        assert!(parse_expr("f() g()").is_err());
+    }
+
+    #[test]
+    fn binary_operator_precedence() {
+        let e = expr("a != null && b.size() > 0 || c");
+        // `||` binds loosest.
+        let Expr::Binary { op: "||", lhs, .. } = e else { panic!("{e:?}") };
+        let Expr::Binary { op: "&&", lhs: cmp, .. } = *lhs else { panic!() };
+        assert!(matches!(*cmp, Expr::Binary { op: "!=", .. }));
+    }
+
+    #[test]
+    fn cast_binds_tighter_than_comparison() {
+        let e = expr("(IFile) r != null");
+        let Expr::Binary { op: "!=", lhs, .. } = e else { panic!("{e:?}") };
+        assert!(matches!(*lhs, Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn not_and_nested_parens() {
+        let e = expr("!(a == b)");
+        let Expr::Not { expr: inner } = e else { panic!() };
+        assert!(matches!(*inner, Expr::Binary { op: "==", .. }));
+    }
+
+    #[test]
+    fn if_else_and_while_parse() {
+        let src = r#"
+            class G {
+                ISelection guarded(Viewer v) {
+                    ISelection s = v.getSelection();
+                    if (s == null) {
+                        s = v.getSelection();
+                    } else {
+                        report(s);
+                    }
+                    while (s.isEmpty()) {
+                        s = v.getSelection();
+                    }
+                    return s;
+                }
+            }
+        "#;
+        let unit = parse_unit("g.mj", src).unwrap();
+        let body = &unit.classes[0].methods[0].body;
+        assert!(matches!(&body[1], Stmt::If { els: Some(_), .. }));
+        assert!(matches!(&body[2], Stmt::While { .. }));
+    }
+}

@@ -1,0 +1,308 @@
+//! Pretty printer: renders MiniJava ASTs back to parseable source.
+//!
+//! The synthesizer builds its suggested snippets as [`crate::ast`] values
+//! and prints them with this module, which guarantees (and the property
+//! tests check) that every Prospector suggestion re-parses.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Class, Expr, Lit, Method, Stmt, Unit};
+
+/// Renders an expression.
+#[must_use]
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e);
+    s
+}
+
+/// Renders a statement, without trailing newline.
+#[must_use]
+pub fn stmt_to_string(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Local { ty, name, init } => match init {
+            Some(e) => format!("{ty} {name} = {};", expr_to_string(e)),
+            None => format!("{ty} {name};"),
+        },
+        Stmt::Assign { name, value } => format!("{name} = {};", expr_to_string(value)),
+        Stmt::Return(None) => "return;".to_owned(),
+        Stmt::Return(Some(e)) => format!("return {};", expr_to_string(e)),
+        Stmt::Expr(e) => format!("{};", expr_to_string(e)),
+        Stmt::If { cond, then, els } => {
+            let mut out = format!("if ({}) {{ ", expr_to_string(cond));
+            for st in then {
+                out.push_str(&stmt_to_string(st));
+                out.push(' ');
+            }
+            out.push('}');
+            if let Some(els) = els {
+                out.push_str(" else { ");
+                for st in els {
+                    out.push_str(&stmt_to_string(st));
+                    out.push(' ');
+                }
+                out.push('}');
+            }
+            out
+        }
+        Stmt::While { cond, body } => {
+            let mut out = format!("while ({}) {{ ", expr_to_string(cond));
+            for st in body {
+                out.push_str(&stmt_to_string(st));
+                out.push(' ');
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Renders a whole compilation unit.
+#[must_use]
+pub fn unit_to_string(unit: &Unit) -> String {
+    let mut s = String::new();
+    if let Some(pkg) = &unit.package {
+        let _ = writeln!(s, "package {pkg};");
+        s.push('\n');
+    }
+    for class in &unit.classes {
+        write_class(&mut s, class);
+    }
+    s
+}
+
+fn write_class(s: &mut String, class: &Class) {
+    let _ = write!(s, "class {}", class.name);
+    if let Some(sup) = &class.extends {
+        let _ = write!(s, " extends {sup}");
+    }
+    if !class.implements.is_empty() {
+        let names: Vec<String> = class.implements.iter().map(ToString::to_string).collect();
+        let _ = write!(s, " implements {}", names.join(", "));
+    }
+    s.push_str(" {\n");
+    for m in &class.methods {
+        write_method(s, m, class);
+    }
+    s.push_str("}\n");
+}
+
+fn write_method(s: &mut String, m: &Method, class: &Class) {
+    s.push_str("    ");
+    for word in &m.mods {
+        let _ = write!(s, "{word} ");
+    }
+    match &m.ret {
+        Some(ret) => {
+            let _ = write!(s, "{ret} {}", m.name);
+        }
+        None => {
+            // Constructor; print under the class's name to stay parseable.
+            let _ = write!(s, "{}", class.name);
+        }
+    }
+    s.push('(');
+    let params: Vec<String> = m.params.iter().map(|(t, n)| format!("{t} {n}")).collect();
+    s.push_str(&params.join(", "));
+    s.push_str(") {\n");
+    for stmt in &m.body {
+        let _ = writeln!(s, "        {}", stmt_to_string(stmt));
+    }
+    s.push_str("    }\n");
+}
+
+fn write_expr(s: &mut String, e: &Expr) {
+    match e {
+        Expr::Name { parts } => s.push_str(&parts.join(".")),
+        Expr::Lit(Lit::Int(n)) => {
+            let _ = write!(s, "{n}");
+        }
+        Expr::Lit(Lit::Str(text)) => {
+            s.push('"');
+            for c in text.chars() {
+                match c {
+                    '"' => s.push_str("\\\""),
+                    '\\' => s.push_str("\\\\"),
+                    '\n' => s.push_str("\\n"),
+                    '\t' => s.push_str("\\t"),
+                    other => s.push(other),
+                }
+            }
+            s.push('"');
+        }
+        Expr::Lit(Lit::Null) => s.push_str("null"),
+        Expr::Lit(Lit::Bool(b)) => s.push_str(if *b { "true" } else { "false" }),
+        Expr::ClassLit { ty } => {
+            let _ = write!(s, "{ty}.class");
+        }
+        Expr::New { class, args } => {
+            let _ = write!(s, "new {class}");
+            write_args(s, args);
+        }
+        Expr::Cast { ty, expr } => {
+            let _ = write!(s, "({ty}) ");
+            // Operator operands must be parenthesized or the cast
+            // lookahead would misread `(T) !x` as a parenthesized name.
+            if matches!(**expr, Expr::Binary { .. } | Expr::Not { .. }) {
+                s.push('(');
+                write_expr(s, expr);
+                s.push(')');
+            } else {
+                write_expr(s, expr);
+            }
+        }
+        Expr::Call { recv, name, args } => {
+            if let Some(recv) = recv {
+                write_receiver(s, recv);
+                let _ = write!(s, ".{name}");
+            } else {
+                s.push_str(name);
+            }
+            write_args(s, args);
+        }
+        Expr::Field { recv, name } => {
+            write_receiver(s, recv);
+            let _ = write!(s, ".{name}");
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            write_operand(s, lhs);
+            let _ = write!(s, " {op} ");
+            write_operand(s, rhs);
+        }
+        Expr::Not { expr } => {
+            s.push('!');
+            write_operand(s, expr);
+        }
+    }
+}
+
+/// Operands of binary/unary operators are parenthesized whenever they are
+/// themselves operator expressions or casts, which keeps printing
+/// precedence-free and round-trippable.
+fn write_operand(s: &mut String, e: &Expr) {
+    if matches!(e, Expr::Binary { .. } | Expr::Not { .. } | Expr::Cast { .. }) {
+        s.push('(');
+        write_expr(s, e);
+        s.push(')');
+    } else {
+        write_expr(s, e);
+    }
+}
+
+/// Cast and operator receivers must be parenthesized:
+/// `((ITextEditor) e).getDoc()`, `(a == b).toString()`.
+fn write_receiver(s: &mut String, recv: &Expr) {
+    if matches!(recv, Expr::Cast { .. } | Expr::Binary { .. } | Expr::Not { .. }) {
+        s.push('(');
+        write_expr(s, recv);
+        s.push(')');
+    } else {
+        write_expr(s, recv);
+    }
+}
+
+fn write_args(s: &mut String, args: &[Expr]) {
+    s.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write_expr(s, a);
+    }
+    s.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_expr, parse_unit};
+
+    fn round_trip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = expr_to_string(&e);
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        assert_eq!(e, e2, "round trip changed `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn expr_round_trips() {
+        for src in [
+            "a.b.c",
+            "x.m().n(y, z.w())",
+            "(T) x.m()",
+            "((A) b).c()",
+            "new B(new C(d), 3)",
+            r#"reg.get("key\n\"q\"", null, true, false)"#,
+            "Part.getAdapter(IDebugView.class)",
+            "(a.b.C[]) xs",
+            "f().data.m()",
+        ] {
+            round_trip_expr(src);
+        }
+    }
+
+    #[test]
+    fn cast_receiver_parenthesized() {
+        let e = parse_expr("((ITextEditor) part).getDocumentProvider()").unwrap();
+        assert_eq!(expr_to_string(&e), "((ITextEditor) part).getDocumentProvider()");
+    }
+
+    #[test]
+    fn unit_round_trips() {
+        let src = r#"
+            package corpus;
+            class Sample extends Base implements I {
+                Sample(int n) { size = n; }
+                protected Object get(IDebugView view) {
+                    ISelection s = view.getViewer().getSelection();
+                    IStructuredSelection sel = (IStructuredSelection) s;
+                    return sel.getFirstElement();
+                }
+            }
+        "#;
+        let u1 = parse_unit("s.mj", src).unwrap();
+        let printed = unit_to_string(&u1);
+        let u2 = parse_unit("s.mj", &printed).unwrap();
+        // File labels differ only if we pass different names; compare bodies.
+        assert_eq!(u1.package, u2.package);
+        assert_eq!(u1.classes, u2.classes);
+    }
+
+    #[test]
+    fn operators_and_control_flow_round_trip() {
+        for src in [
+            "a != null",
+            "a == null && !b.isEmpty()",
+            "x.size() > 0 || y < 3",
+            "((IFile) r) != null",
+            "n + 1 - k",
+        ] {
+            round_trip_expr(src);
+        }
+        let src = r#"
+            class G {
+                void m(Viewer v) {
+                    ISelection s = v.getSelection();
+                    if (s == null) { s = v.getSelection(); } else { drop(s); }
+                    while (!s.isEmpty()) { s = v.getSelection(); }
+                }
+            }
+        "#;
+        let u1 = parse_unit("g.mj", src).unwrap();
+        let printed = unit_to_string(&u1);
+        let u2 = parse_unit("g.mj", &printed).unwrap();
+        assert_eq!(u1.classes, u2.classes, "{printed}");
+    }
+
+    #[test]
+    fn statements_render() {
+        let u = parse_unit(
+            "t.mj",
+            "class T { void m() { Foo x; x = f(); g(); return x; } }",
+        )
+        .unwrap();
+        let body = &u.classes[0].methods[0].body;
+        let rendered: Vec<String> = body.iter().map(stmt_to_string).collect();
+        assert_eq!(rendered, vec!["Foo x;", "x = f();", "g();", "return x;"]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the type-table invariants the synthesizer relies
+//! on: subtyping is a partial order, widening edges go strictly up the
+//! depth measure, and the subtype scan agrees with the relation.
+
+use jungloid_typesys::{TypeKind, TypeTable};
+use proptest::prelude::*;
+
+/// A random hierarchy description: `links[i]` optionally names an earlier
+/// type that type `i` extends (classes) plus interface links.
+#[derive(Clone, Debug)]
+struct HierarchySpec {
+    kinds: Vec<bool>, // true = interface
+    extends: Vec<Option<usize>>,
+    implements: Vec<Vec<usize>>,
+}
+
+fn hierarchy_strategy(max: usize) -> impl Strategy<Value = HierarchySpec> {
+    (2..max).prop_flat_map(|n| {
+        let kinds = proptest::collection::vec(any::<bool>(), n);
+        let extends = proptest::collection::vec(proptest::option::of(0..n), n);
+        let implements =
+            proptest::collection::vec(proptest::collection::vec(0..n, 0..3), n);
+        (kinds, extends, implements).prop_map(|(kinds, extends, implements)| HierarchySpec {
+            kinds,
+            extends,
+            implements,
+        })
+    })
+}
+
+fn build(spec: &HierarchySpec) -> TypeTable {
+    let mut table = TypeTable::new();
+    let object = table.declare("java.lang", "Object", TypeKind::Class).unwrap();
+    let _ = object;
+    let ids: Vec<_> = spec
+        .kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &iface)| {
+            let kind = if iface { TypeKind::Interface } else { TypeKind::Class };
+            table.declare("p", &format!("T{i}"), kind).unwrap()
+        })
+        .collect();
+    for (i, &sup) in spec.extends.iter().enumerate() {
+        if let Some(s) = sup {
+            if s < i && !spec.kinds[i] && !spec.kinds[s] {
+                // Earlier-only links keep the hierarchy acyclic; the table
+                // must accept them all.
+                table.set_superclass(ids[i], ids[s]).unwrap();
+            }
+        }
+    }
+    for (i, ifaces) in spec.implements.iter().enumerate() {
+        for &s in ifaces {
+            if s < i && spec.kinds[s] {
+                table.add_interface(ids[i], ids[s]).unwrap();
+            }
+        }
+    }
+    table
+}
+
+proptest! {
+    #[test]
+    fn subtyping_is_a_partial_order(spec in hierarchy_strategy(10)) {
+        let table = build(&spec);
+        let ids: Vec<_> = table.decls().map(|d| d.id).collect();
+        // Reflexive.
+        for &a in &ids {
+            prop_assert!(table.is_subtype(a, a));
+        }
+        // Transitive and antisymmetric.
+        for &a in &ids {
+            for &b in &ids {
+                if a != b && table.is_subtype(a, b) {
+                    prop_assert!(!table.is_subtype(b, a), "antisymmetry violated");
+                    for &c in &ids {
+                        if table.is_subtype(b, c) {
+                            prop_assert!(table.is_subtype(a, c), "transitivity violated");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn everything_widens_to_object(spec in hierarchy_strategy(10)) {
+        let table = build(&spec);
+        let object = table.object().unwrap();
+        for d in table.decls() {
+            prop_assert!(table.is_subtype(d.id, object));
+        }
+    }
+
+    #[test]
+    fn direct_supertypes_decrease_depth(spec in hierarchy_strategy(10)) {
+        let table = build(&spec);
+        for d in table.decls() {
+            let depth = table.depth(d.id);
+            for sup in table.direct_supertypes(d.id) {
+                prop_assert!(table.depth(sup) < depth,
+                    "depth({}) = {} not below depth({}) = {}",
+                    table.display(sup), table.depth(sup), table.display(d.id), depth);
+            }
+        }
+    }
+
+    #[test]
+    fn strict_subtypes_agrees_with_relation(spec in hierarchy_strategy(8)) {
+        let table = build(&spec);
+        let ids: Vec<_> = table.decls().map(|d| d.id).collect();
+        for &t in &ids {
+            let subs = table.strict_subtypes(t);
+            for &s in &ids {
+                let expected = s != t && table.is_subtype(s, t);
+                prop_assert_eq!(subs.contains(&s), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn subtype_implies_reachable_via_direct_links(spec in hierarchy_strategy(8)) {
+        // is_subtype must equal the transitive closure of
+        // direct_supertypes — the property that lets the graph encode
+        // transitive widening as zero-cost edge compositions.
+        let table = build(&spec);
+        let ids: Vec<_> = table.decls().map(|d| d.id).collect();
+        for &a in &ids {
+            // BFS over direct supertype links.
+            let mut seen = vec![a];
+            let mut stack = vec![a];
+            while let Some(t) = stack.pop() {
+                for s in table.direct_supertypes(t) {
+                    if !seen.contains(&s) {
+                        seen.push(s);
+                        stack.push(s);
+                    }
+                }
+            }
+            for &b in &ids {
+                prop_assert_eq!(a == b || seen.contains(&b), table.is_subtype(a, b));
+            }
+        }
+    }
+}

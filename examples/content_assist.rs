@@ -1,0 +1,60 @@
+//! The content-assist flow of §5, end to end: parse a MiniJava file,
+//! place the "cursor" on an uninitialized local, infer the query from
+//! context (declared type = `tout`; visible variables + `void` = the
+//! `tin` set), and print the ranked completions.
+//!
+//! Run with `cargo run --example content_assist`.
+
+use prospector_repro::corpora::build_default;
+use prospector_repro::minijava::ast::Stmt;
+use prospector_repro::minijava::parse::parse_unit;
+use prospector_repro::typesys::TyId;
+
+const USER_FILE: &str = r"
+package myplugin;
+
+class OpenFileAction {
+    void run(IWorkbench workbench, IFile selectedFile) {
+        ASTNode ast;
+    }
+}
+";
+
+fn main() {
+    let prospector = build_default();
+    let api = prospector.api();
+
+    let unit = parse_unit("user.mj", USER_FILE).expect("user file parses");
+    let method = &unit.classes[0].methods[0];
+
+    // Context inference: params + earlier locals are visible; the
+    // uninitialized local's declared type is the target.
+    let mut visible: Vec<(String, TyId)> = Vec::new();
+    let mut target = None;
+    for (ty, name) in &method.params {
+        visible.push((name.clone(), api.types().resolve(&ty.parts.join(".")).expect("resolves")));
+    }
+    for stmt in &method.body {
+        if let Stmt::Local { ty, name, init: None } = stmt {
+            target = Some((name.clone(), api.types().resolve(&ty.parts.join(".")).expect("resolves")));
+        }
+    }
+    let (var, tout) = target.expect("cursor variable");
+    println!("cursor on `{} {var} = |` with visible variables:", api.types().display_simple(tout));
+    for (name, ty) in &visible {
+        println!("  {} {}", api.types().display_simple(*ty), name);
+    }
+
+    let vars: Vec<(&str, TyId)> = visible.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let result = prospector.assist(&vars, tout).expect("valid");
+    println!("\ncompletions:");
+    for (i, s) in result.suggestions.iter().take(5).enumerate() {
+        let from = s.input_var.as_deref().unwrap_or("<nothing>");
+        println!("  {}. {}   (from {})", i + 1, s.code, from);
+    }
+    // The top completion uses the *file* variable, not the workbench.
+    let top = &result.suggestions[0];
+    assert_eq!(top.input_var.as_deref(), Some("selectedFile"));
+    assert!(top.code.contains("createCompilationUnitFrom(selectedFile)"));
+    println!("\ninserted:\n    ASTNode {var} = {};", top.code);
+}

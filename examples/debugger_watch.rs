@@ -1,0 +1,54 @@
+//! Figure 2's jungloid — getting the watch expression selected in the
+//! Java debugger's GUI — cannot be synthesized from signatures alone: it
+//! needs two downcasts, and `ISelection` "appears to be a dead end"
+//! (§4.1). This example shows the signature-graph baseline failing, then
+//! mining Figure 4's corpus method making the query answerable.
+//!
+//! Run with `cargo run --example debugger_watch`.
+
+use prospector_repro::corpora::{build, BuildOptions};
+
+fn main() {
+    // Baseline: signatures only (§3).
+    let baseline = build(&BuildOptions { mining: false, ..BuildOptions::default() })
+        .expect("corpora assemble")
+        .prospector;
+    let api = baseline.api();
+    let debug_view = api.types().resolve("IDebugView").expect("modeled");
+    let expr = api.types().resolve("JavaInspectExpression").expect("modeled");
+
+    println!("query: (IDebugView, JavaInspectExpression)\n");
+    let r = baseline.query(debug_view, expr).expect("valid");
+    println!("signature graph only: {} solutions (the paper's §4.1 dead end)", r.suggestions.len());
+    assert!(r.suggestions.is_empty());
+
+    // With jungloid mining (§4.2): the corpus contains Figure 4's method.
+    let mined = build(&BuildOptions::default()).expect("corpora assemble").prospector;
+    let api = mined.api();
+    let debug_view = api.types().resolve("IDebugView").expect("modeled");
+    let expr = api.types().resolve("JavaInspectExpression").expect("modeled");
+    let r = mined.query(debug_view, expr).expect("valid");
+    println!("with mining: {} solutions\n", r.suggestions.len());
+    for (i, s) in r.suggestions.iter().take(3).enumerate() {
+        println!("{}. {}", i + 1, s.code);
+    }
+    let top = &r.suggestions[0];
+    assert!(top.jungloid.contains_downcast());
+    assert!(top.code.contains("(JavaInspectExpression)"));
+    assert!(top.code.contains("(IStructuredSelection)"));
+
+    println!("\nFigure 2's hand-written version:\n");
+    println!("    IDebugView debugger = ...;");
+    println!("    Viewer viewer = debugger.getViewer();");
+    println!("    IStructuredSelection sel = (IStructuredSelection) viewer.getSelection();");
+    println!("    JavaInspectExpression expr = (JavaInspectExpression) sel.getFirstElement();");
+    println!("\nProspector's statement rendering:\n");
+    let (stmts, _) = prospector_repro::core::synthesize_statements(
+        api,
+        &top.jungloid,
+        Some("debugger"),
+    );
+    for stmt in &stmts {
+        println!("{}", prospector_repro::minijava::print::stmt_to_string(stmt));
+    }
+}

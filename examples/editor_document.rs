@@ -1,0 +1,72 @@
+//! The §2.2 walkthrough (Eclipse FAQ 270): "How do I manipulate the data
+//! in my visual editor?" — solved by *composing* two jungloid queries.
+//! The first answer leaves a free variable (`DocumentProviderRegistry`);
+//! the user binds it with a follow-up output-only query, which reduces to
+//! jungloid queries over the visible variables plus `void`.
+//!
+//! Run with `cargo run --example editor_document`.
+
+use prospector_repro::core::synth::synthesize_statements;
+use prospector_repro::corpora::build_default;
+
+fn main() {
+    let prospector = build_default();
+    let api = prospector.api();
+
+    let editor_part = api.types().resolve("IEditorPart").expect("modeled");
+    let provider = api.types().resolve("IDocumentProvider").expect("modeled");
+
+    // Query 1: (IEditorPart, IDocumentProvider).
+    println!("query 1: (IEditorPart, IDocumentProvider)\n");
+    let r1 = prospector.query(editor_part, provider).expect("valid");
+    let first = r1
+        .suggestions
+        .iter()
+        .find(|s| s.code.contains("getDocumentProvider(ep") || s.code.contains("getEditorInput"))
+        .unwrap_or(&r1.suggestions[0]);
+    // Use the named input variable `ep`, like the paper.
+    let snippet = prospector_repro::core::synthesize(api, &first.jungloid, Some("ep"));
+    println!("{}", snippet.render_block(api, "dp"));
+
+    // The snippet has a free variable of type DocumentProviderRegistry.
+    let (free_name, free_ty) = snippet
+        .free_vars
+        .first()
+        .expect("the §2.2 jungloid leaves the registry free")
+        .clone();
+    println!(
+        "\n`{}` is free — follow-up query for {}:",
+        free_name,
+        api.types().display(free_ty)
+    );
+
+    // Query 2: output-only. Visible objects: ep, inp. Their types plus
+    // void form the tin set (§2.2 shows the first two fail and the void
+    // query succeeds).
+    let inp = api.types().resolve("IEditorInput").expect("modeled");
+    let r2 = prospector
+        .assist(&[("ep", editor_part), ("inp", inp)], free_ty)
+        .expect("valid");
+    for (i, s) in r2.suggestions.iter().take(3).enumerate() {
+        println!("  {}. {}", i + 1, s.code);
+    }
+    let reg = &r2.suggestions[0];
+    assert_eq!(reg.code, "DocumentProviderRegistry.getDefault()");
+    assert!(reg.input_var.is_none(), "the registry comes from the void query");
+
+    // Compose: the finished §2.2 code.
+    println!("\ncomposed solution (paper §2.2):\n");
+    let (stmts, _) = synthesize_statements(api, &first.jungloid, Some("ep"));
+    for stmt in &stmts {
+        let line = prospector_repro::minijava::print::stmt_to_string(stmt);
+        // Bind the free registry variable with query 2's answer.
+        if line.ends_with("documentProviderRegistry;") {
+            println!(
+                "DocumentProviderRegistry documentProviderRegistry = {};",
+                reg.code
+            );
+        } else {
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 1 (§7): the twenty query-processing problems, the
+//! measured time and rank for each, side by side with the paper's
+//! numbers.
+//!
+//! Run with `cargo run --release --example table1_report`.
+
+use prospector_repro::corpora::{build_default, report};
+
+fn main() {
+    let prospector = build_default();
+    let rows = report::run_table1(&prospector);
+    println!("{}", report::format_table1(&rows));
+
+    let agreements = rows.iter().filter(|r| r.agrees_on_found()).count();
+    println!("found/not-found agreement with the paper: {agreements}/20");
+    let exact = rows
+        .iter()
+        .filter(|r| r.rank.map(|x| u32::try_from(x).expect("small")) == r.problem.paper_rank)
+        .count();
+    println!("exact rank agreement: {exact}/20 (deviations discussed in EXPERIMENTS.md)");
+}

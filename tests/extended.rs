@@ -1,0 +1,107 @@
+//! The extended evaluation: twelve additional problems over the classic
+//! downcast-heavy J2SE corners (zip, DOM, Swing trees, JDBC), run against
+//! the extended build. Validates that the pipeline generalizes beyond the
+//! paper's hand-modeled Eclipse corpus — and that loading the extra APIs
+//! does not disturb Table 1.
+
+use prospector_corpora::report::{run_problem, run_table1};
+use prospector_corpora::{build, problems_ext, BuildOptions};
+
+fn extended_build() -> prospector_core::Prospector {
+    build(&BuildOptions { extended: true, ..BuildOptions::default() })
+        .expect("extended corpora assemble")
+        .prospector
+}
+
+#[test]
+fn all_extended_problems_answered() {
+    let engine = extended_build();
+    for problem in problems_ext::extended() {
+        let row = run_problem(&engine, &problem);
+        assert!(
+            row.rank.is_some(),
+            "E{} ({}) unanswered; top = {:?}",
+            problem.id,
+            problem.label,
+            row.top_code
+        );
+        assert!(
+            row.rank.unwrap() <= 3,
+            "E{} desired at rank {:?}: top = {:?}",
+            problem.id,
+            row.rank,
+            row.top_code
+        );
+    }
+}
+
+#[test]
+fn zip_iteration_idiom_is_rank_one() {
+    let engine = extended_build();
+    let api = engine.api();
+    let zip = api.types().resolve("ZipFile").unwrap();
+    let entry = api.types().resolve("ZipEntry").unwrap();
+    let result = engine.query(zip, entry).unwrap();
+    assert_eq!(
+        result.suggestions[0].code,
+        "(ZipEntry) zipFile.entries().nextElement()"
+    );
+    assert!(result.suggestions[0].jungloid.contains_downcast());
+}
+
+#[test]
+fn dom_and_tree_casts_are_mined() {
+    let engine = extended_build();
+    let api = engine.api();
+    // (Element) list.item(i)
+    let list = api.types().resolve("NodeList").unwrap();
+    let element = api.types().resolve("Element").unwrap();
+    let r = engine.query(list, element).unwrap();
+    assert!(r.suggestions[0].code.contains("(Element)"), "{}", r.suggestions[0].code);
+    // (Text) vs (Attr) after getFirstChild stay distinguished by their
+    // entry types (Figure 7's rule at work in a fresh domain).
+    let text = api.types().resolve("Text").unwrap();
+    let node = api.types().resolve("org.w3c.dom.Node").unwrap();
+    let from_element = engine.query(element, text).unwrap();
+    assert!(
+        from_element.suggestions.iter().any(|s| s.code.contains("(Text)")),
+        "Element -> Text should go through the mined cast"
+    );
+    let attr = api.types().resolve("Attr").unwrap();
+    let from_node = engine.query(node, attr).unwrap();
+    assert!(from_node.suggestions.iter().any(|s| s.code.contains("(Attr)")));
+}
+
+#[test]
+fn extended_pack_does_not_disturb_table1() {
+    let engine = extended_build();
+    let rows = run_table1(&engine);
+    let found = rows.iter().filter(|r| r.rank.is_some()).count();
+    assert!(found >= 18, "extended pack broke Table 1: {found}/20");
+    // The two headline rows stay put.
+    let p1 = rows.iter().find(|r| r.problem.id == 1).unwrap();
+    assert_eq!(p1.rank, Some(1));
+    let p19 = rows.iter().find(|r| r.problem.id == 19).unwrap();
+    assert_eq!(p19.rank, None);
+}
+
+#[test]
+fn signature_only_loses_the_cast_problems() {
+    let engine = build(&BuildOptions {
+        extended: true,
+        mining: false,
+        ..BuildOptions::default()
+    })
+    .unwrap()
+    .prospector;
+    let mut lost = 0;
+    for problem in problems_ext::extended() {
+        let row = run_problem(&engine, &problem);
+        if row.rank.is_none() {
+            lost += 1;
+        }
+    }
+    // The cast-dependent problems (zip entry, DOM element/text, tree
+    // nodes…) all fail without mining.
+    assert!(lost >= 5, "expected the downcast problems to fail, lost only {lost}");
+}

@@ -1,0 +1,86 @@
+//! Structural assertions for the regenerated figures (E4) and the DOT
+//! renderer over the real corpus build.
+
+use prospector_core::dot::{neighborhood, DotOptions};
+use prospector_core::{GraphConfig, JungloidGraph, NodeId};
+use prospector_corpora::{build, eclipse_api, BuildOptions};
+
+#[test]
+fn figure1_fragment_has_the_parsing_chain() {
+    let api = eclipse_api().unwrap();
+    let graph = JungloidGraph::from_api(&api, GraphConfig::default());
+    let ifile = api.types().resolve("IFile").unwrap();
+    let icu = api.types().resolve("ICompilationUnit").unwrap();
+    let dot = neighborhood(
+        &api,
+        &graph,
+        &[NodeId::Ty(ifile), NodeId::Ty(icu)],
+        &DotOptions::default(),
+    );
+    assert!(dot.contains("JavaCore.createCompilationUnitFrom"));
+    assert!(dot.contains("AST.parseCompilationUnit"));
+    // Figure 1's widening example: IClassFile ⇒ IJavaElement enables
+    // classFile.getResource().
+    let class_file = api.types().resolve("IClassFile").unwrap();
+    let dot2 =
+        neighborhood(&api, &graph, &[NodeId::Ty(class_file)], &DotOptions::default());
+    assert!(dot2.contains("style=dotted"), "widening edge missing:\n{dot2}");
+    assert!(dot2.contains("IJavaElement"));
+}
+
+#[test]
+fn figure3_naive_graph_admits_cast_anything() {
+    let api = eclipse_api().unwrap();
+    let graph = JungloidGraph::from_api(&api, GraphConfig::default());
+    let naive = graph.with_naive_downcasts(&api);
+    let object = api.types().object().unwrap();
+    let dot = neighborhood(
+        &api,
+        &naive,
+        &[NodeId::Ty(object)],
+        &DotOptions { hops: 1, max_nodes: 500, ..DotOptions::default() },
+    );
+    // Object sprouts red downcast edges to (many) subtypes.
+    assert!(dot.matches("color=red").count() > 20, "expected a red fan from Object");
+    assert!(dot.contains("(JavaInspectExpression)"));
+}
+
+#[test]
+fn figure6_mined_path_renders_dashed_typestate_nodes() {
+    let built = build(&BuildOptions::default()).unwrap();
+    let engine = built.prospector;
+    let api = engine.api();
+    let debug_view = api.types().resolve("IDebugView").unwrap();
+    let dot = neighborhood(
+        api,
+        engine.graph(),
+        &[NodeId::Ty(debug_view)],
+        &DotOptions { hops: 4, max_nodes: 200, ..DotOptions::default() },
+    );
+    assert!(dot.contains("style=dashed"), "no typestate nodes rendered:\n{dot}");
+    assert!(dot.contains("color=red"), "no downcast edges rendered");
+    // The mined chain's labels appear.
+    assert!(dot.contains("Viewer.getSelection"));
+    assert!(dot.contains("(IStructuredSelection)"));
+}
+
+#[test]
+fn dot_output_is_well_formed() {
+    let built = build(&BuildOptions::default()).unwrap();
+    let engine = built.prospector;
+    let api = engine.api();
+    for root in ["IFile", "IWorkbench", "Map", "ZipFile"] {
+        let Ok(ty) = api.types().resolve(root) else { continue };
+        let dot = neighborhood(
+            api,
+            engine.graph(),
+            &[NodeId::Ty(ty)],
+            &DotOptions { hops: 2, ..DotOptions::default() },
+        );
+        assert!(dot.starts_with("digraph jungloids {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Balanced braces and quotes.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert_eq!(dot.matches('"').count() % 2, 0);
+    }
+}

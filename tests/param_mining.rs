@@ -1,0 +1,153 @@
+//! Experiment E8-extension — §4.3, "Other applications of jungloid
+//! mining": methods with `Object`/`String` parameters usually accept only
+//! specific values ("some methods in Eclipse take as input model classes
+//! … the method parameters are declared as Object"). The paper sketches —
+//! but does not test — mining those parameters like downcasts. This test
+//! exercises our implementation of that sketch end to end.
+
+use jungloid_dataflow::{LoweredCorpus, Miner};
+use jungloid_minijava::parse::parse_unit;
+use prospector_core::{GraphConfig, Prospector};
+
+/// An Eclipse-flavoured model-viewer API: `TreeViewer.setInput(Object)`
+/// accepts "any Object" by signature, but real clients only pass model
+/// objects.
+const MODEL_API: &str = r"
+package modelui;
+
+public class TreeContent {}
+
+public class ClassModel extends TreeContent {
+    static ClassModel forProject(Workspace w);
+}
+
+public class Workspace {
+    static Workspace current();
+}
+
+public class TreeViewer {
+    TreeViewer();
+    ViewHandle setInput(Object input);
+}
+
+public class ViewHandle {}
+";
+
+const MODEL_CORPUS: &str = r#"
+package corpus.model;
+
+class ModelWiring {
+    ViewHandle showClasses(TreeViewer viewer) {
+        ClassModel model = ClassModel.forProject(Workspace.current());
+        return viewer.setInput(model);
+    }
+}
+"#;
+
+fn build() -> (jungloid_apidef::Api, jungloid_dataflow::ParamMineReport) {
+    let mut loader = jungloid_apidef::ApiLoader::with_prelude();
+    loader.add_source("model.api", MODEL_API).unwrap();
+    let mut api = loader.finish().unwrap();
+    let unit = parse_unit("model.mj", MODEL_CORPUS).unwrap();
+    let corpus = LoweredCorpus::lower(&mut api, &[unit]).unwrap();
+    let miner = Miner::new(&api, &corpus);
+    let weak = [api.types().object().unwrap()];
+    let report = miner.mine_params(&weak);
+    (api, report)
+}
+
+#[test]
+fn param_examples_extracted() {
+    let (api, report) = build();
+    assert!(report.arg_sites >= 1);
+    assert!(!report.examples.is_empty());
+    // Some example ends in the setInput call, fed by the model chain.
+    let descs: Vec<String> = report
+        .examples
+        .iter()
+        .map(|e| e.iter().map(|s| s.label(&api)).collect::<Vec<_>>().join(" . "))
+        .collect();
+    assert!(
+        descs.iter().any(|d| d.contains("ClassModel.forProject") && d.ends_with("TreeViewer.setInput")),
+        "got {descs:#?}"
+    );
+}
+
+#[test]
+fn unrestricted_graph_accepts_any_object() {
+    // Without the §4.3 restriction, the signature graph will happily pass
+    // *anything* into setInput — the inviable-jungloid problem.
+    let (api, _) = build();
+    let workspace = api.types().resolve("Workspace").unwrap();
+    let handle = api.types().resolve("ViewHandle").unwrap();
+    let engine = Prospector::new(api);
+    let result = engine.query(workspace, handle).unwrap();
+    assert!(
+        result.suggestions.iter().any(|s| s.code.contains("setInput(workspace)")),
+        "expected the any-Object junk route: {:?}",
+        result.suggestions.iter().map(|s| &s.code).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn restricted_graph_synthesizes_only_mined_usage() {
+    let (api, report) = build();
+    let workspace = api.types().resolve("Workspace").unwrap();
+    let handle = api.types().resolve("ViewHandle").unwrap();
+    let mut engine = Prospector::with_config(
+        api,
+        GraphConfig { restrict_weak_params: true, ..GraphConfig::default() },
+    );
+
+    // Restriction alone: setInput is unusable, so no junk route.
+    let before = engine.query(workspace, handle).unwrap();
+    assert!(
+        before.suggestions.iter().all(|s| !s.code.contains("setInput(workspace)")),
+        "restriction failed: {:?}",
+        before.suggestions.iter().map(|s| &s.code).collect::<Vec<_>>()
+    );
+
+    // With parameter mining: the *model* route appears.
+    engine.add_param_examples(&report.examples, true).unwrap();
+    let after = engine.query(workspace, handle).unwrap();
+    let top = after
+        .suggestions
+        .iter()
+        .find(|s| s.code.contains("setInput("))
+        .unwrap_or_else(|| panic!(
+            "mined param usage missing: {:?}",
+            after.suggestions.iter().map(|s| &s.code).collect::<Vec<_>>()
+        ));
+    assert!(
+        top.code.contains("ClassModel.forProject"),
+        "synthesized usage should follow the corpus idiom: {}",
+        top.code
+    );
+    top.jungloid.validate(engine.api()).unwrap();
+}
+
+#[test]
+fn full_corpus_param_mining_is_productive() {
+    // Over the bundled Eclipse corpus, parameter mining extracts the
+    // getDocument(editor.getEditorInput()) and getAdapter(cls) idioms.
+    let mut api = prospector_corpora::eclipse_api().unwrap();
+    let units = prospector_corpora::corpus_units().unwrap();
+    let corpus = LoweredCorpus::lower(&mut api, &units).unwrap();
+    let miner = Miner::new(&api, &corpus);
+    let weak = [
+        api.types().object().unwrap(),
+        api.types().resolve("java.lang.String").unwrap(),
+    ];
+    let report = miner.mine_params(&weak);
+    assert!(report.arg_sites >= 3, "found only {} weak arg sites", report.arg_sites);
+    assert!(!report.examples.is_empty());
+    let descs: Vec<String> = report
+        .examples
+        .iter()
+        .map(|e| e.iter().map(|s| s.label(&api)).collect::<Vec<_>>().join(" . "))
+        .collect();
+    assert!(
+        descs.iter().any(|d| d.ends_with("IDocumentProvider.getDocument")),
+        "expected the getDocument idiom, got {descs:#?}"
+    );
+}

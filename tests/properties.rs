@@ -1,0 +1,125 @@
+//! Cross-crate property: the whole mining pipeline is *faithful*. For a
+//! random well-typed jungloid ending in a downcast, rendered as ordinary
+//! client source code, the miner recovers an example that ends in the
+//! same downcast — and after splicing, the engine can synthesize code
+//! using that cast again.
+
+use jungloid_dataflow::{LoweredCorpus, Miner};
+use jungloid_minijava::ast::TypeName;
+use jungloid_minijava::parse::parse_unit;
+use prospector_core::synth::{synthesize_statements, ty_to_type_name};
+use prospector_core::{GraphConfig, Jungloid, JungloidGraph};
+use prospector_corpora::eclipse_api;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Renders a jungloid as a full MiniJava compilation unit.
+fn render_as_client(api: &jungloid_apidef::Api, j: &Jungloid) -> Option<String> {
+    let (stmts, _snippet) = synthesize_statements(api, j, Some("input"));
+    let last_var = stmts.iter().rev().find_map(|s| match s {
+        jungloid_minijava::ast::Stmt::Local { name, init: Some(_), .. } => Some(name.clone()),
+        _ => None,
+    })?;
+    let ret = ty_to_type_name(api, j.output_ty(api));
+    let src_ty: TypeName = ty_to_type_name(api, j.source);
+    let mut body = String::new();
+    for s in &stmts {
+        body.push_str("        ");
+        body.push_str(&jungloid_minijava::print::stmt_to_string(s));
+        body.push('\n');
+    }
+    Some(format!(
+        "package propcorpus;\nclass PropClient {{\n    {ret} run({src_ty} input) {{\n{body}        return {last_var};\n    }}\n}}\n"
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mining_recovers_rendered_jungloids(seed in any::<u64>()) {
+        let api = eclipse_api().unwrap();
+        let graph = JungloidGraph::from_api(&api, GraphConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Random walk from a random declared class.
+        let classes: Vec<_> = api
+            .types()
+            .decls()
+            .map(|d| d.id)
+            .filter(|&t| !graph.out_edges(prospector_core::NodeId::Ty(t)).is_empty())
+            .collect();
+        let start = classes[rng.gen_range(0..classes.len())];
+        let mut at = prospector_core::NodeId::Ty(start);
+        let mut steps = Vec::new();
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let edges = graph.out_edges(at);
+            if edges.is_empty() {
+                break;
+            }
+            let e = edges[rng.gen_range(0..edges.len())];
+            steps.push(e.elem);
+            at = e.to;
+        }
+        // Trailing widenings are invisible in rendered statements, which
+        // would make the appended cast cross unrelated types; trim them.
+        while steps.last().is_some_and(jungloid_apidef::ElemJungloid::is_widen) {
+            steps.pop();
+        }
+        if steps.iter().filter(|e| !e.is_widen()).count() == 0 {
+            return Ok(());
+        }
+        let out_ty = steps.last().unwrap().output_ty(&api);
+        // Arrays make poor cast targets in rendered client code; skip.
+        if !matches!(api.types().ty(out_ty), jungloid_typesys::Ty::Decl) {
+            return Ok(());
+        }
+        let subs: Vec<_> = api
+            .types()
+            .strict_subtypes(out_ty)
+            .into_iter()
+            .filter(|&s| matches!(api.types().ty(s), jungloid_typesys::Ty::Decl))
+            .collect();
+        if subs.is_empty() {
+            return Ok(());
+        }
+        let target = subs[rng.gen_range(0..subs.len())];
+        steps.push(jungloid_apidef::ElemJungloid::Downcast { from: out_ty, to: target });
+        let j = Jungloid::new(&api, steps[0].input_ty(&api), steps).unwrap();
+        if j.source == api.types().void() {
+            return Ok(());
+        }
+
+        // Render as client source…
+        let Some(source) = render_as_client(&api, &j) else { return Ok(()) };
+        let unit = parse_unit("prop.mj", &source)
+            .unwrap_or_else(|e| panic!("rendered client failed to parse: {e}\n{source}"));
+
+        // …and mine it back.
+        let mut mining_api = eclipse_api().unwrap();
+        let lowered = LoweredCorpus::lower(&mut mining_api, &[unit])
+            .unwrap_or_else(|e| panic!("rendered client failed to lower: {e}\n{source}"));
+        let mut miner = Miner::new(&mining_api, &lowered);
+        miner.config.parallel = false;
+        let report = miner.mine();
+        prop_assert!(
+            report.examples.iter().any(|e| matches!(
+                e.last(),
+                Some(jungloid_apidef::ElemJungloid::Downcast { to, .. }) if *to == target
+            )),
+            "no mined example ends with the rendered cast\nsource:\n{source}\nexamples: {}",
+            report.examples.len()
+        );
+
+        // Splice the mined examples and re-synthesize across the cast.
+        let mut engine = prospector_core::Prospector::new(mining_api);
+        engine.add_examples(&report.examples, false).unwrap();
+        let result = engine.query(j.source, target).unwrap();
+        if result.shortest.is_some() {
+            for s in &result.suggestions {
+                s.jungloid.validate(engine.api()).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration test for experiment E1: Table 1 (§7).
+//!
+//! The reproduction targets are the paper's *shape claims*:
+//! * the desired solution is found for ≥ 18 of 20 problems (paper: 18);
+//! * every found solution appears within the first 5 suggestions;
+//! * at least 11 problems put the desired solution at rank 1 (paper: 11);
+//! * `(AbstractGraphicalEditPart, ConnectionLayer)` fails *because the
+//!   solution needs a protected method* and is fixed by the switch §7
+//!   proposes;
+//! * all queries answer well under the paper's 1.1 s bound.
+//!
+//! Exact per-row ranks are asserted where our deterministic tie-breaking
+//! reproduces the paper's; the documented deviations (EXPERIMENTS.md) are
+//! pinned so regressions are visible.
+
+use prospector_corpora::report::{run_problem, run_table1};
+use prospector_corpora::{build, build_default, problems, BuildOptions};
+
+#[test]
+fn table1_shape_claims() {
+    let prospector = build_default();
+    let rows = run_table1(&prospector);
+    assert_eq!(rows.len(), 20);
+
+    let found = rows.iter().filter(|r| r.rank.is_some()).count();
+    assert!(found >= 18, "found only {found}/20");
+
+    for row in &rows {
+        if let Some(rank) = row.rank {
+            assert!(
+                rank <= 5,
+                "P{} desired solution at rank {rank} (> 5): {:?}",
+                row.problem.id,
+                row.top_code
+            );
+        }
+        assert!(
+            row.time.as_secs_f64() < 1.1,
+            "P{} took {:?} (paper bound: 1.1 s)",
+            row.problem.id,
+            row.time
+        );
+    }
+
+    let rank_one = rows.iter().filter(|r| r.rank == Some(1)).count();
+    assert!(rank_one >= 11, "only {rank_one} rank-1 results (paper: 11)");
+}
+
+#[test]
+fn table1_exact_ranks_where_reproduced() {
+    let prospector = build_default();
+    let rows = run_table1(&prospector);
+    // Rows whose measured rank must equal the paper's exactly.
+    let exact: &[(u32, u32)] = &[
+        (1, 1),
+        (2, 1),
+        (3, 1),
+        (4, 1),
+        (5, 1),
+        (6, 1),
+        (7, 1),
+        (8, 1),
+        (9, 1),
+        (10, 1),
+        (11, 1),
+        (12, 2),
+        (14, 3),
+        (16, 3),
+        (17, 4),
+    ];
+    for &(id, expected) in exact {
+        let row = rows.iter().find(|r| r.problem.id == id).expect("row exists");
+        assert_eq!(
+            row.rank,
+            Some(expected as usize),
+            "P{id} ({}) measured {:?}, paper {expected}",
+            row.problem.label,
+            row.raw_rank
+        );
+    }
+    // Pinned documented deviations (see EXPERIMENTS.md): our deterministic
+    // tie-breaking ranks these *higher* than the paper's tool did.
+    let deviations: &[(u32, usize)] = &[(13, 1), (15, 1), (18, 2), (20, 1)];
+    for &(id, measured) in deviations {
+        let row = rows.iter().find(|r| r.problem.id == id).expect("row exists");
+        assert_eq!(row.rank, Some(measured), "pinned deviation for P{id} moved");
+    }
+}
+
+#[test]
+fn connection_layer_fails_for_the_papers_reason() {
+    // Public-only (the paper's configuration): no solution at all.
+    let default = build_default();
+    let p19 = problems::table1().into_iter().find(|p| p.id == 19).expect("row 19");
+    let row = run_problem(&default, &p19);
+    assert_eq!(row.rank, None, "P19 should fail under public-only synthesis");
+    assert_eq!(row.candidates, 0);
+
+    // With the §7 fix (protected members allowed), the solution appears —
+    // and it is the protected `getLayer` plus a mined downcast.
+    let fixed = build(&BuildOptions { include_protected: true, ..BuildOptions::default() })
+        .expect("assembles")
+        .prospector;
+    let row = run_problem(&fixed, &p19);
+    assert_eq!(row.rank, Some(1), "include_protected should repair P19");
+    let top = row.top_code.expect("has top suggestion");
+    assert!(top.contains(".getLayer("), "unexpected repair: {top}");
+    assert!(top.contains("(ConnectionLayer)"), "repair should keep the mined cast: {top}");
+}
+
+#[test]
+fn downcast_rows_require_mining() {
+    // Rows 5, 15, 16 (and the repaired 19) depend on mined examples;
+    // the signature-graph baseline must lose them but keep the pure
+    // signature rows.
+    let baseline = build(&BuildOptions { mining: false, ..BuildOptions::default() })
+        .expect("assembles")
+        .prospector;
+    let all = problems::table1();
+    for p in &all {
+        let row = run_problem(&baseline, p);
+        match p.id {
+            5 | 15 => assert_eq!(
+                row.rank, None,
+                "P{} should need mining, got {:?}",
+                p.id, row.top_code
+            ),
+            1 | 2 | 3 | 4 | 6 | 7 | 8 | 9 | 10 | 13 => {
+                assert!(row.rank.is_some(), "P{} should not need mining", p.id);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn average_time_far_below_paper_budget() {
+    let prospector = build_default();
+    let rows = run_table1(&prospector);
+    let avg = rows.iter().map(|r| r.time.as_secs_f64()).sum::<f64>() / rows.len() as f64;
+    // Paper: 0.23 s average on a 2.26 GHz Pentium 4. Allow generous slack
+    // for debug builds; the bench measures precisely.
+    assert!(avg < 0.25, "average {avg}s exceeds paper's average");
+}
