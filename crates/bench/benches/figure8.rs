@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo bench -p bench --bench figure8`.
 
-use criterion::{criterion_group, Criterion};
+use bench::{criterion_group, Criterion};
 use prospector_corpora::build_default;
 use prospector_study::{simulate, StudyConfig};
 

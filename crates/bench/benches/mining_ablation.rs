@@ -13,7 +13,7 @@
 //!
 //! Run with `cargo bench -p bench --bench mining_ablation`.
 
-use criterion::{criterion_group, Criterion};
+use bench::{criterion_group, Criterion};
 use jungloid_dataflow::{LoweredCorpus, Miner};
 use prospector_core::viability::viability_rate;
 use prospector_core::Prospector;

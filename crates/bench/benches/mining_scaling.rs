@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use criterion::{criterion_group, Criterion};
+use bench::{criterion_group, Criterion};
 use jungloid_dataflow::{LoweredCorpus, Miner, MinerConfig};
 use prospector_corpora::client_gen::{explosion_case, generate_clients, ClientGenSpec, ExplosionSpec};
 use prospector_corpora::eclipse_api;

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use criterion::{criterion_group, Criterion};
+use bench::{criterion_group, Criterion};
 use prospector_core::persist;
 use prospector_corpora::{build, jungle::JungleSpec, problems, BuildOptions};
 
@@ -39,7 +39,7 @@ fn print_report() {
     );
 
     // On-disk size (paper: 8 MB) and load time (paper: 1.5 s).
-    let json = persist::to_json(engine.api(), engine.graph()).expect("serializes");
+    let json = persist::to_json(engine.api(), engine.graph());
     println!(
         "serialized size: {:.1} MB (paper: 8 MB)",
         json.len() as f64 / (1024.0 * 1024.0)
@@ -80,7 +80,7 @@ fn print_report() {
 fn bench_load_and_query(c: &mut Criterion) {
     let built = build(&paper_scale_options()).expect("assembles");
     let engine = built.prospector;
-    let json = persist::to_json(engine.api(), engine.graph()).expect("serializes");
+    let json = persist::to_json(engine.api(), engine.graph());
 
     let mut group = c.benchmark_group("perf_section5");
     group.sample_size(10);

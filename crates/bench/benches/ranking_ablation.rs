@@ -14,7 +14,7 @@
 //!
 //! Run with `cargo bench -p bench --bench ranking_ablation`.
 
-use criterion::{criterion_group, Criterion};
+use bench::{criterion_group, Criterion};
 use prospector_core::RankOptions;
 use prospector_corpora::report::run_table1;
 use prospector_corpora::{build_default, problems};

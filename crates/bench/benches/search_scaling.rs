@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use criterion::{criterion_group, Criterion};
+use bench::{criterion_group, Criterion};
 use prospector_corpora::{build, jungle::JungleSpec, BuildOptions};
 
 fn engine_with_jungle(classes: usize) -> prospector_core::Prospector {
@@ -55,7 +55,7 @@ fn print_report() {
             extra,
             t.elapsed().as_secs_f64() * 1000.0,
             result.suggestions.len(),
-            result.truncated
+            result.truncation
         );
     }
     println!("\n(the paper's choice, extra_steps = 1, is the knee of the curve)\n");

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo bench -p bench --bench table1`.
 
-use criterion::{criterion_group, Criterion};
+use bench::{criterion_group, Criterion};
 use prospector_corpora::report::{format_table1, run_table1};
 use prospector_corpora::{build_default, problems};
 

@@ -26,6 +26,11 @@
 //! Engine flags (before the subcommand arguments): `--no-mining`,
 //! `--no-generalize`, `--include-protected`, `--jungle` (grow the
 //! paper-scale distractor jungle), `--max N` (suggestions to print).
+//!
+//! Observability flags (any subcommand): `--metrics` prints the metric
+//! registry — per-stage pipeline timings, counters, gauges — after the
+//! command runs; `--metrics-json <path>` writes the same snapshot as a
+//! machine-readable JSON document (see the README's metric schema).
 
 use std::process::ExitCode;
 
@@ -52,6 +57,8 @@ struct Flags {
     max: usize,
     seed: u64,
     index: Option<String>,
+    metrics: bool,
+    metrics_json: Option<String>,
     rest: Vec<String>,
 }
 
@@ -60,6 +67,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut max = 5usize;
     let mut seed = StudyConfig::default().seed;
     let mut index = None;
+    let mut metrics = false;
+    let mut metrics_json = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,14 +96,44 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--index" => {
                 index = Some(it.next().ok_or("--index needs a path")?.clone());
             }
+            "--metrics" => metrics = true,
+            "--metrics-json" => {
+                metrics_json = Some(it.next().ok_or("--metrics-json needs a path")?.clone());
+            }
             other => rest.push(other.to_owned()),
         }
     }
-    Ok(Flags { options, max, seed, index, rest })
+    Ok(Flags { options, max, seed, index, metrics, metrics_json, rest })
 }
 
 fn run(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
+    if flags.metrics || flags.metrics_json.is_some() {
+        prospector_obs::set_enabled(true);
+    }
+    let result = run_command(&flags);
+    // Emit metrics even when the command failed — the partial pipeline
+    // record is exactly what a failure investigation wants.
+    let emitted = emit_metrics(&flags);
+    result.and(emitted)
+}
+
+fn emit_metrics(flags: &Flags) -> Result<(), String> {
+    if !flags.metrics && flags.metrics_json.is_none() {
+        return Ok(());
+    }
+    let snap = prospector_obs::snapshot();
+    if let Some(path) = &flags.metrics_json {
+        let doc = prospector_obs::report::to_json(&snap);
+        std::fs::write(path, doc.to_text()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if flags.metrics {
+        print!("{}", prospector_obs::report::to_text(&snap));
+    }
+    Ok(())
+}
+
+fn run_command(flags: &Flags) -> Result<(), String> {
     let Some(command) = flags.rest.first() else {
         print_usage();
         return Ok(());
@@ -104,11 +143,17 @@ fn run(args: &[String]) -> Result<(), String> {
             let [_, tin, tout] = flags.rest.as_slice() else {
                 return Err("usage: prospector query <TIN> <TOUT>".to_owned());
             };
-            let engine = engine(&flags)?;
+            let engine = engine(flags)?;
             let tin = resolve(&engine, tin)?;
             let tout = resolve(&engine, tout)?;
             let result = engine.query(tin, tout).map_err(|e| e.to_string())?;
             print_suggestions(&engine, &result.suggestions, flags.max);
+            if result.truncation.truncated() {
+                println!(
+                    "note: enumeration truncated ({}); some jungloids were not explored",
+                    result.truncation
+                );
+            }
             Ok(())
         }
         "assist" => {
@@ -126,7 +171,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
             let tout = tout.ok_or("usage: prospector assist <TOUT> [--var name:Type]...")?;
-            let engine = engine(&flags)?;
+            let engine = engine(flags)?;
             let tout = resolve(&engine, &tout)?;
             let vars: Vec<(&str, TyId)> = visible
                 .iter()
@@ -137,22 +182,28 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("note: variable `{name}` already has the requested type");
             }
             print_suggestions(&engine, &result.suggestions, flags.max);
+            if result.truncation.truncated() {
+                println!(
+                    "note: enumeration truncated ({}); some jungloids were not explored",
+                    result.truncation
+                );
+            }
             Ok(())
         }
         "complete" => {
             let [_, file, method, var] = flags.rest.as_slice() else {
                 return Err("usage: prospector complete <file.mj> <method> <var>".to_owned());
             };
-            complete(&flags, file, method, var)
+            complete(flags, file, method, var)
         }
         "table1" => {
-            let engine = engine(&flags)?;
+            let engine = engine(flags)?;
             let rows = report::run_table1(&engine);
             println!("{}", report::format_table1(&rows));
             Ok(())
         }
         "study" => {
-            let engine = engine(&flags)?;
+            let engine = engine(flags)?;
             let config = StudyConfig { seed: flags.seed, ..StudyConfig::default() };
             let studied = simulate(&engine, &config);
             println!("{}", studied.format_figure8());
@@ -180,7 +231,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if flags.rest.len() < 3 {
                 return Err("usage: prospector explain <TIN> <TOUT> [RANK]".to_owned());
             }
-            let engine = engine(&flags)?;
+            let engine = engine(flags)?;
             let tin = resolve(&engine, &flags.rest[1])?;
             let tout = resolve(&engine, &flags.rest[2])?;
             let rank: usize = flags
@@ -199,7 +250,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let [_, tin, tout] = flags.rest.as_slice() else {
                 return Err("usage: prospector compose <TIN> <TOUT>".to_owned());
             };
-            let engine = engine(&flags)?;
+            let engine = engine(flags)?;
             let tin_ty = resolve(&engine, tin)?;
             let tout_ty = resolve(&engine, tout)?;
             let result = engine.query(tin_ty, tout_ty).map_err(|e| e.to_string())?;
@@ -240,7 +291,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if flags.rest.len() < 2 {
                 return Err("usage: prospector graph <TYPE>...".to_owned());
             }
-            let engine = engine(&flags)?;
+            let engine = engine(flags)?;
             let roots = flags.rest[1..]
                 .iter()
                 .map(|n| Ok(prospector_core::NodeId::Ty(resolve(&engine, n)?)))
@@ -275,7 +326,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "stats" => {
-            let engine = engine(&flags)?;
+            // `stats` always times the pipeline so the §5 size report
+            // carries per-stage build timings alongside the graph counts.
+            prospector_obs::set_enabled(true);
+            let engine = engine(flags)?;
             let g = engine.graph();
             let stats = g.stats(engine.api());
             println!("types:        {}", engine.api().types().len());
@@ -290,6 +344,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("  widening:    {}", stats.widening_edges);
             println!("  downcast:    {} (mined examples: {})", stats.downcast_edges, stats.examples);
             println!("approx bytes: {}", g.approx_bytes());
+            print!("{}", prospector_obs::report::to_text(&prospector_obs::snapshot()));
             Ok(())
         }
         other => {
@@ -401,6 +456,6 @@ usage:
   prospector [flags] stats
 
 flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle
-       --max N --seed N --index <path>"
+       --max N --seed N --index <path> --metrics --metrics-json <path>"
     );
 }

@@ -74,6 +74,75 @@ fn stats_reports_scale() {
     assert!(ok);
     assert!(stdout.contains("graph edges:"));
     assert!(stdout.contains("methods:"));
+    // stats always carries the pipeline timing block.
+    assert!(stdout.contains("--- metrics ---"));
+    assert!(stdout.contains("build"));
+}
+
+#[test]
+fn metrics_flag_prints_registry() {
+    let (stdout, _, ok) = prospector(&["--metrics", "query", "IFile", "ASTNode"]);
+    assert!(ok);
+    assert!(stdout.contains("--- metrics ---"));
+    assert!(stdout.contains("search.dfs_expansions"));
+    assert!(stdout.contains("graph.nodes"));
+}
+
+#[test]
+fn metrics_json_reports_pipeline() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) =
+        prospector(&["--metrics-json", path_str, "query", "IFile", "ASTNode"]);
+    assert!(ok, "stderr: {stderr}");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = prospector_obs::Json::parse(&text).expect("valid JSON");
+
+    // All six canonical stages are present (zeroed or not), and the ones
+    // a mining query actually exercises carry nonzero wall time.
+    let stages = doc.get("stages").unwrap();
+    for name in prospector_obs::report::PIPELINE_STAGES {
+        let stage = stages.get(name).unwrap_or_else(|| panic!("stage `{name}` missing"));
+        assert!(stage.get("total_ns").unwrap().as_u64().is_some());
+    }
+    for name in ["build", "mine", "generalize", "search"] {
+        let total = stages.get(name).unwrap().get("total_ns").unwrap().as_u64().unwrap();
+        assert!(total > 0, "stage `{name}` should have recorded time");
+    }
+
+    let counters = doc.get("counters").unwrap();
+    for name in [
+        "search.dfs_expansions",
+        "search.paths_enumerated",
+        "graph.examples_spliced",
+        "mine.cast_sites",
+        "engine.dist_cache.misses",
+        "rank.comparisons",
+        "synth.snippets",
+    ] {
+        let v = counters.get(name).unwrap_or_else(|| panic!("counter `{name}` missing"));
+        assert!(v.as_u64().unwrap() > 0, "counter `{name}` should be nonzero");
+    }
+
+    let gauges = doc.get("gauges").unwrap();
+    assert!(gauges.get("graph.nodes").unwrap().as_u64().unwrap() > 0);
+    assert!(gauges.get("graph.edges").unwrap().as_u64().unwrap() > 0);
+    assert!(gauges.get("engine.dist_cache.entries").unwrap().as_u64().unwrap() > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn query_reports_truncation_reason() {
+    // --jungle inflates the graph enough that the default caps trip.
+    let (stdout, _, ok) =
+        prospector(&["--jungle", "--max", "1", "query", "IWorkbench", "IEditorPart"]);
+    assert!(ok);
+    if stdout.contains("note: enumeration truncated") {
+        assert!(stdout.contains("path_cap") || stdout.contains("expansion_cap"), "{stdout}");
+    }
 }
 
 #[test]

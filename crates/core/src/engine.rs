@@ -9,18 +9,24 @@
 //!   deduplicated by rendered code.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use jungloid_apidef::{Api, ElemJungloid};
 use jungloid_typesys::{Ty, TyId};
-use parking_lot::Mutex;
 
 use crate::generalize::generalize;
 use crate::graph::{ExampleError, GraphConfig, JungloidGraph};
 use crate::path::Jungloid;
 use crate::rank::{rank_key, RankKey, RankOptions};
-use crate::search::{enumerate, DistanceField, SearchConfig, SearchOutcome};
+use crate::search::{enumerate, DistanceField, SearchConfig, SearchOutcome, TruncationReason};
 use crate::synth::{synthesize, Snippet};
+
+/// Cap on cached distance fields. Every distinct query target costs one
+/// `O(nodes + edges)` field; without a cap a long-lived engine serving
+/// many targets grows without bound. When full, the cache is cleared
+/// wholesale (fields are cheap to recompute and real workloads re-query
+/// few targets).
+const DIST_CACHE_CAP: usize = 256;
 
 /// A query failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,8 +76,8 @@ pub struct QueryResult {
     pub suggestions: Vec<Suggestion>,
     /// Shortest path length `m` found (non-widening steps).
     pub shortest: Option<u32>,
-    /// Whether enumeration hit a cap.
-    pub truncated: bool,
+    /// Which cap (if any) stopped the enumeration early.
+    pub truncation: TruncationReason,
     /// Visible variables that already satisfy `tout` without any code
     /// (their type widens to it). Only populated by
     /// [`Prospector::assist`].
@@ -170,15 +176,19 @@ impl Prospector {
             .filter(|e| e.iter().all(|elem| self.elem_visible(elem, config)))
             .cloned()
             .collect();
-        let prepared: Vec<Vec<ElemJungloid>> =
-            if generalize_first { generalize(&visible) } else { visible };
+        let prepared: Vec<Vec<ElemJungloid>> = if generalize_first {
+            let _span = prospector_obs::stage("generalize");
+            generalize(&visible)
+        } else {
+            visible
+        };
         let mut added = 0;
         for e in &prepared {
             if self.graph.add_example(&self.api, e)? {
                 added += 1;
             }
         }
-        self.dist_cache.lock().clear();
+        self.dist_cache.lock().expect("dist cache poisoned").clear();
         Ok(added)
     }
 
@@ -204,6 +214,7 @@ impl Prospector {
             .cloned()
             .collect();
         let prepared: Vec<Vec<ElemJungloid>> = if generalize_first {
+            let _span = prospector_obs::stage("generalize");
             crate::generalize::generalize_terminal(&visible)
         } else {
             visible
@@ -214,7 +225,7 @@ impl Prospector {
                 added += 1;
             }
         }
-        self.dist_cache.lock().clear();
+        self.dist_cache.lock().expect("dist cache poisoned").clear();
         Ok(added)
     }
 
@@ -233,11 +244,19 @@ impl Prospector {
     }
 
     fn distances(&self, target: TyId) -> Arc<DistanceField> {
-        let mut cache = self.dist_cache.lock();
-        cache
-            .entry(target)
-            .or_insert_with(|| Arc::new(DistanceField::towards(&self.graph, target)))
-            .clone()
+        let mut cache = self.dist_cache.lock().expect("dist cache poisoned");
+        if let Some(field) = cache.get(&target) {
+            prospector_obs::add("engine.dist_cache.hits", 1);
+            return field.clone();
+        }
+        prospector_obs::add("engine.dist_cache.misses", 1);
+        if cache.len() >= DIST_CACHE_CAP {
+            cache.clear();
+        }
+        let field = Arc::new(DistanceField::towards(&self.graph, target));
+        cache.insert(target, field.clone());
+        prospector_obs::gauge_set("engine.dist_cache.entries", cache.len() as u64);
+        field
     }
 
     /// Answers an explicit query `(tin, tout)` (§2.1). `tin` may be
@@ -294,24 +313,36 @@ impl Prospector {
 
     fn run(&self, sources: &[(Option<String>, TyId)], tout: TyId) -> QueryResult {
         let tys: Vec<TyId> = sources.iter().map(|(_, t)| *t).collect();
-        let field = self.distances(tout);
-        let SearchOutcome { jungloids, shortest, truncated } =
-            enumerate(&self.graph, &tys, tout, &field, &self.search);
+        let SearchOutcome { jungloids, shortest, truncation } = {
+            let _span = prospector_obs::stage("search");
+            let field = self.distances(tout);
+            enumerate(&self.graph, &tys, tout, &field, &self.search)
+        };
 
         // Synthesize, rank, and dedupe by rendered code (distinct paths —
         // e.g. differing only in widening — can render identically).
         let mut best: HashMap<String, Suggestion> = HashMap::new();
-        for j in jungloids {
-            let input_var = sources
-                .iter()
-                .find(|(name, t)| *t == j.source && name.is_some())
-                .and_then(|(name, _)| name.clone());
-            let snippet = synthesize(&self.api, &j, input_var.as_deref());
-            let code = snippet.code();
-            let key = rank_key(&self.api, &j, code.clone(), &self.ranking);
-            match best.get(&code) {
-                Some(existing) if existing.key <= key => {}
-                _ => {
+        let mut snippets: u64 = 0;
+        let mut dedup_drops: u64 = 0;
+        {
+            let _span = prospector_obs::stage("synth");
+            for j in jungloids {
+                let input_var = sources
+                    .iter()
+                    .find(|(name, t)| *t == j.source && name.is_some())
+                    .and_then(|(name, _)| name.clone());
+                let snippet = synthesize(&self.api, &j, input_var.as_deref());
+                snippets += 1;
+                let code = snippet.code();
+                let key = rank_key(&self.api, &j, code.clone(), &self.ranking);
+                let replace = match best.get(&code) {
+                    Some(existing) => {
+                        dedup_drops += 1;
+                        existing.key > key
+                    }
+                    None => true,
+                };
+                if replace {
                     best.insert(
                         code.clone(),
                         Suggestion { jungloid: j, snippet, code, input_var, key },
@@ -319,9 +350,20 @@ impl Prospector {
                 }
             }
         }
+        prospector_obs::add("synth.snippets", snippets);
+        prospector_obs::add("engine.dedup_drops", dedup_drops);
+
         let mut suggestions: Vec<Suggestion> = best.into_values().collect();
-        suggestions.sort_by(|a, b| a.key.cmp(&b.key));
-        QueryResult { suggestions, shortest, truncated, already_available: Vec::new() }
+        let comparisons = std::cell::Cell::new(0u64);
+        {
+            let _span = prospector_obs::stage("rank");
+            suggestions.sort_by(|a, b| {
+                comparisons.set(comparisons.get() + 1);
+                a.key.cmp(&b.key)
+            });
+        }
+        prospector_obs::add("rank.comparisons", comparisons.get());
+        QueryResult { suggestions, shortest, truncation, already_available: Vec::new() }
     }
 }
 

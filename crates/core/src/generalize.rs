@@ -117,6 +117,7 @@ fn generalize_with(
     }
     // Cut each example at the first singleton-target depth.
     let mut out: Vec<Vec<ElemJungloid>> = Vec::new();
+    let mut trimmed: u64 = 0;
     for (e, target) in &cast_examples {
         let body = &e[..e.len() - 1];
         let mut at = 0usize;
@@ -137,6 +138,9 @@ fn generalize_with(
             keep = keep.max(1.min(body.len()));
         }
         let suffix: Vec<ElemJungloid> = e[e.len() - 1 - keep..].to_vec();
+        if suffix.len() < e.len() {
+            trimmed += 1;
+        }
         if !out.contains(&suffix) {
             out.push(suffix);
         }
@@ -146,6 +150,7 @@ fn generalize_with(
             out.push(e);
         }
     }
+    prospector_obs::add("generalize.suffixes_trimmed", trimmed);
     out
 }
 

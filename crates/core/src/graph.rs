@@ -18,10 +18,10 @@
 use jungloid_apidef::elem::{elem_of_field, elems_of_method};
 use jungloid_apidef::{Api, ElemJungloid, Visibility};
 use jungloid_typesys::TyId;
-use serde::{Deserialize, Serialize};
+use prospector_obs::json::{decode_err, Json, JsonError};
 
 /// A node: an API type or a fresh mined (typestate) node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NodeId {
     /// The node for an interned type.
     Ty(TyId),
@@ -30,7 +30,7 @@ pub enum NodeId {
 }
 
 /// An out-edge: an elementary jungloid and its destination.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Edge {
     /// The elementary jungloid this edge represents.
     pub elem: ElemJungloid,
@@ -39,7 +39,7 @@ pub struct Edge {
 }
 
 /// Construction options.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[derive(Default)]
 pub struct GraphConfig {
     /// Include `protected` members. The paper's implementation supports
@@ -110,7 +110,7 @@ impl std::fmt::Display for ExampleError {
 impl std::error::Error for ExampleError {}
 
 /// The jungloid graph: signature edges plus mined example paths.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JungloidGraph {
     config: GraphConfig,
     /// Number of type-backed nodes (= type-table size at build time).
@@ -192,6 +192,8 @@ impl JungloidGraph {
                 graph.push_edge(NodeId::Ty(t), elem, NodeId::Ty(sup));
             }
         }
+        prospector_obs::gauge_set("graph.nodes", graph.node_count() as u64);
+        prospector_obs::gauge_set("graph.edges", graph.edge_count as u64);
         graph
     }
 
@@ -357,6 +359,7 @@ impl JungloidGraph {
             from = to;
         }
         self.examples.push(steps.to_vec());
+        prospector_obs::add("graph.examples_spliced", 1);
         Ok(true)
     }
 
@@ -418,6 +421,156 @@ impl JungloidGraph {
         let rev = std::mem::size_of::<(NodeId, u8)>();
         let node = 2 * std::mem::size_of::<Vec<Edge>>();
         self.edge_count * (edge + rev) + self.node_count() * node + self.mined_base.len() * 4
+    }
+
+    /// Serializes the graph — config, mined nodes, examples, and the full
+    /// out-adjacency — to JSON. Nodes are encoded by dense index (type
+    /// nodes first, then mined nodes), matching
+    /// [`JungloidGraph::index_of`]; the reverse adjacency is rebuilt on
+    /// load.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let adjacency: Vec<Json> = self
+            .out
+            .iter()
+            .map(|edges| {
+                Json::Arr(
+                    edges
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("e", e.elem.to_json()),
+                                ("to", Json::num_u(self.index_of(e.to) as u64)),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            (
+                "config",
+                Json::obj(vec![
+                    ("include_protected", Json::Bool(self.config.include_protected)),
+                    ("restrict_weak_params", Json::Bool(self.config.restrict_weak_params)),
+                ]),
+            ),
+            ("ty_count", Json::num_u(u64::from(self.ty_count))),
+            (
+                "mined_base",
+                Json::Arr(self.mined_base.iter().map(|t| Json::num_u(t.index() as u64)).collect()),
+            ),
+            (
+                "examples",
+                Json::Arr(
+                    self.examples
+                        .iter()
+                        .map(|steps| Json::Arr(steps.iter().map(ElemJungloid::to_json).collect()))
+                        .collect(),
+                ),
+            ),
+            ("adjacency", Json::Arr(adjacency)),
+        ])
+    }
+
+    /// Deserializes a graph persisted by [`JungloidGraph::to_json`],
+    /// validating every node index and member reference against `api`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the document is malformed, was built over a different
+    /// number of types than `api` declares, or refers to out-of-range
+    /// nodes or members.
+    pub fn from_json(doc: &Json, api: &Api) -> Result<Self, JsonError> {
+        let config_doc = doc.want("config")?;
+        let config = GraphConfig {
+            include_protected: config_doc
+                .want("include_protected")?
+                .as_bool()
+                .ok_or_else(|| decode_err("include_protected must be a bool"))?,
+            restrict_weak_params: config_doc
+                .want("restrict_weak_params")?
+                .as_bool()
+                .ok_or_else(|| decode_err("restrict_weak_params must be a bool"))?,
+        };
+        let ty_count =
+            doc.want("ty_count")?.as_u64().ok_or_else(|| decode_err("ty_count must be an integer"))?;
+        if ty_count != api.types().len() as u64 {
+            return Err(decode_err(format!(
+                "graph was built over {ty_count} types but the API declares {}",
+                api.types().len()
+            )));
+        }
+        let ty_count = u32::try_from(ty_count).map_err(|_| decode_err("ty_count too large"))?;
+        let mined_base = doc
+            .want("mined_base")?
+            .as_arr()
+            .ok_or_else(|| decode_err("mined_base must be an array"))?
+            .iter()
+            .map(|v| {
+                let i = v
+                    .as_u64()
+                    .ok_or_else(|| decode_err("mined_base entries must be integers"))?;
+                let i = usize::try_from(i).map_err(|_| decode_err("mined base out of range"))?;
+                if i < api.types().len() {
+                    Ok(TyId::from_index(i))
+                } else {
+                    Err(decode_err(format!("mined base type {i} out of range")))
+                }
+            })
+            .collect::<Result<Vec<TyId>, JsonError>>()?;
+        let mut examples = Vec::new();
+        for steps_doc in
+            doc.want("examples")?.as_arr().ok_or_else(|| decode_err("examples must be an array"))?
+        {
+            let steps = steps_doc
+                .as_arr()
+                .ok_or_else(|| decode_err("each example must be an array"))?
+                .iter()
+                .map(|v| ElemJungloid::from_json(v, api))
+                .collect::<Result<Vec<_>, JsonError>>()?;
+            examples.push(steps);
+        }
+        let node_count = ty_count as usize + mined_base.len();
+        let adjacency = doc
+            .want("adjacency")?
+            .as_arr()
+            .ok_or_else(|| decode_err("adjacency must be an array"))?;
+        if adjacency.len() != node_count {
+            return Err(decode_err(format!(
+                "adjacency lists {} nodes, expected {node_count}",
+                adjacency.len()
+            )));
+        }
+        let mut graph = JungloidGraph {
+            config,
+            ty_count,
+            mined_base,
+            out: vec![Vec::new(); node_count],
+            rev: vec![Vec::new(); node_count],
+            examples,
+            edge_count: 0,
+        };
+        for (from_idx, edges_doc) in adjacency.iter().enumerate() {
+            let from = graph.node_at(from_idx);
+            for edge_doc in
+                edges_doc.as_arr().ok_or_else(|| decode_err("adjacency rows must be arrays"))?
+            {
+                let elem = ElemJungloid::from_json(edge_doc.want("e")?, api)?;
+                let to_idx = edge_doc
+                    .want("to")?
+                    .as_u64()
+                    .ok_or_else(|| decode_err("edge target must be an integer"))?;
+                let to_idx =
+                    usize::try_from(to_idx).map_err(|_| decode_err("edge target too large"))?;
+                if to_idx >= node_count {
+                    return Err(decode_err(format!("edge target {to_idx} out of range")));
+                }
+                let to = graph.node_at(to_idx);
+                graph.push_edge(from, elem, to);
+            }
+        }
+        Ok(graph)
     }
 }
 
@@ -620,6 +773,58 @@ mod tests {
         .err(); // invalid (b -> b); ensure stats unaffected by failed add
         let before = g.stats(&api);
         assert_eq!(before.downcast_edges, 0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_graph() {
+        let api = api();
+        let mut g = JungloidGraph::from_api(
+            &api,
+            GraphConfig { include_protected: true, ..GraphConfig::default() },
+        );
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let obj = api.types().object().unwrap();
+        let m = api.lookup_instance_method(a, "toB", 0)[0];
+        g.add_example(
+            &api,
+            &[
+                ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+                ElemJungloid::Widen { from: b, to: obj },
+                ElemJungloid::Downcast { from: obj, to: b },
+            ],
+        )
+        .unwrap();
+
+        let doc = g.to_json();
+        let back = JungloidGraph::from_json(&doc, &api).unwrap();
+        assert_eq!(back.config(), g.config());
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.mined_node_count(), g.mined_node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.examples(), g.examples());
+        for idx in 0..g.node_count() {
+            let n = g.node_at(idx);
+            assert_eq!(back.out_edges(n), g.out_edges(n));
+            // The reverse adjacency is rebuilt node-by-node on load, so
+            // only its per-node *contents* are preserved, not the order.
+            let mut rev1 = back.in_edges(n).to_vec();
+            let mut rev2 = g.in_edges(n).to_vec();
+            rev1.sort_unstable();
+            rev2.sort_unstable();
+            assert_eq!(rev1, rev2);
+            assert_eq!(back.base_ty(n), g.base_ty(n));
+        }
+        // The serialized text survives a parse round trip too.
+        assert_eq!(back.to_json(), doc);
+        let text = doc.to_text();
+        assert_eq!(prospector_obs::Json::parse(&text).unwrap(), doc);
+
+        // Tampered documents are rejected, not mis-loaded.
+        assert!(JungloidGraph::from_json(&Json::obj(vec![]), &api).is_err());
+        let Json::Obj(mut pairs) = doc else { unreachable!() };
+        pairs.retain(|(k, _)| k != "adjacency");
+        assert!(JungloidGraph::from_json(&Json::Obj(pairs), &api).is_err());
     }
 
     #[test]

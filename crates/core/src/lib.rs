@@ -72,6 +72,6 @@ pub use engine::{Prospector, QueryError, QueryResult, Suggestion};
 pub use graph::{Edge, ExampleError, GraphConfig, GraphStats, JungloidGraph, NodeId};
 pub use path::Jungloid;
 pub use rank::{RankKey, RankOptions};
-pub use search::{DistanceField, SearchConfig, SearchOutcome};
+pub use search::{DistanceField, SearchConfig, SearchOutcome, TruncationReason};
 pub use synth::{synthesize, synthesize_statements, NamePool, Snippet};
 pub use viability::{Behavior, Outcome};

@@ -3,11 +3,10 @@
 
 use jungloid_apidef::{Api, ElemJungloid};
 use jungloid_typesys::TyId;
-use serde::{Deserialize, Serialize};
 
 /// A jungloid: a well-typed composition of elementary jungloids from
 /// `source` to [`Jungloid::output_ty`].
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Jungloid {
     /// The input type `tin` (possibly `void`).
     pub source: TyId,

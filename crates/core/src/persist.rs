@@ -2,17 +2,18 @@
 //!
 //! §5 reports the graph representation occupying 8 MB on disk and 24 MB in
 //! memory, loading in 1.5 s; the `perf_section5` bench reproduces those
-//! measurements against this module's JSON encoding.
+//! measurements against this module's JSON encoding (the dependency-free
+//! [`prospector_obs::Json`] value type).
 
 use std::path::Path;
 
 use jungloid_apidef::Api;
-use serde::{Deserialize, Serialize};
+use prospector_obs::json::{Json, JsonError};
 
 use crate::graph::JungloidGraph;
 
 /// The on-disk bundle.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct PersistedIndex {
     /// The API model.
     pub api: Api,
@@ -21,37 +22,31 @@ pub struct PersistedIndex {
 }
 
 /// Serializes to a JSON string.
-///
-/// # Errors
-///
-/// Propagates `serde_json` failures (practically impossible for these
-/// types).
-pub fn to_json(api: &Api, graph: &JungloidGraph) -> Result<String, serde_json::Error> {
-    #[derive(Serialize)]
-    struct Ref<'a> {
-        api: &'a Api,
-        graph: &'a JungloidGraph,
-    }
-    serde_json::to_string(&Ref { api, graph })
+#[must_use]
+pub fn to_json(api: &Api, graph: &JungloidGraph) -> String {
+    Json::obj(vec![("api", api.to_json()), ("graph", graph.to_json())]).to_text()
 }
 
 /// Deserializes from a JSON string.
 ///
 /// # Errors
 ///
-/// Fails on malformed input.
-pub fn from_json(text: &str) -> Result<PersistedIndex, serde_json::Error> {
-    serde_json::from_str(text)
+/// Fails on malformed input, missing keys, or a graph that references
+/// members the bundled API does not declare.
+pub fn from_json(text: &str) -> Result<PersistedIndex, JsonError> {
+    let doc = Json::parse(text)?;
+    let api = Api::from_json(doc.want("api")?)?;
+    let graph = JungloidGraph::from_json(doc.want("graph")?, &api)?;
+    Ok(PersistedIndex { api, graph })
 }
 
 /// Writes the bundle to a file.
 ///
 /// # Errors
 ///
-/// I/O and serialization errors.
+/// I/O errors.
 pub fn save_file(path: &Path, api: &Api, graph: &JungloidGraph) -> std::io::Result<()> {
-    let text = to_json(api, graph).map_err(std::io::Error::other)?;
-    std::fs::write(path, text)
+    std::fs::write(path, to_json(api, graph))
 }
 
 /// Reads a bundle from a file.
@@ -90,7 +85,7 @@ mod tests {
     fn round_trip_preserves_answers() {
         let api = api();
         let graph = JungloidGraph::from_api(&api, GraphConfig::default());
-        let text = to_json(&api, &graph).unwrap();
+        let text = to_json(&api, &graph);
         let loaded = from_json(&text).unwrap();
         assert_eq!(loaded.graph.edge_count(), graph.edge_count());
         assert_eq!(loaded.graph.node_count(), graph.node_count());

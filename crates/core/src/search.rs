@@ -39,6 +39,43 @@ impl Default for SearchConfig {
     }
 }
 
+/// Which cap (if any) stopped an enumeration early.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The enumeration ran to completion.
+    #[default]
+    None,
+    /// [`SearchConfig::max_results`] paths were produced.
+    PathCap,
+    /// [`SearchConfig::max_expansions`] DFS edge expansions were spent.
+    ExpansionCap,
+}
+
+impl TruncationReason {
+    /// Whether any cap fired.
+    #[must_use]
+    pub fn truncated(self) -> bool {
+        self != TruncationReason::None
+    }
+
+    /// Stable lower-case label (`"none"`, `"path_cap"`,
+    /// `"expansion_cap"`) for reports and metrics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TruncationReason::None => "none",
+            TruncationReason::PathCap => "path_cap",
+            TruncationReason::ExpansionCap => "expansion_cap",
+        }
+    }
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The result of one enumeration.
 #[derive(Clone, Debug)]
 pub struct SearchOutcome {
@@ -46,8 +83,8 @@ pub struct SearchOutcome {
     pub jungloids: Vec<Jungloid>,
     /// Shortest length `m` (non-widening steps), if any path exists.
     pub shortest: Option<u32>,
-    /// Whether a cap stopped the enumeration early.
-    pub truncated: bool,
+    /// Which cap (if any) stopped the enumeration early.
+    pub truncation: TruncationReason,
 }
 
 /// Distances from every node *to* a fixed target, in non-widening steps.
@@ -127,7 +164,11 @@ pub fn enumerate(
         .filter(|&d| d != u32::MAX)
         .min();
     let Some(m) = m else {
-        return SearchOutcome { jungloids: Vec::new(), shortest: None, truncated: false };
+        return SearchOutcome {
+            jungloids: Vec::new(),
+            shortest: None,
+            truncation: TruncationReason::None,
+        };
     };
     let bound = m + config.extra_steps;
 
@@ -141,7 +182,7 @@ pub fn enumerate(
         elems: Vec::new(),
         out: Vec::new(),
         expansions: 0,
-        truncated: false,
+        truncation: TruncationReason::None,
     };
     for &s in &uniq_sources {
         if field.from(graph, NodeId::Ty(s)) == u32::MAX {
@@ -151,13 +192,20 @@ pub fn enumerate(
         dfs.on_path[si] = true;
         dfs.walk(s, si, 0);
         dfs.on_path[si] = false;
-        if dfs.truncated {
+        if dfs.truncation.truncated() {
             break;
         }
     }
+    prospector_obs::add("search.dfs_expansions", dfs.expansions as u64);
+    prospector_obs::add("search.paths_enumerated", dfs.out.len() as u64);
+    match dfs.truncation {
+        TruncationReason::None => {}
+        TruncationReason::PathCap => prospector_obs::add("search.truncated.path_cap", 1),
+        TruncationReason::ExpansionCap => prospector_obs::add("search.truncated.expansion_cap", 1),
+    }
     // `m` could be 0 when a source widens straight into the target; in that
     // case the shortest *produced* path still reports 0.
-    SearchOutcome { jungloids: dfs.out, shortest: Some(m), truncated: dfs.truncated }
+    SearchOutcome { jungloids: dfs.out, shortest: Some(m), truncation: dfs.truncation }
 }
 
 struct Dfs<'a> {
@@ -170,18 +218,18 @@ struct Dfs<'a> {
     elems: Vec<jungloid_apidef::ElemJungloid>,
     out: Vec<Jungloid>,
     expansions: usize,
-    truncated: bool,
+    truncation: TruncationReason,
 }
 
 impl Dfs<'_> {
     fn walk(&mut self, source: TyId, at: usize, cost: u32) {
-        if self.truncated {
+        if self.truncation.truncated() {
             return;
         }
         for edge in self.graph.out_edges(self.graph.node_at(at)) {
             self.expansions += 1;
             if self.expansions > self.config.max_expansions {
-                self.truncated = true;
+                self.truncation = TruncationReason::ExpansionCap;
                 return;
             }
             let to_idx = self.graph.index_of(edge.to);
@@ -201,7 +249,7 @@ impl Dfs<'_> {
                 if self.elems.iter().any(|e| !e.is_widen()) {
                     self.out.push(Jungloid { source, elems: self.elems.clone() });
                     if self.out.len() >= self.config.max_results {
-                        self.truncated = true;
+                        self.truncation = TruncationReason::PathCap;
                         self.elems.pop();
                         return;
                     }
@@ -210,7 +258,7 @@ impl Dfs<'_> {
                 self.on_path[to_idx] = true;
                 self.walk(source, to_idx, new_cost);
                 self.on_path[to_idx] = false;
-                if self.truncated {
+                if self.truncation.truncated() {
                     self.elems.pop();
                     return;
                 }
@@ -349,7 +397,13 @@ mod tests {
         let cfg = SearchConfig { max_results: 1, ..SearchConfig::default() };
         let outcome = enumerate(&g, &[a], d, &field, &cfg);
         assert_eq!(outcome.jungloids.len(), 1);
-        assert!(outcome.truncated);
+        assert_eq!(outcome.truncation, TruncationReason::PathCap);
+        assert!(outcome.truncation.truncated());
+
+        let cfg = SearchConfig { max_expansions: 2, ..SearchConfig::default() };
+        let outcome = enumerate(&g, &[a], d, &field, &cfg);
+        assert_eq!(outcome.truncation, TruncationReason::ExpansionCap);
+        assert_eq!(outcome.truncation.label(), "expansion_cap");
     }
 
     #[test]

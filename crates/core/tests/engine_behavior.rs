@@ -3,7 +3,7 @@
 //! mutation.
 
 use jungloid_apidef::{Api, ApiLoader, ElemJungloid};
-use prospector_core::{Prospector, RankOptions, SearchConfig};
+use prospector_core::{Prospector, RankOptions, SearchConfig, TruncationReason};
 
 fn api() -> Api {
     let mut loader = ApiLoader::with_prelude();
@@ -48,8 +48,13 @@ fn max_results_truncates_and_reports() {
     let mut engine = Prospector::new(api);
     engine.search = SearchConfig { max_results: 1, ..SearchConfig::default() };
     let result = engine.query(a, d).unwrap();
-    assert!(result.truncated);
+    assert_eq!(result.truncation, TruncationReason::PathCap);
+    assert!(result.truncation.truncated());
     assert_eq!(result.suggestions.len(), 1);
+
+    engine.search = SearchConfig { max_expansions: 1, ..SearchConfig::default() };
+    let result = engine.query(a, d).unwrap();
+    assert_eq!(result.truncation, TruncationReason::ExpansionCap);
 }
 
 #[test]

@@ -2,6 +2,9 @@
 //! completeness-within-window, ranking monotonicity, mined-path
 //! reachability, and the generalization algorithm against a naive
 //! reference implementation.
+//!
+//! APIs and walks are drawn from seeded deterministic generators —
+//! failures reproduce by seed.
 
 use jungloid_apidef::{Api, ElemJungloid, MethodDef, Visibility};
 use jungloid_typesys::{Prim, TyId, TypeKind};
@@ -9,13 +12,11 @@ use prospector_core::generalize::generalize;
 use prospector_core::{
     search, DistanceField, GraphConfig, Jungloid, JungloidGraph, Prospector, SearchConfig,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prospector_obs::SmallRng;
 
 /// Deterministically generates a random API from a seed.
 fn random_api(seed: u64, n_classes: usize, n_methods: usize) -> Api {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut api = Api::new();
     api.types_mut().declare("java.lang", "Object", TypeKind::Class).unwrap();
     let mut classes = Vec::new();
@@ -92,18 +93,18 @@ fn reference_shortest(graph: &JungloidGraph, from: TyId, to: TyId) -> Option<u32
     (t != u32::MAX).then_some(t)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn enumeration_sound_and_windowed(seed in any::<u64>()) {
+#[test]
+fn enumeration_sound_and_windowed() {
+    for seed in 0..48u64 {
         let api = random_api(seed, 8, 24);
         let graph = JungloidGraph::from_api(&api, GraphConfig::default());
         let classes = classes_of(&api);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xdead);
         let tin = classes[rng.gen_range(0..classes.len())];
         let tout = classes[rng.gen_range(0..classes.len())];
-        if tin == tout { return Ok(()); }
+        if tin == tout {
+            continue;
+        }
 
         let field = DistanceField::towards(&graph, tout);
         let outcome = search::enumerate(&graph, &[tin], tout, &field, &SearchConfig::default());
@@ -112,59 +113,69 @@ proptest! {
         // path exists; a pure-widening connection reports m=0 but yields
         // no jungloids).
         let reference = reference_shortest(&graph, tin, tout);
-        prop_assert_eq!(outcome.shortest, reference);
+        assert_eq!(outcome.shortest, reference, "seed {seed}");
 
         let m = outcome.shortest.unwrap_or(0);
         let mut seen = Vec::new();
         for j in &outcome.jungloids {
             // Sound: well-typed, correct endpoints.
-            j.validate(&api).map_err(TestCaseError::fail)?;
-            prop_assert_eq!(j.source, tin);
-            prop_assert_eq!(j.output_ty(&api), tout);
+            j.validate(&api).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(j.source, tin);
+            assert_eq!(j.output_ty(&api), tout);
             // Windowed: within m+1 non-widening steps.
-            prop_assert!(j.steps() >= 1 && j.steps() <= m + 1,
-                "length {} outside [1, {}]", j.steps(), m + 1);
+            assert!(
+                j.steps() >= 1 && j.steps() <= m + 1,
+                "seed {seed}: length {} outside [1, {}]",
+                j.steps(),
+                m + 1
+            );
             // Distinct.
-            prop_assert!(!seen.contains(j));
+            assert!(!seen.contains(j), "seed {seed}: duplicate path");
             seen.push(j.clone());
         }
         // Non-empty whenever a code-bearing path exists within the window.
-        if reference.is_some_and(|r| r >= 1) && !outcome.truncated {
-            prop_assert!(!outcome.jungloids.is_empty());
+        if reference.is_some_and(|r| r >= 1) && !outcome.truncation.truncated() {
+            assert!(!outcome.jungloids.is_empty(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn engine_ranking_monotone_and_deduped(seed in any::<u64>()) {
+#[test]
+fn engine_ranking_monotone_and_deduped() {
+    for seed in 0..48u64 {
         let api = random_api(seed, 7, 20);
         let classes = classes_of(&api);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xbeef);
         let tin = classes[rng.gen_range(0..classes.len())];
         let tout = classes[rng.gen_range(0..classes.len())];
-        if tin == tout { return Ok(()); }
+        if tin == tout {
+            continue;
+        }
         let engine = Prospector::new(api);
         let result = engine.query(tin, tout).unwrap();
         let mut codes = Vec::new();
         let mut prev: Option<prospector_core::RankKey> = None;
         for s in &result.suggestions {
-            prop_assert!(!codes.contains(&s.code), "duplicate code {}", s.code);
+            assert!(!codes.contains(&s.code), "seed {seed}: duplicate code {}", s.code);
             codes.push(s.code.clone());
             if let Some(p) = &prev {
-                prop_assert!(p <= &s.key);
+                assert!(p <= &s.key, "seed {seed}: rank order violated");
             }
             prev = Some(s.key.clone());
             // Rendered code reparses.
             jungloid_minijava::parse::parse_expr(&s.code)
-                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                .unwrap_or_else(|e| panic!("seed {seed}: `{}` failed to parse: {e}", s.code));
         }
     }
+}
 
-    #[test]
-    fn mined_examples_become_reachable(seed in any::<u64>()) {
+#[test]
+fn mined_examples_become_reachable() {
+    for seed in 0..48u64 {
         let api = random_api(seed, 8, 24);
         let graph = JungloidGraph::from_api(&api, GraphConfig::default());
         let classes = classes_of(&api);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfeed);
 
         // Random walk of 1..=3 code steps through the signature graph.
         let start = classes[rng.gen_range(0..classes.len())];
@@ -172,25 +183,31 @@ proptest! {
         let mut steps: Vec<ElemJungloid> = Vec::new();
         for _ in 0..rng.gen_range(1..=3usize) {
             let edges = graph.out_edges(at);
-            if edges.is_empty() { break; }
+            if edges.is_empty() {
+                break;
+            }
             let e = edges[rng.gen_range(0..edges.len())];
             steps.push(e.elem);
             at = e.to;
         }
-        if steps.is_empty() || steps.iter().all(ElemJungloid::is_widen) { return Ok(()); }
+        if steps.is_empty() || steps.iter().all(ElemJungloid::is_widen) {
+            continue;
+        }
         // End with a downcast to a strict subtype of the walk's output.
         let out_ty = steps.last().unwrap().output_ty(&api);
         let subs = api.types().strict_subtypes(out_ty);
-        let Some(&target) = subs.first() else { return Ok(()) };
+        let Some(&target) = subs.first() else { continue };
         steps.push(ElemJungloid::Downcast { from: out_ty, to: target });
 
         let j = Jungloid::new(&api, steps[0].input_ty(&api), steps.clone());
-        prop_assert!(j.is_ok(), "constructed example must be well-typed: {:?}", j.err());
+        assert!(j.is_ok(), "seed {seed}: constructed example must be well-typed: {:?}", j.err());
 
         let source = steps[0].input_ty(&api);
         let mut engine = Prospector::new(api);
         engine.add_examples(&[steps.clone()], false).unwrap();
-        if source == engine.api().types().void() || source == target { return Ok(()); }
+        if source == engine.api().types().void() || source == target {
+            continue;
+        }
         let result = engine.query(source, target).unwrap();
         // The spliced path is guaranteed to surface only when it fits the
         // m+1 enumeration window (a shorter signature-only path may
@@ -198,20 +215,23 @@ proptest! {
         let mined_len = steps.iter().filter(|e| !e.is_widen()).count() as u32;
         let window = result.shortest.expect("target now reachable") + 1;
         if mined_len <= window {
-            prop_assert!(
+            assert!(
                 result.suggestions.iter().any(|s| s.jungloid.contains_downcast()),
-                "spliced example (len {mined_len}, window {window}) not reachable: {:?}",
+                "seed {seed}: spliced example (len {mined_len}, window {window}) not reachable: {:?}",
                 result.suggestions.iter().map(|s| &s.code).collect::<Vec<_>>()
             );
         }
     }
+}
 
-    #[test]
-    fn generalize_matches_reference(seed in any::<u64>(), count in 1usize..6) {
+#[test]
+fn generalize_matches_reference() {
+    for seed in 0..48u64 {
         let api = random_api(seed, 8, 24);
         let graph = JungloidGraph::from_api(&api, GraphConfig::default());
         let classes = classes_of(&api);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+        let count = rng.gen_range(1..6usize);
 
         // Build `count` random cast-terminated examples.
         let mut examples: Vec<Vec<ElemJungloid>> = Vec::new();
@@ -221,15 +241,21 @@ proptest! {
             let mut steps = Vec::new();
             for _ in 0..rng.gen_range(1..=3usize) {
                 let edges = graph.out_edges(at);
-                if edges.is_empty() { break; }
+                if edges.is_empty() {
+                    break;
+                }
                 let e = edges[rng.gen_range(0..edges.len())];
                 steps.push(e.elem);
                 at = e.to;
             }
-            if steps.is_empty() { continue; }
+            if steps.is_empty() {
+                continue;
+            }
             let out_ty = steps.last().unwrap().output_ty(&api);
             let subs = api.types().strict_subtypes(out_ty);
-            if subs.is_empty() { continue; }
+            if subs.is_empty() {
+                continue;
+            }
             let target = subs[rng.gen_range(0..subs.len())];
             steps.push(ElemJungloid::Downcast { from: out_ty, to: target });
             examples.push(steps);
@@ -269,13 +295,15 @@ proptest! {
         let mut expected_sorted = expected.clone();
         got_sorted.sort_by_key(|e| format!("{e:?}"));
         expected_sorted.sort_by_key(|e| format!("{e:?}"));
-        prop_assert_eq!(got_sorted, expected_sorted);
+        assert_eq!(got_sorted, expected_sorted, "seed {seed}");
 
         // Every generalized example is a suffix of some input and ends in
         // the same cast.
         for g in &got {
-            prop_assert!(examples.iter().any(|e| e.len() >= g.len()
-                && e[e.len() - g.len()..] == g[..]));
+            assert!(
+                examples.iter().any(|e| e.len() >= g.len() && e[e.len() - g.len()..] == g[..]),
+                "seed {seed}: output not a suffix of any input"
+            );
         }
     }
 }

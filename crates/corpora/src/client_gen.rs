@@ -20,8 +20,7 @@ use jungloid_minijava::ast::{Class, Expr, Method, Stmt, TypeName, Unit};
 use jungloid_typesys::TyId;
 use prospector_core::synth::{synthesize_statements_pooled, ty_to_type_name, NamePool};
 use prospector_core::{GraphConfig, Jungloid, JungloidGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prospector_obs::SmallRng;
 
 /// The shape of an [`explosion_case`].
 #[derive(Clone, Copy, Debug)]
@@ -144,7 +143,7 @@ impl Default for ClientGenSpec {
 #[must_use]
 pub fn generate_clients(api: &Api, spec: &ClientGenSpec) -> Vec<Unit> {
     let graph = JungloidGraph::from_api(api, GraphConfig::default());
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
     let starts: Vec<TyId> = api
         .types()
         .decls()
@@ -181,7 +180,7 @@ fn random_method(
     graph: &JungloidGraph,
     starts: &[TyId],
     spec: &ClientGenSpec,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     index: usize,
 ) -> Option<Method> {
     let start = starts[rng.gen_range(0..starts.len())];
@@ -208,7 +207,7 @@ fn random_method(
     }
     // Optionally end in a downcast.
     let mut ret_ty = out_ty;
-    if rng.r#gen::<f64>() < spec.cast_prob {
+    if rng.gen_f64() < spec.cast_prob {
         let subs: Vec<TyId> = api
             .types()
             .strict_subtypes(out_ty)

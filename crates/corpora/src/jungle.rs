@@ -10,8 +10,7 @@
 
 use jungloid_apidef::{Api, FieldDef, MethodDef, Visibility};
 use jungloid_typesys::{Prim, Ty, TyId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prospector_obs::SmallRng;
 
 /// Shape of the generated jungle.
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +66,7 @@ pub struct JungleStats {
 /// Panics only if the generated names collide with existing declarations
 /// (they are namespaced under `jungle.p<N>`, so they never should).
 pub fn grow(api: &mut Api, spec: &JungleSpec) -> JungleStats {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
     let existing: Vec<TyId> = api
         .types()
         .ids()
@@ -89,7 +88,7 @@ pub fn grow(api: &mut Api, spec: &JungleSpec) -> JungleStats {
         stats.classes += 1;
     }
 
-    let pick_type = |rng: &mut StdRng, generated: &[TyId], api: &Api| -> TyId {
+    let pick_type = |rng: &mut SmallRng, generated: &[TyId], api: &Api| -> TyId {
         if !existing.is_empty() && rng.gen_bool(spec.cross_link_prob) {
             existing[rng.gen_range(0..existing.len())]
         } else if rng.gen_bool(0.12) {

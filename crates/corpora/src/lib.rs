@@ -174,6 +174,7 @@ pub fn build(options: &BuildOptions) -> Result<Built, BuildError> {
     let mut api = api_with(options.extended)?;
     let mut param_examples = Vec::new();
     let mine_report = if options.mining {
+        let _span = prospector_obs::stage("mine");
         let units =
             if options.extended { extended_corpus_units()? } else { corpus_units()? };
         let lowered = LoweredCorpus::lower(&mut api, &units).map_err(err)?;
@@ -196,13 +197,16 @@ pub fn build(options: &BuildOptions) -> Result<Built, BuildError> {
     if let Some(spec) = &options.jungle {
         jungle::grow(&mut api, spec);
     }
-    let mut prospector = Prospector::with_config(
-        api,
-        GraphConfig {
-            include_protected: options.include_protected,
-            restrict_weak_params: options.param_mining,
-        },
-    );
+    let mut prospector = {
+        let _span = prospector_obs::stage("build");
+        Prospector::with_config(
+            api,
+            GraphConfig {
+                include_protected: options.include_protected,
+                restrict_weak_params: options.param_mining,
+            },
+        )
+    };
     if let Some(report) = &mine_report {
         prospector.add_examples(&report.examples, options.generalize).map_err(err)?;
     }

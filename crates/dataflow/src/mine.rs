@@ -112,14 +112,13 @@ impl<'a> Miner<'a> {
             if self.config.parallel && seeds.len() >= 8 {
                 let threads = std::thread::available_parallelism().map_or(4, usize::from).min(8);
                 let chunk = seeds.len().div_ceil(threads);
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = seeds
                         .chunks(chunk)
-                        .map(|part| scope.spawn(move |_| part.iter().map(run_seed).collect::<Vec<_>>()))
+                        .map(|part| scope.spawn(move || part.iter().map(run_seed).collect::<Vec<_>>()))
                         .collect();
                     handles.into_iter().flat_map(|h| h.join().expect("miner thread")).collect()
                 })
-                .expect("miner scope")
             } else {
                 seeds.iter().map(run_seed).collect()
             };
@@ -135,6 +134,9 @@ impl<'a> Miner<'a> {
                 }
             }
         }
+        prospector_obs::add("mine.cast_sites", report.cast_sites as u64);
+        prospector_obs::add("mine.capped_casts", report.capped_casts as u64);
+        prospector_obs::add("mine.examples", report.examples.len() as u64);
         report
     }
 }
@@ -207,6 +209,8 @@ impl Miner<'_> {
                 }
             }
         }
+        prospector_obs::add("mine.arg_sites", report.arg_sites as u64);
+        prospector_obs::add("mine.param_examples", report.examples.len() as u64);
         report
     }
 }

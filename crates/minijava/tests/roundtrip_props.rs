@@ -1,136 +1,174 @@
 //! Property: pretty-printing any MiniJava AST yields source that parses
 //! back to the same AST (modulo the `Name`-vs-`Field` normalization the
 //! printer performs, which the generator below avoids by construction).
+//!
+//! ASTs are drawn from seeded deterministic generators — failures
+//! reproduce by seed.
 
 use jungloid_minijava::ast::{Class, Expr, Lit, Method, Stmt, TypeName, Unit};
 use jungloid_minijava::parse::{parse_expr, parse_unit};
 use jungloid_minijava::print::{expr_to_string, unit_to_string};
-use proptest::prelude::*;
+use prospector_obs::SmallRng;
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-zA-Z0-9]{0,6}".prop_filter("not a keyword", |s| {
-        !matches!(
-            s.as_str(),
-            "new" | "null" | "true" | "false" | "return" | "class" | "extends" | "implements"
-                | "package" | "void" | "static" | "public" | "protected" | "private" | "final"
-                | "abstract"
-        )
-    })
+const KEYWORDS: [&str; 15] = [
+    "new", "null", "true", "false", "return", "class", "extends", "implements", "package", "void",
+    "static", "public", "protected", "private", "final",
+];
+
+fn pick(rng: &mut SmallRng, alphabet: &str) -> char {
+    let chars: Vec<char> = alphabet.chars().collect();
+    chars[rng.gen_range(0..chars.len())]
 }
 
-fn type_ident() -> impl Strategy<Value = String> {
-    "[A-Z][a-zA-Z0-9]{0,6}".prop_map(|s| s)
+fn ident(rng: &mut SmallRng) -> String {
+    loop {
+        let mut s = String::new();
+        s.push(pick(rng, "abcdefghijklmnopqrstuvwxyz"));
+        for _ in 0..rng.gen_range(0..=6) {
+            s.push(pick(rng, "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"));
+        }
+        if !KEYWORDS.contains(&s.as_str()) && s != "abstract" {
+            return s;
+        }
+    }
 }
 
-fn type_name() -> impl Strategy<Value = TypeName> {
-    (proptest::collection::vec(type_ident(), 1..3), 0usize..2)
-        .prop_map(|(parts, dims)| TypeName { parts, dims })
+fn type_ident(rng: &mut SmallRng) -> String {
+    let mut s = String::new();
+    s.push(pick(rng, "ABCDEFGHIJKLMNOPQRSTUVWXYZ"));
+    for _ in 0..rng.gen_range(0..=6) {
+        s.push(pick(rng, "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"));
+    }
+    s
 }
 
-fn lit() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (0i64..10_000).prop_map(|n| Expr::Lit(Lit::Int(n))),
-        "[ -~&&[^\"\\\\]]{0,8}".prop_map(|s| Expr::Lit(Lit::Str(s))),
-        Just(Expr::Lit(Lit::Null)),
-        any::<bool>().prop_map(|b| Expr::Lit(Lit::Bool(b))),
-    ]
+fn type_name(rng: &mut SmallRng) -> TypeName {
+    let parts = (0..rng.gen_range(1..3)).map(|_| type_ident(rng)).collect();
+    TypeName { parts, dims: rng.gen_range(0..2) }
 }
+
+fn str_lit(rng: &mut SmallRng) -> String {
+    // Printable ASCII minus `"` and `\`.
+    let mut s = String::new();
+    for _ in 0..rng.gen_range(0..=8) {
+        loop {
+            let c = char::from(u8::try_from(rng.gen_range(0x20..0x7f)).unwrap());
+            if c != '"' && c != '\\' {
+                s.push(c);
+                break;
+            }
+        }
+    }
+    s
+}
+
+fn lit(rng: &mut SmallRng) -> Expr {
+    match rng.gen_range(0..4) {
+        0 => Expr::Lit(Lit::Int(rng.gen_range(0..10_000) as i64)),
+        1 => Expr::Lit(Lit::Str(str_lit(rng))),
+        2 => Expr::Lit(Lit::Null),
+        _ => Expr::Lit(Lit::Bool(rng.gen_bool(0.5))),
+    }
+}
+
+fn leaf(rng: &mut SmallRng) -> Expr {
+    match rng.gen_range(0..3) {
+        0 => lit(rng),
+        1 => Expr::Name { parts: (0..rng.gen_range(1..3)).map(|_| ident(rng)).collect() },
+        _ => Expr::ClassLit { ty: TypeName { parts: vec![type_ident(rng)], dims: 0 } },
+    }
+}
+
+const BINOPS: [&str; 10] = ["==", "!=", "<", ">", "<=", ">=", "&&", "||", "+", "-"];
 
 /// Expressions the printer round-trips exactly. `Expr::Field` is excluded
 /// because the parser re-absorbs `name.field` chains into `Expr::Name`;
 /// the printer's output for generated snippets never needs bare `Field`
 /// on name receivers (covered by unit tests instead).
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        lit(),
-        proptest::collection::vec(ident(), 1..3).prop_map(|parts| Expr::Name { parts }),
-        (type_ident()).prop_map(|t| Expr::ClassLit { ty: TypeName { parts: vec![t], dims: 0 } }),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        let op = prop_oneof![
-            Just("=="),
-            Just("!="),
-            Just("<"),
-            Just(">"),
-            Just("<="),
-            Just(">="),
-            Just("&&"),
-            Just("||"),
-            Just("+"),
-            Just("-"),
-        ];
-        prop_oneof![
-            (type_name(), proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(class, args)| Expr::New { class: TypeName { dims: 0, ..class }, args }),
-            (type_name(), inner.clone())
-                .prop_map(|(ty, e)| Expr::Cast { ty, expr: Box::new(e) }),
-            (inner.clone(), ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(recv, name, args)| Expr::Call { recv: Some(Box::new(recv)), name, args }
-            ),
-            (ident(), proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(name, args)| Expr::Call { recv: None, name, args }),
-            (op, inner.clone(), inner.clone()).prop_map(|(op, lhs, rhs)| Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            }),
-            inner.prop_map(|e| Expr::Not { expr: Box::new(e) }),
-        ]
-    })
+fn expr(rng: &mut SmallRng, depth: usize) -> Expr {
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..8) {
+        0 | 1 => leaf(rng),
+        2 => Expr::New {
+            class: TypeName { dims: 0, ..type_name(rng) },
+            args: (0..rng.gen_range(0..3)).map(|_| expr(rng, depth - 1)).collect(),
+        },
+        3 => Expr::Cast { ty: type_name(rng), expr: Box::new(expr(rng, depth - 1)) },
+        4 => Expr::Call {
+            recv: Some(Box::new(expr(rng, depth - 1))),
+            name: ident(rng),
+            args: (0..rng.gen_range(0..3)).map(|_| expr(rng, depth - 1)).collect(),
+        },
+        5 => Expr::Call {
+            recv: None,
+            name: ident(rng),
+            args: (0..rng.gen_range(0..3)).map(|_| expr(rng, depth - 1)).collect(),
+        },
+        6 => Expr::Binary {
+            op: BINOPS[rng.gen_range(0..BINOPS.len())],
+            lhs: Box::new(expr(rng, depth - 1)),
+            rhs: Box::new(expr(rng, depth - 1)),
+        },
+        _ => Expr::Not { expr: Box::new(expr(rng, depth - 1)) },
+    }
 }
 
-fn stmt() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (type_name(), ident(), proptest::option::of(expr()))
-            .prop_map(|(ty, name, init)| Stmt::Local { ty, name, init }),
-        (ident(), expr()).prop_map(|(name, value)| Stmt::Assign { name, value }),
-        proptest::option::of(expr()).prop_map(Stmt::Return),
-        expr().prop_map(Stmt::Expr),
-    ]
+fn stmt(rng: &mut SmallRng) -> Stmt {
+    match rng.gen_range(0..4) {
+        0 => Stmt::Local {
+            ty: type_name(rng),
+            name: ident(rng),
+            init: rng.gen_bool(0.5).then(|| expr(rng, 2)),
+        },
+        1 => Stmt::Assign { name: ident(rng), value: expr(rng, 2) },
+        2 => Stmt::Return(rng.gen_bool(0.5).then(|| expr(rng, 2))),
+        _ => Stmt::Expr(expr(rng, 2)),
+    }
 }
 
-fn unit() -> impl Strategy<Value = Unit> {
-    (
-        proptest::option::of(proptest::collection::vec(ident(), 1..3).prop_map(|p| p.join("."))),
-        type_ident(),
-        proptest::collection::vec(stmt(), 0..5),
-        proptest::option::of(type_name().prop_map(|t| TypeName { dims: 0, ..t })),
-    )
-        .prop_map(|(package, class_name, body, extends)| Unit {
-            file: "prop.mj".to_owned(),
-            package,
-            classes: vec![Class {
-                name: class_name.clone(),
-                extends,
-                implements: vec![],
-                methods: vec![Method {
-                    mods: vec!["static".to_owned()],
-                    ret: Some(TypeName::simple("void")),
-                    name: "run".to_owned(),
-                    params: vec![(TypeName::simple("Thing"), "input".to_owned())],
-                    body,
-                }],
+fn unit(rng: &mut SmallRng) -> Unit {
+    let package = rng
+        .gen_bool(0.5)
+        .then(|| (0..rng.gen_range(1..3)).map(|_| ident(rng)).collect::<Vec<_>>().join("."));
+    Unit {
+        file: "prop.mj".to_owned(),
+        package,
+        classes: vec![Class {
+            name: type_ident(rng),
+            extends: rng.gen_bool(0.5).then(|| TypeName { dims: 0, ..type_name(rng) }),
+            implements: vec![],
+            methods: vec![Method {
+                mods: vec!["static".to_owned()],
+                ret: Some(TypeName::simple("void")),
+                name: "run".to_owned(),
+                params: vec![(TypeName::simple("Thing"), "input".to_owned())],
+                body: (0..rng.gen_range(0..5)).map(|_| stmt(rng)).collect(),
             }],
-        })
+        }],
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn printed_expressions_reparse_to_same_ast(e in expr()) {
+#[test]
+fn printed_expressions_reparse_to_same_ast() {
+    for seed in 0..256u64 {
+        let e = expr(&mut SmallRng::seed_from_u64(seed), 3);
         let printed = expr_to_string(&e);
         let parsed = parse_expr(&printed)
             .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
-        prop_assert_eq!(parsed, e, "round trip changed `{}`", printed);
+        assert_eq!(parsed, e, "round trip changed `{printed}`");
     }
+}
 
-    #[test]
-    fn printed_units_reparse_to_same_ast(u in unit()) {
+#[test]
+fn printed_units_reparse_to_same_ast() {
+    for seed in 0..128u64 {
+        let u = unit(&mut SmallRng::seed_from_u64(seed));
         let printed = unit_to_string(&u);
         let parsed = parse_unit("prop.mj", &printed)
             .unwrap_or_else(|err| panic!("unit failed to reparse: {err}\n{printed}"));
-        prop_assert_eq!(&parsed.package, &u.package);
-        prop_assert_eq!(&parsed.classes, &u.classes, "round trip changed:\n{}", printed);
+        assert_eq!(parsed.package, u.package);
+        assert_eq!(parsed.classes, u.classes, "round trip changed:\n{printed}");
     }
 }

@@ -1,0 +1,47 @@
+//! The observability substrate for the Prospector reproduction.
+//!
+//! Everything in this crate is dependency-free by design: the pipeline
+//! crates sit below the corpora and CLI layers, so the instrumentation
+//! layer must sit below *them* and bring nothing with it.
+//!
+//! Four pieces:
+//!
+//! * [`metrics`] — a process-global registry of named atomic counters and
+//!   gauges. Hot loops keep local tallies and flush once per call;
+//!   recording is a single relaxed atomic add.
+//! * [`hist`] — fixed-size log2-bucket histograms (no allocation after
+//!   registration, no locks on the record path).
+//! * [`span`] — an RAII stage timer. Timing is gated on the global
+//!   [`metrics::enabled`] flag so a disabled build pays one relaxed load
+//!   per stage, not two `Instant::now()` calls.
+//! * [`json`] — a small strict JSON value type, writer, and parser, used
+//!   for the `--metrics-json` report and for index persistence.
+//!
+//! [`rng`] is a bonus tenant: a tiny deterministic PRNG
+//! ([`rng::SmallRng`]) for the seeded generators and simulations, living
+//! here because this is the one crate every other crate can depend on.
+//!
+//! # Example
+//!
+//! ```
+//! prospector_obs::metrics::set_enabled(true);
+//! {
+//!     let _span = prospector_obs::span::stage("search");
+//!     prospector_obs::metrics::add("search.dfs_expansions", 42);
+//! }
+//! let snap = prospector_obs::metrics::snapshot();
+//! assert_eq!(snap.counter("search.dfs_expansions"), Some(42));
+//! assert!(snap.stage("search").is_some());
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod rng;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{add, gauge_set, set_enabled, snapshot, Snapshot};
+pub use rng::SmallRng;
+pub use span::stage;

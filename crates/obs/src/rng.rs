@@ -1,0 +1,148 @@
+//! A tiny deterministic PRNG for the seeded generators and simulations.
+//!
+//! [`SmallRng`] is a splitmix64 stream: one 64-bit state cell, two
+//! multiplications per draw, full 2^64 period, and excellent statistical
+//! behavior for simulation workloads. It is explicitly **not** a
+//! cryptographic generator. It lives in this crate because every other
+//! crate already depends on `prospector-obs`, so generators and tests
+//! share one implementation without dependency cycles.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, seedable PRNG (splitmix64).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+/// Integer ranges accepted by [`SmallRng::gen_range`].
+pub trait UsizeRange {
+    /// The inclusive `(low, high)` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn inclusive_bounds(self) -> (usize, usize);
+}
+
+impl UsizeRange for Range<usize> {
+    fn inclusive_bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl UsizeRange for RangeInclusive<usize> {
+    fn inclusive_bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "gen_range called with empty range");
+        (*self.start(), *self.end())
+    }
+}
+
+impl SmallRng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform integer in the given (non-empty) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: UsizeRange>(&mut self, range: R) -> usize {
+        let (lo, hi) = range.inclusive_bounds();
+        let span = (hi - lo) as u64 + 1;
+        // span == 2^64 is impossible on 64-bit (hi - lo < usize::MAX).
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            lo + (self.next_u64() % span) as usize
+        }
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_everything() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..5)] = true;
+            let v = rng.gen_range(10..=12);
+            assert!((10..=12).contains(&v));
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..5 drawn in 500 tries");
+        assert_eq!(rng.gen_range(3..4), 3);
+        assert_eq!(rng.gen_range(9..=9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = SmallRng::seed_from_u64(0).gen_range(5..5);
+    }
+
+    #[test]
+    fn floats_are_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let n = 10_000;
+        let mut sum = 0.0;
+        let mut below_half = 0;
+        for _ in 0..n {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            if x < 0.5 {
+                below_half += 1;
+            }
+        }
+        let mean = sum / f64::from(n);
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+        assert!((4_500..5_500).contains(&below_half));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.2)).count();
+        assert!((1_700..2_300).contains(&hits), "p=0.2 gave {hits}/10000");
+        assert!(!SmallRng::seed_from_u64(1).gen_bool(0.0));
+        assert!(SmallRng::seed_from_u64(1).gen_bool(1.0));
+    }
+}

@@ -1,0 +1,75 @@
+//! RAII stage timers.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and its
+//! drop and folds it into the global stage table under its name. Spans
+//! nest freely — `stage("build")` around the whole assembly and
+//! `stage("mine")` inside it each record their own stage, so the report
+//! shows both the envelope and the parts.
+//!
+//! When the global [`crate::metrics::enabled`] flag is off, creating a
+//! span costs one relaxed atomic load and records nothing.
+
+use std::time::Instant;
+
+use crate::metrics;
+
+/// A live stage timer; drop it to record.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a span for the named stage (no-op unless metrics are enabled).
+#[must_use]
+pub fn stage(name: &'static str) -> Span {
+    let start = if metrics::enabled() { Some(Instant::now()) } else { None };
+    Span { name, start }
+}
+
+impl Span {
+    /// Ends the span early (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            metrics::global().record_stage(self.name, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        metrics::set_enabled(false);
+        {
+            let _s = stage("span-test-disabled");
+        }
+        assert!(metrics::snapshot().stage("span-test-disabled").is_none());
+    }
+
+    #[test]
+    fn enabled_spans_record_nested_durations() {
+        metrics::set_enabled(true);
+        {
+            let _outer = stage("span-test-outer");
+            let inner = stage("span-test-inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            inner.finish();
+        }
+        metrics::set_enabled(false);
+        let snap = metrics::snapshot();
+        let outer = snap.stage("span-test-outer").unwrap();
+        let inner = snap.stage("span-test-inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(inner.total_ns >= 2_000_000, "slept 2ms, recorded {}ns", inner.total_ns);
+        assert!(outer.total_ns >= inner.total_ns, "outer contains inner");
+    }
+}

@@ -31,8 +31,7 @@
 use jungloid_typesys::TyId;
 use prospector_core::{NodeId, Prospector};
 use prospector_corpora::problems::{user_study, StudyProblem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prospector_obs::SmallRng;
 
 /// Simulation parameters. Times are minutes.
 #[derive(Clone, Copy, Debug)]
@@ -295,12 +294,12 @@ impl StudyReport {
 #[must_use]
 pub fn simulate(prospector: &Prospector, config: &StudyConfig) -> StudyReport {
     let problems = user_study();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut trials = Vec::new();
     for user in 0..config.users {
         // Skill multiplier ~ [0.6, 1.6): scales every time the user takes.
-        let skill = 0.6 + rng.r#gen::<f64>();
-        let confused = rng.r#gen::<f64>() < config.tool_confusion;
+        let skill = 0.6 + rng.gen_f64();
+        let confused = rng.gen_f64() < config.tool_confusion;
         // Random 2-of-4 assignment to the tool condition (paper §6).
         let mut with_tool = [false; 4];
         let first = rng.gen_range(0..4);
@@ -315,7 +314,7 @@ pub fn simulate(prospector: &Prospector, config: &StudyConfig) -> StudyReport {
             let trial = if with_tool[pi] {
                 let mut t = run_with_tool(prospector, problem, skill, config, &mut rng, user);
                 if confused {
-                    t.minutes *= 1.8 + rng.r#gen::<f64>();
+                    t.minutes *= 1.8 + rng.gen_f64();
                 }
                 t
             } else {
@@ -344,14 +343,14 @@ fn run_with_tool(
     problem: &StudyProblem,
     skill: f64,
     config: &StudyConfig,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     user: usize,
 ) -> Trial {
     let rank = assist_rank(prospector, problem, problem.desired);
     let (minutes, outcome) = match rank {
         Some(r) => {
             let read = config.read_minutes * r as f64;
-            let jitter = 0.8 + 0.4 * rng.r#gen::<f64>();
+            let jitter = 0.8 + 0.4 * rng.gen_f64();
             (
                 (config.task_overhead_minutes + config.tool_overhead_minutes + read)
                     * problem.difficulty.sqrt()
@@ -385,7 +384,7 @@ fn discovery_minutes(
     difficulty: f64,
     budget: f64,
     config: &StudyConfig,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
 ) -> (f64, bool) {
     let api = prospector.api();
     let graph = prospector.graph();
@@ -417,12 +416,12 @@ fn discovery_minutes(
         let recognize = recognize / difficulty;
         let mut recognized = false;
         for _pass in 0..8 {
-            let scanned = (1.0 + rng.r#gen::<f64>() * space) * config.branch_factor;
+            let scanned = (1.0 + rng.gen_f64() * space) * config.branch_factor;
             minutes += scanned * config.inspect_minutes * skill;
             if minutes > budget {
                 return (budget, false);
             }
-            if rng.r#gen::<f64>() < recognize {
+            if rng.gen_f64() < recognize {
                 recognized = true;
                 break;
             }
@@ -441,7 +440,7 @@ fn run_baseline(
     problem: &StudyProblem,
     skill: f64,
     config: &StudyConfig,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     user: usize,
 ) -> Trial {
     let budget = config.browse_budget_minutes * problem.difficulty.sqrt();
@@ -494,13 +493,13 @@ fn run_baseline(
         }
     }
     let outcome = match found {
-        Some(Outcome::CorrectReuse) if rng.r#gen::<f64>() < problem.subtle_bug => {
+        Some(Outcome::CorrectReuse) if rng.gen_f64() < problem.subtle_bug => {
             Outcome::Incorrect
         }
         Some(o) => o,
         None => {
             minutes += config.reimplement_minutes * skill * problem.difficulty.sqrt();
-            if rng.r#gen::<f64>() < config.reimplement_bug {
+            if rng.gen_f64() < config.reimplement_bug {
                 Outcome::Incorrect
             } else {
                 Outcome::Reimplemented

@@ -2,12 +2,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use prospector_obs::json::{decode_err, Json, JsonError};
 
 use crate::{Prim, Ty, TyId, TypeError, TypeKind};
 
 /// Identifier of an interned package name.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PackageId(u32);
 
 impl PackageId {
@@ -19,7 +19,7 @@ impl PackageId {
 }
 
 /// Internal structure of one arena slot.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 enum TyData {
     Void,
     Null,
@@ -28,7 +28,7 @@ enum TyData {
     Array { elem: TyId },
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct DeclData {
     simple: String,
     package: PackageId,
@@ -92,7 +92,7 @@ impl TypeDecl<'_> {
 /// assert_eq!(t.resolve("java.util.ListIterator")?, list_iter);
 /// # Ok::<(), jungloid_typesys::TypeError>(())
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TypeTable {
     packages: Vec<String>,
     package_index: HashMap<String, PackageId>,
@@ -548,6 +548,225 @@ impl Default for TypeTable {
     }
 }
 
+// --- JSON persistence --------------------------------------------------
+//
+// The wire format carries only the arena (packages + typed slots); every
+// derived index (qualified/simple lookup, array interning, the Object
+// root) is rebuilt on load, which keeps the format small and makes a
+// loaded table structurally identical to a freshly built one.
+
+fn ty_ref(id: TyId) -> Json {
+    Json::num_u(u64::from(id.0))
+}
+
+fn want_ty(v: &Json, arena_len: usize) -> Result<TyId, JsonError> {
+    let raw = v.as_u64().ok_or_else(|| decode_err("type id must be a non-negative integer"))?;
+    let raw = u32::try_from(raw).map_err(|_| decode_err("type id out of range"))?;
+    if (raw as usize) >= arena_len {
+        return Err(decode_err(format!("type id {raw} out of bounds ({arena_len} slots)")));
+    }
+    Ok(TyId(raw))
+}
+
+impl TypeTable {
+    /// Serializes the table to a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let types = self
+            .types
+            .iter()
+            .map(|slot| match slot {
+                TyData::Void => Json::obj(vec![("k", Json::Str("void".into()))]),
+                TyData::Null => Json::obj(vec![("k", Json::Str("null".into()))]),
+                TyData::Prim(p) => Json::obj(vec![
+                    ("k", Json::Str("prim".into())),
+                    ("p", Json::Str(p.keyword().into())),
+                ]),
+                TyData::Decl(d) => Json::obj(vec![
+                    ("k", Json::Str("decl".into())),
+                    ("simple", Json::Str(d.simple.clone())),
+                    ("pkg", Json::num_u(u64::from(d.package.0))),
+                    (
+                        "kind",
+                        Json::Str(
+                            match d.kind {
+                                TypeKind::Class => "class",
+                                TypeKind::Interface => "interface",
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("super", d.superclass.map_or(Json::Null, ty_ref)),
+                    ("ifaces", Json::Arr(d.interfaces.iter().map(|&i| ty_ref(i)).collect())),
+                ]),
+                TyData::Array { elem } => Json::obj(vec![
+                    ("k", Json::Str("array".into())),
+                    ("elem", ty_ref(*elem)),
+                ]),
+            })
+            .collect();
+        Json::obj(vec![
+            ("packages", Json::Arr(self.packages.iter().map(|p| Json::Str(p.clone())).collect())),
+            ("types", Json::Arr(types)),
+        ])
+    }
+
+    /// Rebuilds a table from [`TypeTable::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing keys, malformed slots, out-of-range references,
+    /// or an arena whose built-in prefix (void, null, the eight
+    /// primitives) does not match a fresh table's.
+    pub fn from_json(v: &Json) -> Result<TypeTable, JsonError> {
+        let packages: Vec<String> = v
+            .want("packages")?
+            .as_arr()
+            .ok_or_else(|| decode_err("`packages` must be an array"))?
+            .iter()
+            .map(|p| {
+                p.as_str().map(str::to_owned).ok_or_else(|| decode_err("package must be a string"))
+            })
+            .collect::<Result<_, _>>()?;
+        let slots = v
+            .want("types")?
+            .as_arr()
+            .ok_or_else(|| decode_err("`types` must be an array"))?;
+        let arena_len = slots.len();
+        let mut types = Vec::with_capacity(arena_len);
+        for slot in slots {
+            let kind = slot.want("k")?.as_str().ok_or_else(|| decode_err("`k` must be a string"))?;
+            types.push(match kind {
+                "void" => TyData::Void,
+                "null" => TyData::Null,
+                "prim" => {
+                    let word = slot
+                        .want("p")?
+                        .as_str()
+                        .ok_or_else(|| decode_err("`p` must be a string"))?;
+                    TyData::Prim(
+                        Prim::from_keyword(word)
+                            .ok_or_else(|| decode_err(format!("unknown primitive `{word}`")))?,
+                    )
+                }
+                "decl" => {
+                    let pkg = slot
+                        .want("pkg")?
+                        .as_u64()
+                        .and_then(|p| u32::try_from(p).ok())
+                        .filter(|&p| (p as usize) < packages.len())
+                        .ok_or_else(|| decode_err("bad package reference"))?;
+                    let superclass = match slot.want("super")? {
+                        Json::Null => None,
+                        other => Some(want_ty(other, arena_len)?),
+                    };
+                    let interfaces = slot
+                        .want("ifaces")?
+                        .as_arr()
+                        .ok_or_else(|| decode_err("`ifaces` must be an array"))?
+                        .iter()
+                        .map(|i| want_ty(i, arena_len))
+                        .collect::<Result<_, _>>()?;
+                    TyData::Decl(DeclData {
+                        simple: slot
+                            .want("simple")?
+                            .as_str()
+                            .ok_or_else(|| decode_err("`simple` must be a string"))?
+                            .to_owned(),
+                        package: PackageId(pkg),
+                        kind: match slot.want("kind")?.as_str() {
+                            Some("class") => TypeKind::Class,
+                            Some("interface") => TypeKind::Interface,
+                            _ => return Err(decode_err("`kind` must be class|interface")),
+                        },
+                        superclass,
+                        interfaces,
+                    })
+                }
+                "array" => TyData::Array { elem: want_ty(slot.want("elem")?, arena_len)? },
+                other => return Err(decode_err(format!("unknown type slot kind `{other}`"))),
+            });
+        }
+
+        // The built-in prefix must match what `TypeTable::new` interns.
+        if types.len() < 10
+            || !matches!(types[0], TyData::Void)
+            || !matches!(types[1], TyData::Null)
+        {
+            return Err(decode_err("built-in prefix (void, null, primitives) missing"));
+        }
+        let mut prim_ids = [TyId(0); 8];
+        for (i, p) in Prim::ALL.into_iter().enumerate() {
+            match &types[2 + i] {
+                TyData::Prim(q) if *q == p => prim_ids[i] = TyId(u32::try_from(2 + i).expect("small")),
+                _ => return Err(decode_err("primitive slots out of order")),
+            }
+        }
+
+        // Rebuild derived indexes.
+        let mut table = TypeTable {
+            packages,
+            package_index: HashMap::new(),
+            types,
+            by_qualified: HashMap::new(),
+            by_simple: HashMap::new(),
+            arrays: HashMap::new(),
+            void_id: TyId(0),
+            null_id: TyId(1),
+            prim_ids,
+            object: None,
+        };
+        for (i, name) in table.packages.iter().enumerate() {
+            table
+                .package_index
+                .insert(name.clone(), PackageId(u32::try_from(i).expect("small")));
+        }
+        enum Derived {
+            Decl { qualified: String, simple: String },
+            Array { elem: TyId },
+            Other,
+        }
+        let derived: Vec<Derived> = table
+            .types
+            .iter()
+            .map(|slot| match slot {
+                TyData::Decl(d) => {
+                    let pkg = &table.packages[d.package.index()];
+                    let qualified = if pkg.is_empty() {
+                        d.simple.clone()
+                    } else {
+                        format!("{pkg}.{}", d.simple)
+                    };
+                    Derived::Decl { qualified, simple: d.simple.clone() }
+                }
+                TyData::Array { elem } => Derived::Array { elem: *elem },
+                _ => Derived::Other,
+            })
+            .collect();
+        for (i, entry) in derived.into_iter().enumerate() {
+            let id = TyId::from_index(i);
+            match entry {
+                Derived::Decl { qualified, simple } => {
+                    if table.by_qualified.insert(qualified.clone(), id).is_some() {
+                        return Err(decode_err(format!("duplicate declared type `{qualified}`")));
+                    }
+                    if qualified == "java.lang.Object" {
+                        table.object = Some(id);
+                    }
+                    table.by_simple.entry(simple).or_default().push(id);
+                }
+                Derived::Array { elem } => {
+                    if table.arrays.insert(elem, id).is_some() {
+                        return Err(decode_err("duplicate array interning"));
+                    }
+                }
+                Derived::Other => {}
+            }
+        }
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -747,6 +966,53 @@ mod tests {
         let all = t.strict_subtypes(obj);
         assert!(all.contains(&a) && all.contains(&b));
         assert!(!all.contains(&obj));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let (mut t, obj) = base();
+        let readable = t.declare("java.lang", "Readable", TypeKind::Interface).unwrap();
+        let reader = t.declare("java.io", "Reader", TypeKind::Class).unwrap();
+        let buffered = t.declare("java.io", "BufferedReader", TypeKind::Class).unwrap();
+        t.add_interface(reader, readable).unwrap();
+        t.set_superclass(buffered, reader).unwrap();
+        let arr = t.array_of(buffered);
+        let unpackaged = t.declare("", "Top", TypeKind::Class).unwrap();
+
+        let doc = t.to_json();
+        let back = TypeTable::from_json(&doc).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.object(), Some(obj));
+        assert_eq!(back.resolve("java.io.BufferedReader").unwrap(), buffered);
+        assert_eq!(back.resolve("Top").unwrap(), unpackaged);
+        assert!(back.is_subtype(buffered, readable));
+        assert_eq!(back.ty(arr), Ty::Array(buffered));
+        let mut back2 = back.clone();
+        assert_eq!(back2.array_of(buffered), arr, "array interning survives");
+        assert_eq!(back.display(arr), "java.io.BufferedReader[]");
+        assert_eq!(back.prim(Prim::Double), t.prim(Prim::Double));
+        // Reserialization is stable.
+        assert_eq!(back.to_json(), doc);
+    }
+
+    #[test]
+    fn json_rejects_corrupt_tables() {
+        let (t, _) = base();
+        let doc = t.to_json();
+        // Truncate the built-in prefix.
+        let Json::Obj(mut pairs) = doc.clone() else { unreachable!() };
+        for (k, v) in &mut pairs {
+            if k == "types" {
+                let Json::Arr(items) = v else { unreachable!() };
+                items.truncate(3);
+            }
+        }
+        assert!(TypeTable::from_json(&Json::Obj(pairs)).is_err());
+        // Missing keys entirely.
+        assert!(TypeTable::from_json(&Json::obj(vec![])).is_err());
+        // Dangling type reference.
+        let text = doc.to_text().replace("\"super\":null", "\"super\":9999");
+        assert!(TypeTable::from_json(&Json::parse(&text).unwrap()).is_err());
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Type identifiers and the structural description of each type.
 
-use serde::{Deserialize, Serialize};
-
 /// A compact, copyable handle for an interned type.
 ///
 /// `TyId`s are only meaningful relative to the [`TypeTable`] that issued
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// this a 4-byte value keeps the graph compact.
 ///
 /// [`TypeTable`]: crate::TypeTable
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TyId(pub(crate) u32);
 
 impl TyId {
@@ -41,7 +39,7 @@ impl std::fmt::Debug for TyId {
 /// The distinction matters for hierarchy validity (classes have at most one
 /// superclass; interfaces may extend several interfaces) but not for graph
 /// search: both are ordinary nodes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TypeKind {
     /// A concrete or abstract class.
     Class,
@@ -64,7 +62,7 @@ impl std::fmt::Display for TypeKind {
 /// types we exclude are primitive types such as `int`, which could represent
 /// anything from an array bound to a cryptographic key") but still occur as
 /// method-parameter types, where they become free variables of a jungloid.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Prim {
     /// `boolean`
     Boolean,

@@ -1,12 +1,15 @@
 //! Property tests for the type-table invariants the synthesizer relies
 //! on: subtyping is a partial order, widening edges go strictly up the
 //! depth measure, and the subtype scan agrees with the relation.
+//!
+//! Each property is checked over a sweep of seeded random hierarchies
+//! (deterministic — failures reproduce by seed).
 
-use jungloid_typesys::{TypeKind, TypeTable};
-use proptest::prelude::*;
+use jungloid_typesys::{TyId, TypeKind, TypeTable};
+use prospector_obs::SmallRng;
 
-/// A random hierarchy description: `links[i]` optionally names an earlier
-/// type that type `i` extends (classes) plus interface links.
+/// A random hierarchy description: `extends[i]` optionally names an
+/// earlier type that type `i` extends (classes) plus interface links.
 #[derive(Clone, Debug)]
 struct HierarchySpec {
     kinds: Vec<bool>, // true = interface
@@ -14,18 +17,17 @@ struct HierarchySpec {
     implements: Vec<Vec<usize>>,
 }
 
-fn hierarchy_strategy(max: usize) -> impl Strategy<Value = HierarchySpec> {
-    (2..max).prop_flat_map(|n| {
-        let kinds = proptest::collection::vec(any::<bool>(), n);
-        let extends = proptest::collection::vec(proptest::option::of(0..n), n);
-        let implements =
-            proptest::collection::vec(proptest::collection::vec(0..n, 0..3), n);
-        (kinds, extends, implements).prop_map(|(kinds, extends, implements)| HierarchySpec {
-            kinds,
-            extends,
-            implements,
-        })
-    })
+fn random_spec(seed: u64, max: usize) -> HierarchySpec {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..max);
+    let kinds: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let extends: Vec<Option<usize>> = (0..n)
+        .map(|_| rng.gen_bool(0.5).then(|| rng.gen_range(0..n)))
+        .collect();
+    let implements: Vec<Vec<usize>> = (0..n)
+        .map(|_| (0..rng.gen_range(0..3)).map(|_| rng.gen_range(0..n)).collect())
+        .collect();
+    HierarchySpec { kinds, extends, implements }
 }
 
 fn build(spec: &HierarchySpec) -> TypeTable {
@@ -60,72 +62,90 @@ fn build(spec: &HierarchySpec) -> TypeTable {
     table
 }
 
-proptest! {
-    #[test]
-    fn subtyping_is_a_partial_order(spec in hierarchy_strategy(10)) {
-        let table = build(&spec);
-        let ids: Vec<_> = table.decls().map(|d| d.id).collect();
+fn sweep(max: usize, check: impl Fn(&TypeTable)) {
+    for seed in 0..96u64 {
+        check(&build(&random_spec(seed, max)));
+    }
+}
+
+fn decl_ids(table: &TypeTable) -> Vec<TyId> {
+    table.decls().map(|d| d.id).collect()
+}
+
+#[test]
+fn subtyping_is_a_partial_order() {
+    sweep(10, |table| {
+        let ids = decl_ids(table);
         // Reflexive.
         for &a in &ids {
-            prop_assert!(table.is_subtype(a, a));
+            assert!(table.is_subtype(a, a));
         }
         // Transitive and antisymmetric.
         for &a in &ids {
             for &b in &ids {
                 if a != b && table.is_subtype(a, b) {
-                    prop_assert!(!table.is_subtype(b, a), "antisymmetry violated");
+                    assert!(!table.is_subtype(b, a), "antisymmetry violated");
                     for &c in &ids {
                         if table.is_subtype(b, c) {
-                            prop_assert!(table.is_subtype(a, c), "transitivity violated");
+                            assert!(table.is_subtype(a, c), "transitivity violated");
                         }
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn everything_widens_to_object(spec in hierarchy_strategy(10)) {
-        let table = build(&spec);
+#[test]
+fn everything_widens_to_object() {
+    sweep(10, |table| {
         let object = table.object().unwrap();
         for d in table.decls() {
-            prop_assert!(table.is_subtype(d.id, object));
+            assert!(table.is_subtype(d.id, object));
         }
-    }
+    });
+}
 
-    #[test]
-    fn direct_supertypes_decrease_depth(spec in hierarchy_strategy(10)) {
-        let table = build(&spec);
+#[test]
+fn direct_supertypes_decrease_depth() {
+    sweep(10, |table| {
         for d in table.decls() {
             let depth = table.depth(d.id);
             for sup in table.direct_supertypes(d.id) {
-                prop_assert!(table.depth(sup) < depth,
+                assert!(
+                    table.depth(sup) < depth,
                     "depth({}) = {} not below depth({}) = {}",
-                    table.display(sup), table.depth(sup), table.display(d.id), depth);
+                    table.display(sup),
+                    table.depth(sup),
+                    table.display(d.id),
+                    depth
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn strict_subtypes_agrees_with_relation(spec in hierarchy_strategy(8)) {
-        let table = build(&spec);
-        let ids: Vec<_> = table.decls().map(|d| d.id).collect();
+#[test]
+fn strict_subtypes_agrees_with_relation() {
+    sweep(8, |table| {
+        let ids = decl_ids(table);
         for &t in &ids {
             let subs = table.strict_subtypes(t);
             for &s in &ids {
                 let expected = s != t && table.is_subtype(s, t);
-                prop_assert_eq!(subs.contains(&s), expected);
+                assert_eq!(subs.contains(&s), expected);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn subtype_implies_reachable_via_direct_links(spec in hierarchy_strategy(8)) {
-        // is_subtype must equal the transitive closure of
-        // direct_supertypes — the property that lets the graph encode
-        // transitive widening as zero-cost edge compositions.
-        let table = build(&spec);
-        let ids: Vec<_> = table.decls().map(|d| d.id).collect();
+#[test]
+fn subtype_implies_reachable_via_direct_links() {
+    // is_subtype must equal the transitive closure of
+    // direct_supertypes — the property that lets the graph encode
+    // transitive widening as zero-cost edge compositions.
+    sweep(8, |table| {
+        let ids = decl_ids(table);
         for &a in &ids {
             // BFS over direct supertype links.
             let mut seen = vec![a];
@@ -139,8 +159,32 @@ proptest! {
                 }
             }
             for &b in &ids {
-                prop_assert_eq!(a == b || seen.contains(&b), table.is_subtype(a, b));
+                assert_eq!(a == b || seen.contains(&b), table.is_subtype(a, b));
             }
         }
-    }
+    });
+}
+
+#[test]
+fn json_round_trip_over_random_hierarchies() {
+    sweep(10, |table| {
+        let doc = table.to_json();
+        let back = TypeTable::from_json(&doc).unwrap();
+        assert_eq!(back.len(), table.len());
+        for d in table.decls() {
+            let other = back.decl(d.id).unwrap();
+            assert_eq!(other.qualified_name(), d.qualified_name());
+            assert_eq!(other.kind, d.kind);
+        }
+        let ids = decl_ids(table);
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(table.is_subtype(a, b), back.is_subtype(a, b));
+            }
+        }
+        assert_eq!(back.to_json(), doc);
+        // The serialized text survives a parse round trip too.
+        let text = doc.to_text();
+        assert_eq!(prospector_obs::Json::parse(&text).unwrap(), doc);
+    });
 }

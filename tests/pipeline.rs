@@ -120,7 +120,7 @@ fn corpus_examples_all_well_typed_and_spliceable() {
 #[test]
 fn persisted_engine_answers_identically() {
     let prospector = build_default();
-    let json = persist::to_json(prospector.api(), prospector.graph()).unwrap();
+    let json = persist::to_json(prospector.api(), prospector.graph());
     let loaded = persist::from_json(&json).unwrap();
     let thawed = Prospector::from_parts(loaded.api, loaded.graph);
 
