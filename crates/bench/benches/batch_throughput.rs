@@ -1,0 +1,161 @@
+//! Batched query throughput — queries/sec for the Table 1 mix answered
+//! serially versus through [`Prospector::query_batch_threads`] at 1, 2,
+//! 4, and 8 workers, over the shared immutable CSR graph.
+//!
+//! Besides the human-readable report, the run writes a machine-readable
+//! baseline to `BENCH_batch.json` at the repository root (override the
+//! path with `BENCH_BATCH_OUT`), recording qps per thread count, the
+//! 8-thread speedup over serial, the host CPU count (a 1-CPU host cannot
+//! show parallel speedup regardless of the engine), and whether every
+//! batched result was byte-identical to the serial loop.
+//!
+//! Run with `cargo bench -p bench --bench batch_throughput`; set
+//! `PROSPECTOR_BENCH_QUICK=1` (or pass `--quick`) for a CI-sized smoke
+//! run.
+//!
+//! [`Prospector::query_batch_threads`]: prospector_core::Prospector::query_batch_threads
+
+use std::time::Instant;
+
+use jungloid_typesys::TyId;
+use prospector_core::Prospector;
+use prospector_corpora::{build, problems, BuildOptions};
+use prospector_obs::Json;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn quick_mode() -> bool {
+    std::env::var_os("PROSPECTOR_BENCH_QUICK").is_some()
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// The Table 1 problem mix, repeated so the batch comfortably exceeds
+/// any worker count and exercises cache reuse mid-flight.
+fn query_mix(engine: &Prospector, repeats: usize) -> Vec<(TyId, TyId)> {
+    let api = engine.api();
+    let base: Vec<(TyId, TyId)> = problems::table1()
+        .iter()
+        .map(|p| {
+            (
+                api.types().resolve(p.tin).expect("table1 tin resolves"),
+                api.types().resolve(p.tout).expect("table1 tout resolves"),
+            )
+        })
+        .collect();
+    let mut queries = Vec::with_capacity(base.len() * repeats);
+    for _ in 0..repeats {
+        queries.extend_from_slice(&base);
+    }
+    queries
+}
+
+/// Ranked codes per query — the comparable fingerprint of a result set.
+fn serial_reference(engine: &Prospector, queries: &[(TyId, TyId)]) -> Vec<Vec<String>> {
+    queries
+        .iter()
+        .map(|&(tin, tout)| {
+            engine
+                .query(tin, tout)
+                .expect("table1 queries succeed")
+                .suggestions
+                .into_iter()
+                .map(|s| s.code)
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let repeats = if quick { 2 } else { 10 };
+    let rounds = if quick { 1 } else { 3 };
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!("\n=== batch throughput (Table 1 mix, CSR graph) ===\n");
+    let engine = build(&BuildOptions::default()).expect("assembles").prospector;
+    let queries = query_mix(&engine, repeats);
+    println!(
+        "host cpus: {cpus}; batch: {} queries ({} distinct problems x {repeats})",
+        queries.len(),
+        problems::table1().len()
+    );
+
+    // Warm pass: distance fields for every target enter the sharded
+    // cache, so every configuration below measures steady-state.
+    let reference = serial_reference(&engine, &queries);
+
+    // Serial baseline: best of `rounds` plain query() loops.
+    let mut serial_qps: f64 = 0.0;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let got = serial_reference(&engine, &queries);
+        let qps = queries.len() as f64 / t.elapsed().as_secs_f64();
+        assert_eq!(got, reference, "serial run must be deterministic");
+        serial_qps = serial_qps.max(qps);
+    }
+    println!("serial loop: {serial_qps:10.1} qps");
+
+    // Batched fan-out at each worker count; results must match the
+    // serial reference byte for byte.
+    let mut identical = true;
+    let mut per_threads: Vec<(usize, f64)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let mut best_qps: f64 = 0.0;
+        for _ in 0..rounds {
+            let t = Instant::now();
+            let batch = engine.query_batch_threads(&queries, threads);
+            let qps = queries.len() as f64 / t.elapsed().as_secs_f64();
+            best_qps = best_qps.max(qps);
+            for (i, entry) in batch.iter().enumerate() {
+                let codes: Vec<String> = entry
+                    .result
+                    .as_ref()
+                    .expect("table1 queries succeed")
+                    .suggestions
+                    .iter()
+                    .map(|s| s.code.clone())
+                    .collect();
+                if codes != reference[i] {
+                    identical = false;
+                }
+            }
+        }
+        println!(
+            "{threads} thread(s): {best_qps:10.1} qps ({:.2}x serial)",
+            best_qps / serial_qps
+        );
+        per_threads.push((threads, best_qps));
+    }
+    let qps_8 = per_threads.iter().find(|(t, _)| *t == 8).map_or(0.0, |&(_, q)| q);
+    let speedup_8 = qps_8 / serial_qps;
+    println!(
+        "\n8-thread speedup: {speedup_8:.2}x serial; results identical: {identical}\n"
+    );
+    assert!(identical, "batched results diverged from the serial loop");
+
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("batch_throughput".to_owned())),
+        ("cpus", Json::num_u(cpus as u64)),
+        ("queries", Json::num_u(queries.len() as u64)),
+        ("rounds", Json::num_u(rounds as u64)),
+        ("serial_qps", Json::Num(round1(serial_qps))),
+        (
+            "threads",
+            Json::Obj(
+                per_threads
+                    .iter()
+                    .map(|&(t, qps)| (t.to_string(), Json::Num(round1(qps))))
+                    .collect(),
+            ),
+        ),
+        ("speedup_8", Json::Num((speedup_8 * 100.0).round() / 100.0)),
+        ("identical", Json::Bool(identical)),
+        ("quick", Json::Bool(quick)),
+    ]);
+    let out = std::env::var("BENCH_BATCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json").to_owned()
+    });
+    std::fs::write(&out, doc.to_text()).expect("baseline file writes");
+    println!("wrote {out}");
+}

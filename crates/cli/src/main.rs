@@ -140,8 +140,37 @@ fn run_command(flags: &Flags) -> Result<(), String> {
     };
     match command.as_str() {
         "query" => {
-            let [_, tin, tout] = flags.rest.as_slice() else {
-                return Err("usage: prospector query <TIN> <TOUT>".to_owned());
+            let mut batch: Option<String> = None;
+            let mut threads: Option<usize> = None;
+            let mut positional: Vec<String> = Vec::new();
+            let mut it = flags.rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--batch" => {
+                        batch = Some(it.next().ok_or("--batch needs a path")?.clone());
+                    }
+                    "--threads" => {
+                        threads = Some(
+                            it.next()
+                                .ok_or("--threads needs a number")?
+                                .parse()
+                                .map_err(|_| "--threads needs a number".to_owned())?,
+                        );
+                    }
+                    other => positional.push(other.to_owned()),
+                }
+            }
+            if let Some(path) = batch {
+                if !positional.is_empty() {
+                    return Err("query --batch takes no positional types".to_owned());
+                }
+                return query_batch(flags, &path, threads);
+            }
+            let [tin, tout] = positional.as_slice() else {
+                return Err(
+                    "usage: prospector query <TIN> <TOUT> | query --batch <file> [--threads N]"
+                        .to_owned(),
+                );
             };
             let engine = engine(flags)?;
             let tin = resolve(&engine, tin)?;
@@ -442,12 +471,110 @@ fn complete(flags: &Flags, file: &str, method_name: &str, var: &str) -> Result<(
     Ok(())
 }
 
+/// `query --batch <file>`: one `TIN TOUT` pair per line (blank lines and
+/// `#` comments skipped), answered concurrently over the shared engine
+/// and reported as JSON lines — one object per query in input order,
+/// then one aggregate object.
+fn query_batch(flags: &Flags, path: &str, threads: Option<usize>) -> Result<(), String> {
+    use prospector_obs::Json;
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let engine = engine(flags)?;
+    let mut queries: Vec<(TyId, TyId)> = Vec::new();
+    let mut names: Vec<(String, String)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(tin), Some(tout), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("{path}:{}: expected `TIN TOUT`, got `{line}`", lineno + 1));
+        };
+        let tin_ty = resolve(&engine, tin).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let tout_ty = resolve(&engine, tout).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        queries.push((tin_ty, tout_ty));
+        names.push((tin.to_owned(), tout.to_owned()));
+    }
+    if queries.is_empty() {
+        return Err(format!("{path}: no queries (one `TIN TOUT` pair per line)"));
+    }
+
+    let started = std::time::Instant::now();
+    let batch = match threads {
+        Some(n) => engine.query_batch_threads(&queries, n),
+        None => engine.query_batch(&queries),
+    };
+    let total = started.elapsed();
+
+    let mut errors = 0usize;
+    for (entry, (tin, tout)) in batch.iter().zip(&names) {
+        let mut pairs =
+            vec![("tin", Json::Str(tin.clone())), ("tout", Json::Str(tout.clone()))];
+        match &entry.result {
+            Ok(result) => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push((
+                    "shortest",
+                    result.shortest.map_or(Json::Null, |m| Json::num_u(u64::from(m))),
+                ));
+                pairs.push(("truncation", Json::Str(result.truncation.label().to_owned())));
+                pairs.push(("found", Json::num_u(result.suggestions.len() as u64)));
+                pairs.push((
+                    "suggestions",
+                    Json::Arr(
+                        result
+                            .suggestions
+                            .iter()
+                            .take(flags.max)
+                            .map(|s| Json::Str(s.code.clone()))
+                            .collect(),
+                    ),
+                ));
+            }
+            Err(e) => {
+                errors += 1;
+                pairs.push(("ok", Json::Bool(false)));
+                pairs.push(("error", Json::Str(e.to_string())));
+            }
+        }
+        pairs.push(("time_us", Json::num_u(entry.time.as_micros() as u64)));
+        println!("{}", Json::obj(pairs).to_text());
+    }
+
+    let total_us = total.as_micros().max(1) as u64;
+    let qps = queries.len() as f64 / (total_us as f64 / 1_000_000.0);
+    let aggregate = Json::obj(vec![(
+        "batch",
+        Json::obj(vec![
+            ("queries", Json::num_u(queries.len() as u64)),
+            ("errors", Json::num_u(errors as u64)),
+            (
+                "threads",
+                Json::num_u(threads.map_or_else(
+                    || {
+                        std::thread::available_parallelism()
+                            .map_or(1, std::num::NonZeroUsize::get)
+                            .min(queries.len()) as u64
+                    },
+                    |n| n.clamp(1, queries.len()) as u64,
+                )),
+            ),
+            ("total_us", Json::num_u(total_us)),
+            ("qps", Json::Num((qps * 10.0).round() / 10.0)),
+        ]),
+    )]);
+    println!("{}", aggregate.to_text());
+    Ok(())
+}
+
 fn print_usage() {
     println!(
         "prospector — jungloid synthesis over the modeled Eclipse/J2SE APIs
 
 usage:
   prospector [flags] query <TIN> <TOUT>
+  prospector [flags] query --batch <file> [--threads N]
   prospector [flags] assist <TOUT> [--var name:Type]...
   prospector [flags] complete <file.mj> <method> <var>
   prospector [flags] table1

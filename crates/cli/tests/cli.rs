@@ -146,6 +146,69 @@ fn query_reports_truncation_reason() {
 }
 
 #[test]
+fn query_batch_emits_json_lines_and_aggregate() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("batch.txt");
+    std::fs::write(
+        &path,
+        "# explicit queries, one pair per line\n\
+         IFile ASTNode\n\
+         \n\
+         InputStream BufferedReader\n\
+         IWorkbench IEditorPart\n",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) =
+        prospector(&["--max", "2", "query", "--batch", path.to_str().unwrap(), "--threads", "2"]);
+    assert!(ok, "stderr: {stderr}");
+
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "3 queries + 1 aggregate:\n{stdout}");
+
+    // Per-query lines are valid JSON, in input order, with the paper's
+    // first example ranked on top and every truncation field populated.
+    let first = prospector_obs::Json::parse(lines[0]).expect("valid JSON");
+    assert_eq!(first.get("tin").unwrap().as_str(), Some("IFile"));
+    assert_eq!(first.get("tout").unwrap().as_str(), Some("ASTNode"));
+    assert_eq!(
+        (lines[1].contains("\"tin\":\"InputStream\""), lines[2].contains("\"tin\":\"IWorkbench\"")),
+        (true, true),
+        "input order preserved:\n{stdout}"
+    );
+    assert_eq!(first.get("ok").unwrap().as_bool(), Some(true));
+    let top = first.get("suggestions").unwrap().as_arr().unwrap()[0].as_str().unwrap();
+    assert!(top.starts_with("AST.parseCompilationUnit("), "{top}");
+    for line in &lines[..3] {
+        let q = prospector_obs::Json::parse(line).expect("valid JSON");
+        let label = q.get("truncation").unwrap().as_str().unwrap();
+        assert!(["none", "path_cap", "expansion_cap"].contains(&label), "{label}");
+        assert!(q.get("time_us").unwrap().as_u64().is_some());
+    }
+
+    let agg = prospector_obs::Json::parse(lines[3]).expect("valid JSON");
+    let batch = agg.get("batch").unwrap();
+    assert_eq!(batch.get("queries").unwrap().as_u64(), Some(3));
+    assert_eq!(batch.get("errors").unwrap().as_u64(), Some(0));
+    assert_eq!(batch.get("threads").unwrap().as_u64(), Some(2));
+    assert!(batch.get("qps").unwrap().as_f64().unwrap() > 0.0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn query_batch_reports_bad_lines_with_numbers() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("batch-bad.txt");
+    std::fs::write(&path, "IFile ASTNode\nNoSuchType ASTNode\n").unwrap();
+    let (_, stderr, ok) = prospector(&["query", "--batch", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains(":2:"), "line number in error: {stderr}");
+    assert!(stderr.contains("unknown type"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn complete_infers_context_from_file() {
     let dir = std::env::temp_dir().join("prospector-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,229 @@
+//! An N-way sharded cache with least-recently-used eviction.
+//!
+//! The engine keys distance fields by query target; a single global lock
+//! would serialize every concurrent query on cache lookups even though
+//! the fields themselves are immutable once built. Sharding by key hash
+//! gives concurrent queries on different targets independent locks, and
+//! values are built *outside* the shard lock so even same-shard misses
+//! never hold a lock across an `O(nodes + edges)` build.
+//!
+//! Eviction is true LRU per shard: every hit stamps the entry with a
+//! monotonically increasing shard tick, and when a shard overflows its
+//! capacity the entry with the oldest stamp is removed. With per-shard
+//! capacities in the tens, the eviction scan is a handful of loads —
+//! no intrusive list needed.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// What one [`ShardedLru::get_or_insert_with`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whether the value was already present (the builder did not run).
+    pub hit: bool,
+    /// How many entries were evicted to make room (0 or 1).
+    pub evicted: usize,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    /// Shard tick at last touch; smallest = least recently used.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Shard<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    tick: u64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard { entries: HashMap::new(), tick: 0 }
+    }
+}
+
+impl<K: Hash + Eq + Copy, V: Clone> Shard<K, V> {
+    fn touch(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts (bumping recency) and evicts the LRU entry if over `cap`.
+    fn insert(&mut self, key: K, value: V, cap: usize) -> usize {
+        self.tick += 1;
+        self.entries.insert(key, Entry { value, last_used: self.tick });
+        let mut evicted = 0;
+        while self.entries.len() > cap {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("overfull shard has a victim");
+            self.entries.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A sharded LRU map from `K` to `V`.
+///
+/// Values are cloned out on access, so `V` is typically an `Arc`.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    shard_cap: usize,
+}
+
+impl<K: Hash + Eq + Copy, V: Clone> ShardedLru<K, V> {
+    /// A cache of `shards` shards holding at most `capacity` entries in
+    /// total (rounded up to a multiple of the shard count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity` is zero.
+    #[must_use]
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(capacity > 0, "at least one entry");
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap: capacity.div_ceil(shards),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        // splitmix64 finalizer: spreads low-entropy hashes across shards.
+        let mut h = hasher.finish();
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().expect("cache shard poisoned").touch(key)
+    }
+
+    /// Returns the cached value for `key`, or runs `build` and caches its
+    /// result. `build` runs with no lock held, so a slow build never
+    /// blocks other keys; two racing builders for the same key both run,
+    /// and the last insert wins (the values are interchangeable).
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, build: F) -> (V, CacheOutcome) {
+        let shard = self.shard(&key);
+        if let Some(value) = shard.lock().expect("cache shard poisoned").touch(&key) {
+            return (value, CacheOutcome { hit: true, evicted: 0 });
+        }
+        let value = build();
+        let evicted =
+            shard.lock().expect("cache shard poisoned").insert(key, value.clone(), self.shard_cap);
+        (value, CacheOutcome { hit: false, evicted })
+    }
+
+    /// Drops every entry (used when the keyed data is invalidated).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").entries.clear();
+        }
+    }
+
+    /// Entries currently cached, across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").entries.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_recently_used_entry_is_the_one_evicted() {
+        // One shard so the eviction order is fully observable.
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(1, 3);
+        for k in [1, 2, 3] {
+            let (_, out) = cache.get_or_insert_with(k, || k * 10);
+            assert!(!out.hit);
+            assert_eq!(out.evicted, 0);
+        }
+        // Recency now 1 < 2 < 3. Touch 1: recency 2 < 3 < 1.
+        assert_eq!(cache.get(&1), Some(10));
+        // Inserting a fourth entry must evict 2 — the least recently
+        // used — not 1 (insertion-oldest) and not an arbitrary entry.
+        let (_, out) = cache.get_or_insert_with(4, || 40);
+        assert_eq!(out.evicted, 1);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&2), None, "LRU entry evicted");
+        assert_eq!(cache.get(&1), Some(10), "recently touched entry kept");
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.get(&4), Some(40));
+    }
+
+    #[test]
+    fn hits_report_hit_and_do_not_rebuild() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(4, 8);
+        let (v, out) = cache.get_or_insert_with(7, || 70);
+        assert_eq!((v, out.hit), (70, false));
+        let (v, out) = cache.get_or_insert_with(7, || unreachable!("must not rebuild"));
+        assert_eq!((v, out.hit), (70, true));
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(4, 64);
+        for k in 0..32 {
+            let _ = cache.get_or_insert_with(k, || k);
+        }
+        assert_eq!(cache.len(), 32);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&0), None);
+    }
+
+    #[test]
+    fn capacity_bounds_total_size_across_shards() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(4, 16);
+        for k in 0..1000 {
+            let _ = cache.get_or_insert_with(k, || k);
+        }
+        // Per-shard cap is 4; hashing spreads keys, so the total stays at
+        // or below shards * per-shard cap.
+        assert!(cache.len() <= 16, "len {} exceeds capacity", cache.len());
+    }
+
+    #[test]
+    fn concurrent_mixed_keys_stay_consistent() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(8, 64);
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let k = (t * 7 + i) % 40;
+                        let (v, _) = cache.get_or_insert_with(k, || k * 2);
+                        assert_eq!(v, k * 2);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64);
+    }
+}

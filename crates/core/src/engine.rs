@@ -8,25 +8,42 @@
 //! * results are ranked (§3.2), rendered as insertable code, and
 //!   deduplicated by rendered code.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use jungloid_apidef::{Api, ElemJungloid};
 use jungloid_typesys::{Ty, TyId};
 
+use crate::cache::ShardedLru;
 use crate::generalize::generalize;
 use crate::graph::{ExampleError, GraphConfig, JungloidGraph};
 use crate::path::Jungloid;
 use crate::rank::{rank_key, RankKey, RankOptions};
-use crate::search::{enumerate, DistanceField, SearchConfig, SearchOutcome, TruncationReason};
+use crate::search::{
+    enumerate_with, DistanceField, SearchConfig, SearchOutcome, SearchScratch, TruncationReason,
+};
 use crate::synth::{synthesize, Snippet};
 
 /// Cap on cached distance fields. Every distinct query target costs one
 /// `O(nodes + edges)` field; without a cap a long-lived engine serving
-/// many targets grows without bound. When full, the cache is cleared
-/// wholesale (fields are cheap to recompute and real workloads re-query
-/// few targets).
+/// many targets grows without bound. When full, the per-shard
+/// least-recently-used target is evicted (real workloads re-query few
+/// targets, so the hot set survives).
 const DIST_CACHE_CAP: usize = 256;
+
+/// Shard count for the distance-field cache. Concurrent queries on
+/// different targets take different shard locks, so batch workers never
+/// contend on the cache unless their targets collide.
+const DIST_CACHE_SHARDS: usize = 16;
+
+thread_local! {
+    /// Per-thread search scratch: each serial caller and each batch
+    /// worker reuses one set of DFS buffers across its queries.
+    static SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+}
 
 /// A query failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,6 +108,20 @@ impl QueryResult {
     }
 }
 
+/// One slot of a [`Prospector::query_batch`] result.
+#[derive(Clone, Debug)]
+pub struct BatchEntry {
+    /// The query's input type.
+    pub tin: TyId,
+    /// The query's output type.
+    pub tout: TyId,
+    /// The query's outcome, exactly as [`Prospector::query`] would have
+    /// returned it.
+    pub result: Result<QueryResult, QueryError>,
+    /// Wall-clock time this query spent inside its worker.
+    pub time: Duration,
+}
+
 /// The Prospector engine: an API, its jungloid graph, and cached search
 /// state.
 #[derive(Debug)]
@@ -101,7 +132,7 @@ pub struct Prospector {
     pub search: SearchConfig,
     /// Ranking heuristic knobs.
     pub ranking: RankOptions,
-    dist_cache: Mutex<HashMap<TyId, Arc<DistanceField>>>,
+    dist_cache: ShardedLru<TyId, Arc<DistanceField>>,
 }
 
 impl Prospector {
@@ -121,7 +152,7 @@ impl Prospector {
             graph,
             search: SearchConfig::default(),
             ranking: RankOptions::default(),
-            dist_cache: Mutex::new(HashMap::new()),
+            dist_cache: ShardedLru::new(DIST_CACHE_SHARDS, DIST_CACHE_CAP),
         }
     }
 
@@ -134,7 +165,7 @@ impl Prospector {
             graph,
             search: SearchConfig::default(),
             ranking: RankOptions::default(),
-            dist_cache: Mutex::new(HashMap::new()),
+            dist_cache: ShardedLru::new(DIST_CACHE_SHARDS, DIST_CACHE_CAP),
         }
     }
 
@@ -188,7 +219,9 @@ impl Prospector {
                 added += 1;
             }
         }
-        self.dist_cache.lock().expect("dist cache poisoned").clear();
+        // The graph (and its CSR) changed shape: every cached distance
+        // field is stale.
+        self.dist_cache.clear();
         Ok(added)
     }
 
@@ -225,7 +258,7 @@ impl Prospector {
                 added += 1;
             }
         }
-        self.dist_cache.lock().expect("dist cache poisoned").clear();
+        self.dist_cache.clear();
         Ok(added)
     }
 
@@ -244,18 +277,18 @@ impl Prospector {
     }
 
     fn distances(&self, target: TyId) -> Arc<DistanceField> {
-        let mut cache = self.dist_cache.lock().expect("dist cache poisoned");
-        if let Some(field) = cache.get(&target) {
+        let (field, outcome) = self
+            .dist_cache
+            .get_or_insert_with(target, || Arc::new(DistanceField::towards(&self.graph, target)));
+        if outcome.hit {
             prospector_obs::add("engine.dist_cache.hits", 1);
-            return field.clone();
+        } else {
+            prospector_obs::add("engine.dist_cache.misses", 1);
+            if outcome.evicted > 0 {
+                prospector_obs::add("engine.dist_cache.evictions", outcome.evicted as u64);
+            }
+            prospector_obs::gauge_set("engine.dist_cache.entries", self.dist_cache.len() as u64);
         }
-        prospector_obs::add("engine.dist_cache.misses", 1);
-        if cache.len() >= DIST_CACHE_CAP {
-            cache.clear();
-        }
-        let field = Arc::new(DistanceField::towards(&self.graph, target));
-        cache.insert(target, field.clone());
-        prospector_obs::gauge_set("engine.dist_cache.entries", cache.len() as u64);
         field
     }
 
@@ -274,6 +307,68 @@ impl Prospector {
             });
         }
         Ok(self.run(&[(None, tin)], tout))
+    }
+
+    /// Answers a batch of explicit queries concurrently, fanning out
+    /// across `std::thread::scope` workers that share the immutable CSR
+    /// graph and the sharded distance cache. Worker count defaults to the
+    /// machine's available parallelism (capped at the batch size).
+    ///
+    /// Results come back in input order, and each slot is exactly what
+    /// [`Prospector::query`] would have produced for that pair — ranking
+    /// runs per-query inside the workers, so serial and batched runs are
+    /// byte-identical.
+    #[must_use]
+    pub fn query_batch(&self, queries: &[(TyId, TyId)]) -> Vec<BatchEntry> {
+        let threads =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.query_batch_threads(queries, threads)
+    }
+
+    /// [`Prospector::query_batch`] with an explicit worker count
+    /// (clamped to `1..=queries.len()`).
+    #[must_use]
+    pub fn query_batch_threads(&self, queries: &[(TyId, TyId)], threads: usize) -> Vec<BatchEntry> {
+        let _span = prospector_obs::stage("batch");
+        let threads = threads.clamp(1, queries.len().max(1));
+        prospector_obs::add("engine.batch.calls", 1);
+        prospector_obs::add("engine.batch.queries", queries.len() as u64);
+        prospector_obs::gauge_set("engine.batch.threads", threads as u64);
+        let mut slots: Vec<Option<BatchEntry>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, BatchEntry)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(tin, tout)) = queries.get(i) else { break };
+                            let start = Instant::now();
+                            let result = self.query(tin, tout);
+                            done.push((
+                                i,
+                                BatchEntry { tin, tout, result, time: start.elapsed() },
+                            ));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, entry) in handle.join().expect("batch worker panicked") {
+                    slots[i] = Some(entry);
+                }
+            }
+        });
+        let entries: Vec<BatchEntry> =
+            slots.into_iter().map(|s| s.expect("every batch slot filled")).collect();
+        let errors = entries.iter().filter(|e| e.result.is_err()).count();
+        if errors > 0 {
+            prospector_obs::add("engine.batch.errors", errors as u64);
+        }
+        entries
     }
 
     /// Content-assist query (§5): find code producing `tout` from any
@@ -313,10 +408,19 @@ impl Prospector {
 
     fn run(&self, sources: &[(Option<String>, TyId)], tout: TyId) -> QueryResult {
         let tys: Vec<TyId> = sources.iter().map(|(_, t)| *t).collect();
-        let SearchOutcome { jungloids, shortest, truncation } = {
+        let SearchOutcome { jungloids, shortest, truncation, .. } = {
             let _span = prospector_obs::stage("search");
             let field = self.distances(tout);
-            enumerate(&self.graph, &tys, tout, &field, &self.search)
+            SCRATCH.with(|scratch| {
+                enumerate_with(
+                    &self.graph,
+                    &tys,
+                    tout,
+                    &field,
+                    &self.search,
+                    &mut scratch.borrow_mut(),
+                )
+            })
         };
 
         // Synthesize, rank, and dedupe by rendered code (distinct paths —

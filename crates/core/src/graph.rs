@@ -94,6 +94,138 @@ impl GraphStats {
     }
 }
 
+/// Frozen compressed-sparse-row (CSR) mirror of the adjacency — the
+/// query hot path's view of the graph.
+///
+/// The `Vec<Vec<_>>` adjacency on [`JungloidGraph`] is the *builder*
+/// representation: cheap to append to while signatures and mined examples
+/// are spliced in, but every node hop during search costs a pointer chase
+/// into a separately allocated edge list. The CSR mirror packs all edges
+/// into contiguous arrays indexed by dense node index — `off[n]..off[n+1]`
+/// spans node `n`'s edges — in structure-of-arrays form so the 0-1 BFS
+/// touches only `(from, cost)` and the DFS touches only
+/// `(to, cost, elem)`.
+///
+/// Invariant: the CSR is rebuilt at the end of every mutating operation
+/// ([`JungloidGraph::from_api`], [`JungloidGraph::from_json`],
+/// [`JungloidGraph::add_example`],
+/// [`JungloidGraph::with_naive_downcasts`]), so it always reflects the
+/// list adjacency, with per-node edge order preserved. The engine relies
+/// on this when `add_examples` / `add_param_examples` grow the graph.
+#[derive(Clone, Debug, Default)]
+pub struct CsrAdjacency {
+    /// Forward offsets; `len = node_count + 1`.
+    fwd_off: Vec<u32>,
+    /// Destination dense index per forward edge.
+    fwd_to: Vec<u32>,
+    /// Elementary jungloid per forward edge.
+    fwd_elem: Vec<ElemJungloid>,
+    /// Step cost per forward edge (0 for widening).
+    fwd_cost: Vec<u8>,
+    /// Reverse offsets; `len = node_count + 1`.
+    rev_off: Vec<u32>,
+    /// Source dense index per reverse edge.
+    rev_from: Vec<u32>,
+    /// Step cost per reverse edge.
+    rev_cost: Vec<u8>,
+}
+
+impl CsrAdjacency {
+    fn build(graph: &JungloidGraph) -> Self {
+        let n = graph.node_count();
+        let edges = u32::try_from(graph.edge_count).expect("edge arena fits u32");
+        let mut csr = CsrAdjacency {
+            fwd_off: Vec::with_capacity(n + 1),
+            fwd_to: Vec::with_capacity(edges as usize),
+            fwd_elem: Vec::with_capacity(edges as usize),
+            fwd_cost: Vec::with_capacity(edges as usize),
+            rev_off: Vec::with_capacity(n + 1),
+            rev_from: Vec::with_capacity(edges as usize),
+            rev_cost: Vec::with_capacity(edges as usize),
+        };
+        csr.fwd_off.push(0);
+        for row in &graph.out {
+            for e in row {
+                csr.fwd_to.push(u32::try_from(graph.index_of(e.to)).expect("node fits u32"));
+                csr.fwd_elem.push(e.elem);
+                csr.fwd_cost.push(u8::from(!e.elem.is_widen()));
+            }
+            csr.fwd_off.push(u32::try_from(csr.fwd_to.len()).expect("edge arena fits u32"));
+        }
+        csr.rev_off.push(0);
+        for row in &graph.rev {
+            for &(from, cost) in row {
+                csr.rev_from.push(u32::try_from(graph.index_of(from)).expect("node fits u32"));
+                csr.rev_cost.push(cost);
+            }
+            csr.rev_off.push(u32::try_from(csr.rev_from.len()).expect("edge arena fits u32"));
+        }
+        csr
+    }
+
+    /// Node count covered by this layout.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.fwd_off.len().saturating_sub(1)
+    }
+
+    /// Edge count (forward == reverse).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.fwd_to.len()
+    }
+
+    /// Index range of `node`'s forward edges within the flat arrays.
+    #[must_use]
+    pub fn out_range(&self, node: usize) -> std::ops::Range<usize> {
+        self.fwd_off[node] as usize..self.fwd_off[node + 1] as usize
+    }
+
+    /// Destination dense indices, all nodes' edges concatenated.
+    #[must_use]
+    pub fn out_to(&self) -> &[u32] {
+        &self.fwd_to
+    }
+
+    /// Elementary jungloids, parallel to [`CsrAdjacency::out_to`].
+    #[must_use]
+    pub fn out_elem(&self) -> &[ElemJungloid] {
+        &self.fwd_elem
+    }
+
+    /// Step costs, parallel to [`CsrAdjacency::out_to`].
+    #[must_use]
+    pub fn out_cost(&self) -> &[u8] {
+        &self.fwd_cost
+    }
+
+    /// Index range of `node`'s reverse edges within the flat arrays.
+    #[must_use]
+    pub fn in_range(&self, node: usize) -> std::ops::Range<usize> {
+        self.rev_off[node] as usize..self.rev_off[node + 1] as usize
+    }
+
+    /// Source dense indices, all nodes' in-edges concatenated.
+    #[must_use]
+    pub fn in_from(&self) -> &[u32] {
+        &self.rev_from
+    }
+
+    /// Step costs, parallel to [`CsrAdjacency::in_from`].
+    #[must_use]
+    pub fn in_cost(&self) -> &[u8] {
+        &self.rev_cost
+    }
+
+    /// In-memory footprint of the flat arrays in bytes.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        (self.fwd_off.len() + self.rev_off.len()) * 4
+            + self.fwd_to.len() * (4 + 1 + std::mem::size_of::<ElemJungloid>())
+            + self.rev_from.len() * (4 + 1)
+    }
+}
+
 /// An invalid mined example.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExampleError {
@@ -126,6 +258,8 @@ pub struct JungloidGraph {
     /// Example step-sequences already added (dedup).
     examples: Vec<Vec<ElemJungloid>>,
     edge_count: usize,
+    /// Frozen CSR mirror of `out`/`rev`; rebuilt after every mutation.
+    csr: CsrAdjacency,
 }
 
 impl JungloidGraph {
@@ -142,6 +276,7 @@ impl JungloidGraph {
             rev: vec![Vec::new(); ty_count as usize],
             examples: Vec::new(),
             edge_count: 0,
+            csr: CsrAdjacency::default(),
         };
         let visible = |v: Visibility| match v {
             Visibility::Public => true,
@@ -192,9 +327,24 @@ impl JungloidGraph {
                 graph.push_edge(NodeId::Ty(t), elem, NodeId::Ty(sup));
             }
         }
+        graph.rebuild_csr();
         prospector_obs::gauge_set("graph.nodes", graph.node_count() as u64);
         prospector_obs::gauge_set("graph.edges", graph.edge_count as u64);
         graph
+    }
+
+    /// The frozen CSR view of the adjacency (always in sync; see
+    /// [`CsrAdjacency`]).
+    #[must_use]
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
+    }
+
+    fn rebuild_csr(&mut self) {
+        self.csr = CsrAdjacency::build(self);
+        prospector_obs::add("graph.csr.rebuilds", 1);
+        prospector_obs::gauge_set("graph.csr.edges", self.csr.edge_count() as u64);
+        prospector_obs::gauge_set("graph.csr.bytes", self.csr.approx_bytes() as u64);
     }
 
     /// The configuration the graph was built with.
@@ -359,6 +509,7 @@ impl JungloidGraph {
             from = to;
         }
         self.examples.push(steps.to_vec());
+        self.rebuild_csr();
         prospector_obs::add("graph.examples_spliced", 1);
         Ok(true)
     }
@@ -379,6 +530,7 @@ impl JungloidGraph {
                 g.push_edge(NodeId::Ty(t), elem, NodeId::Ty(sub));
             }
         }
+        g.rebuild_csr();
         g
     }
 
@@ -413,14 +565,17 @@ impl JungloidGraph {
         stats
     }
 
-    /// Rough in-memory footprint in bytes (adjacency only), for the §5
-    /// size report.
+    /// Rough in-memory footprint in bytes (list adjacency plus the CSR
+    /// mirror), for the §5 size report.
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
         let edge = std::mem::size_of::<Edge>();
         let rev = std::mem::size_of::<(NodeId, u8)>();
         let node = 2 * std::mem::size_of::<Vec<Edge>>();
-        self.edge_count * (edge + rev) + self.node_count() * node + self.mined_base.len() * 4
+        self.edge_count * (edge + rev)
+            + self.node_count() * node
+            + self.mined_base.len() * 4
+            + self.csr.approx_bytes()
     }
 
     /// Serializes the graph — config, mined nodes, examples, and the full
@@ -550,6 +705,7 @@ impl JungloidGraph {
             rev: vec![Vec::new(); node_count],
             examples,
             edge_count: 0,
+            csr: CsrAdjacency::default(),
         };
         for (from_idx, edges_doc) in adjacency.iter().enumerate() {
             let from = graph.node_at(from_idx);
@@ -570,6 +726,7 @@ impl JungloidGraph {
                 graph.push_edge(from, elem, to);
             }
         }
+        graph.rebuild_csr();
         Ok(graph)
     }
 }
@@ -825,6 +982,80 @@ mod tests {
         let Json::Obj(mut pairs) = doc else { unreachable!() };
         pairs.retain(|(k, _)| k != "adjacency");
         assert!(JungloidGraph::from_json(&Json::Obj(pairs), &api).is_err());
+    }
+
+    /// The CSR mirror must agree with the list adjacency edge-for-edge,
+    /// in the same per-node order (search result order depends on it).
+    fn assert_csr_mirrors_lists(g: &JungloidGraph) {
+        let csr = g.csr();
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for idx in 0..g.node_count() {
+            let node = g.node_at(idx);
+            let out = g.out_edges(node);
+            let range = csr.out_range(idx);
+            assert_eq!(range.len(), out.len());
+            for (k, e) in out.iter().enumerate() {
+                let flat = range.start + k;
+                assert_eq!(csr.out_to()[flat] as usize, g.index_of(e.to));
+                assert_eq!(csr.out_elem()[flat], e.elem);
+                assert_eq!(csr.out_cost()[flat], u8::from(!e.elem.is_widen()));
+            }
+            let ins = g.in_edges(node);
+            let range = csr.in_range(idx);
+            assert_eq!(range.len(), ins.len());
+            for (k, &(from, cost)) in ins.iter().enumerate() {
+                let flat = range.start + k;
+                assert_eq!(csr.in_from()[flat] as usize, g.index_of(from));
+                assert_eq!(csr.in_cost()[flat], cost);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_mirrors_signature_graph() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        assert_csr_mirrors_lists(&g);
+        assert!(g.csr().approx_bytes() > 0);
+    }
+
+    #[test]
+    fn csr_rebuilt_on_add_example_and_naive_downcasts() {
+        let api = api();
+        let mut g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let edges_before = g.csr().edge_count();
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let obj = api.types().object().unwrap();
+        let m = api.lookup_instance_method(a, "toB", 0)[0];
+        g.add_example(
+            &api,
+            &[
+                ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+                ElemJungloid::Widen { from: b, to: obj },
+                ElemJungloid::Downcast { from: obj, to: b },
+            ],
+        )
+        .unwrap();
+        // The mined path's three edges and two fresh nodes are visible in
+        // the rebuilt CSR.
+        assert_eq!(g.csr().edge_count(), edges_before + 3);
+        assert_eq!(g.csr().node_count(), g.node_count());
+        assert_csr_mirrors_lists(&g);
+
+        let naive = g.with_naive_downcasts(&api);
+        assert_csr_mirrors_lists(&naive);
+        assert!(naive.csr().edge_count() > g.csr().edge_count());
+    }
+
+    #[test]
+    fn csr_round_trips_through_json() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let back = JungloidGraph::from_json(&g.to_json(), &api).unwrap();
+        assert_csr_mirrors_lists(&back);
+        assert_eq!(back.csr().edge_count(), g.csr().edge_count());
     }
 
     #[test]

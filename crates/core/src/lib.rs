@@ -54,6 +54,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cache;
 pub mod compose;
 pub mod dot;
 pub mod engine;
@@ -67,11 +68,14 @@ pub mod search;
 pub mod synth;
 pub mod viability;
 
+pub use cache::{CacheOutcome, ShardedLru};
 pub use compose::{compose, ComposeConfig, Composition};
-pub use engine::{Prospector, QueryError, QueryResult, Suggestion};
-pub use graph::{Edge, ExampleError, GraphConfig, GraphStats, JungloidGraph, NodeId};
+pub use engine::{BatchEntry, Prospector, QueryError, QueryResult, Suggestion};
+pub use graph::{CsrAdjacency, Edge, ExampleError, GraphConfig, GraphStats, JungloidGraph, NodeId};
 pub use path::Jungloid;
 pub use rank::{RankKey, RankOptions};
-pub use search::{DistanceField, SearchConfig, SearchOutcome, TruncationReason};
+pub use search::{
+    DistanceField, SearchConfig, SearchOutcome, SearchScratch, TruncationReason,
+};
 pub use synth::{synthesize, synthesize_statements, NamePool, Snippet};
 pub use viability::{Behavior, Outcome};

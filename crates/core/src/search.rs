@@ -15,9 +15,10 @@
 
 use std::collections::VecDeque;
 
+use jungloid_apidef::ElemJungloid;
 use jungloid_typesys::TyId;
 
-use crate::graph::{JungloidGraph, NodeId};
+use crate::graph::{CsrAdjacency, JungloidGraph, NodeId};
 use crate::path::Jungloid;
 
 /// Enumeration limits and the `m + extra` window.
@@ -29,7 +30,10 @@ pub struct SearchConfig {
     /// Hard cap on produced paths.
     pub max_results: usize,
     /// Hard cap on DFS edge expansions (safety valve for pathological
-    /// graphs).
+    /// graphs). This budget covers the depth-first enumeration *only*:
+    /// edge relaxations spent by the 0-1 BFS pre-pass
+    /// ([`DistanceField::towards`]) are accounted separately (the
+    /// `search.bfs_relaxations` counter) and never eat into it.
     pub max_expansions: usize,
 }
 
@@ -85,6 +89,10 @@ pub struct SearchOutcome {
     pub shortest: Option<u32>,
     /// Which cap (if any) stopped the enumeration early.
     pub truncation: TruncationReason,
+    /// DFS edge expansions spent, the quantity
+    /// [`SearchConfig::max_expansions`] bounds. Excludes the 0-1 BFS
+    /// pre-pass, whose relaxations have their own budget-free counter.
+    pub expansions: usize,
 }
 
 /// Distances from every node *to* a fixed target, in non-widening steps.
@@ -97,30 +105,40 @@ pub struct DistanceField {
 }
 
 impl DistanceField {
-    /// Runs a reverse 0-1 BFS from `target`.
+    /// Runs a reverse 0-1 BFS from `target` over the CSR reverse arrays.
+    ///
+    /// Relaxations performed here are reported via the
+    /// `search.bfs_relaxations` counter and are *not* charged against
+    /// [`SearchConfig::max_expansions`], which budgets the DFS alone.
     #[must_use]
     pub fn towards(graph: &JungloidGraph, target: TyId) -> Self {
-        let n = graph.node_count();
+        let csr = graph.csr();
+        let n = csr.node_count();
+        let rev_from = csr.in_from();
+        let rev_cost = csr.in_cost();
         let mut dist = vec![u32::MAX; n];
-        let ti = graph.index_of(NodeId::Ty(target));
-        let mut queue = VecDeque::new();
-        dist[ti] = 0;
+        let ti = u32::try_from(graph.index_of(NodeId::Ty(target))).expect("node fits u32");
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        dist[ti as usize] = 0;
         queue.push_back(ti);
+        let mut relaxations: u64 = 0;
         while let Some(i) = queue.pop_front() {
-            let d = dist[i];
-            for &(from, cost) in graph.in_edges(graph.node_at(i)) {
-                let fi = graph.index_of(from);
+            let d = dist[i as usize];
+            let range = csr.in_range(i as usize);
+            relaxations += range.len() as u64;
+            for (&from, &cost) in rev_from[range.clone()].iter().zip(&rev_cost[range]) {
                 let nd = d + u32::from(cost);
-                if nd < dist[fi] {
-                    dist[fi] = nd;
+                if nd < dist[from as usize] {
+                    dist[from as usize] = nd;
                     if cost == 0 {
-                        queue.push_front(fi);
+                        queue.push_front(from);
                     } else {
-                        queue.push_back(fi);
+                        queue.push_back(from);
                     }
                 }
             }
         }
+        prospector_obs::add("search.bfs_relaxations", relaxations);
         DistanceField { target, dist }
     }
 
@@ -135,6 +153,56 @@ impl DistanceField {
     pub fn from(&self, graph: &JungloidGraph, node: NodeId) -> u32 {
         self.dist[graph.index_of(node)]
     }
+
+    /// The raw dense-indexed distance array (hot-path access).
+    pub(crate) fn raw(&self) -> &[u32] {
+        &self.dist
+    }
+}
+
+/// Reusable per-query search state: the DFS stack, the on-path marks, and
+/// the element buffer. One instance per worker thread, reset (cheaply)
+/// between queries, so the hot path allocates only for produced paths.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Acyclicity marks, dense-indexed; all `false` between queries.
+    on_path: Vec<bool>,
+    /// Explicit DFS stack (replaces recursion).
+    stack: Vec<Frame>,
+    /// Elements of the path currently being walked.
+    elems: Vec<ElemJungloid>,
+}
+
+impl SearchScratch {
+    /// A fresh scratch; buffers grow to fit the graph on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    fn reset(&mut self, nodes: usize) {
+        debug_assert!(self.on_path.iter().all(|&b| !b), "scratch left dirty");
+        if self.on_path.len() != nodes {
+            self.on_path.clear();
+            self.on_path.resize(nodes, false);
+        }
+        self.stack.clear();
+        self.elems.clear();
+    }
+}
+
+/// One explicit-stack DFS frame: a node and a cursor over its CSR edge
+/// range.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    /// Dense node index this frame walks from.
+    at: u32,
+    /// Next edge to try (flat index into the CSR forward arrays).
+    cursor: u32,
+    /// One past the last edge of `at`.
+    end: u32,
+    /// Non-widening steps spent reaching `at`.
+    cost: u32,
 }
 
 /// Enumerates all acyclic solution jungloids for sources → `target`
@@ -150,6 +218,21 @@ pub fn enumerate(
     target: TyId,
     field: &DistanceField,
     config: &SearchConfig,
+) -> SearchOutcome {
+    enumerate_with(graph, sources, target, field, config, &mut SearchScratch::new())
+}
+
+/// [`enumerate`] with caller-owned scratch buffers, the form the engine's
+/// batch workers use: one [`SearchScratch`] per thread amortizes the
+/// `O(nodes)` mark array and the stack across queries.
+#[must_use]
+pub fn enumerate_with(
+    graph: &JungloidGraph,
+    sources: &[TyId],
+    target: TyId,
+    field: &DistanceField,
+    config: &SearchConfig,
+    scratch: &mut SearchScratch,
 ) -> SearchOutcome {
     assert_eq!(field.target(), target, "distance field target mismatch");
     let mut uniq_sources: Vec<TyId> = Vec::new();
@@ -168,18 +251,18 @@ pub fn enumerate(
             jungloids: Vec::new(),
             shortest: None,
             truncation: TruncationReason::None,
+            expansions: 0,
         };
     };
-    let bound = m + config.extra_steps;
-
+    let csr = graph.csr();
+    scratch.reset(csr.node_count());
     let mut dfs = Dfs {
-        graph,
-        field,
-        target_idx: graph.index_of(NodeId::Ty(target)),
-        bound,
+        csr,
+        dist: field.raw(),
+        target_idx: u32::try_from(graph.index_of(NodeId::Ty(target))).expect("node fits u32"),
+        bound: m + config.extra_steps,
         config,
-        on_path: vec![false; graph.node_count()],
-        elems: Vec::new(),
+        scratch,
         out: Vec::new(),
         expansions: 0,
         truncation: TruncationReason::None,
@@ -188,10 +271,8 @@ pub fn enumerate(
         if field.from(graph, NodeId::Ty(s)) == u32::MAX {
             continue;
         }
-        let si = graph.index_of(NodeId::Ty(s));
-        dfs.on_path[si] = true;
-        dfs.walk(s, si, 0);
-        dfs.on_path[si] = false;
+        let si = u32::try_from(graph.index_of(NodeId::Ty(s))).expect("node fits u32");
+        dfs.walk(s, si);
         if dfs.truncation.truncated() {
             break;
         }
@@ -205,66 +286,100 @@ pub fn enumerate(
     }
     // `m` could be 0 when a source widens straight into the target; in that
     // case the shortest *produced* path still reports 0.
-    SearchOutcome { jungloids: dfs.out, shortest: Some(m), truncation: dfs.truncation }
+    SearchOutcome {
+        jungloids: dfs.out,
+        shortest: Some(m),
+        truncation: dfs.truncation,
+        expansions: dfs.expansions,
+    }
 }
 
 struct Dfs<'a> {
-    graph: &'a JungloidGraph,
-    field: &'a DistanceField,
-    target_idx: usize,
+    csr: &'a CsrAdjacency,
+    dist: &'a [u32],
+    target_idx: u32,
     bound: u32,
     config: &'a SearchConfig,
-    on_path: Vec<bool>,
-    elems: Vec<jungloid_apidef::ElemJungloid>,
+    scratch: &'a mut SearchScratch,
     out: Vec<Jungloid>,
     expansions: usize,
     truncation: TruncationReason,
 }
 
 impl Dfs<'_> {
-    fn walk(&mut self, source: TyId, at: usize, cost: u32) {
-        if self.truncation.truncated() {
-            return;
-        }
-        for edge in self.graph.out_edges(self.graph.node_at(at)) {
+    /// Walks all bounded acyclic paths from one source with an explicit
+    /// stack, visiting edges in exactly the order the recursive
+    /// formulation did (result order is part of the engine's contract).
+    fn walk(&mut self, source: TyId, si: u32) {
+        let fwd_to = self.csr.out_to();
+        let fwd_cost = self.csr.out_cost();
+        let fwd_elem = self.csr.out_elem();
+        let range = self.csr.out_range(si as usize);
+        self.scratch.on_path[si as usize] = true;
+        self.scratch.stack.push(Frame {
+            at: si,
+            cursor: range.start as u32,
+            end: range.end as u32,
+            cost: 0,
+        });
+        while let Some(frame) = self.scratch.stack.last_mut() {
+            if frame.cursor == frame.end {
+                // Every edge of this node tried: unwind one level.
+                let at = frame.at;
+                self.scratch.stack.pop();
+                self.scratch.on_path[at as usize] = false;
+                if !self.scratch.stack.is_empty() {
+                    self.scratch.elems.pop();
+                }
+                continue;
+            }
+            let ei = frame.cursor as usize;
+            frame.cursor += 1;
+            let cost = frame.cost;
             self.expansions += 1;
             if self.expansions > self.config.max_expansions {
                 self.truncation = TruncationReason::ExpansionCap;
-                return;
+                break;
             }
-            let to_idx = self.graph.index_of(edge.to);
-            if self.on_path[to_idx] {
+            let to = fwd_to[ei];
+            if self.scratch.on_path[to as usize] {
                 continue;
             }
-            let step = u32::from(!edge.elem.is_widen());
-            let new_cost = cost + step;
-            let to_go = self.field.from(self.graph, edge.to);
+            let new_cost = cost + u32::from(fwd_cost[ei]);
+            let to_go = self.dist[to as usize];
             if to_go == u32::MAX || new_cost + to_go > self.bound {
                 continue;
             }
-            self.elems.push(edge.elem);
-            if to_idx == self.target_idx {
+            if to == self.target_idx {
                 // Pure-widening paths contain no code ("you already have a
                 // tout"); the engine reports those separately.
-                if self.elems.iter().any(|e| !e.is_widen()) {
-                    self.out.push(Jungloid { source, elems: self.elems.clone() });
+                self.scratch.elems.push(fwd_elem[ei]);
+                if self.scratch.elems.iter().any(|e| !e.is_widen()) {
+                    self.out.push(Jungloid { source, elems: self.scratch.elems.clone() });
                     if self.out.len() >= self.config.max_results {
                         self.truncation = TruncationReason::PathCap;
-                        self.elems.pop();
-                        return;
+                        self.scratch.elems.pop();
+                        break;
                     }
                 }
+                self.scratch.elems.pop();
             } else {
-                self.on_path[to_idx] = true;
-                self.walk(source, to_idx, new_cost);
-                self.on_path[to_idx] = false;
-                if self.truncation.truncated() {
-                    self.elems.pop();
-                    return;
-                }
+                self.scratch.elems.push(fwd_elem[ei]);
+                self.scratch.on_path[to as usize] = true;
+                let range = self.csr.out_range(to as usize);
+                self.scratch.stack.push(Frame {
+                    at: to,
+                    cursor: range.start as u32,
+                    end: range.end as u32,
+                    cost: new_cost,
+                });
             }
-            self.elems.pop();
         }
+        // Leave the scratch clean even when a cap fired mid-walk.
+        for f in self.scratch.stack.drain(..) {
+            self.scratch.on_path[f.at as usize] = false;
+        }
+        self.scratch.elems.clear();
     }
 }
 
@@ -404,6 +519,78 @@ mod tests {
         let outcome = enumerate(&g, &[a], d, &field, &cfg);
         assert_eq!(outcome.truncation, TruncationReason::ExpansionCap);
         assert_eq!(outcome.truncation.label(), "expansion_cap");
+    }
+
+    /// Audit pin for the `max_expansions` accounting. On the fixture
+    /// graph the query A -> D deterministically spends exactly this many
+    /// DFS edge expansions; the 0-1 BFS pre-pass (which relaxes every
+    /// in-edge of every reached node) must not be charged against the
+    /// same budget. If this number drifts, the budget's meaning changed.
+    #[test]
+    fn expansion_accounting_is_dfs_only_and_pinned() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let d = ty(&api, "t.D");
+        let field = DistanceField::towards(&g, d);
+        let outcome = enumerate(&g, &[a], d, &field, &SearchConfig::default());
+        assert!(!outcome.truncation.truncated());
+        let spent = outcome.expansions;
+        // The pinned count: A's 2 signature out-edges are both expanded,
+        // and so on down the bounded frontier — 10 edge expansions total
+        // for this fixture, independent of BFS work.
+        assert_eq!(spent, 10);
+
+        // Pin: an identical repeat query (distance field reused, fresh or
+        // reused scratch) spends the identical budget.
+        let again = enumerate(&g, &[a], d, &field, &SearchConfig::default());
+        assert_eq!(again.expansions, spent);
+        let mut scratch = SearchScratch::new();
+        let with_scratch =
+            enumerate_with(&g, &[a], d, &field, &SearchConfig::default(), &mut scratch);
+        assert_eq!(with_scratch.expansions, spent);
+        // Scratch reuse across queries changes nothing either.
+        let reused = enumerate_with(&g, &[a], d, &field, &SearchConfig::default(), &mut scratch);
+        assert_eq!(reused.expansions, spent);
+        assert_eq!(reused.jungloids.len(), outcome.jungloids.len());
+
+        // The regression this guards against: were BFS relaxations
+        // double-counted into the DFS budget, a budget of exactly `spent`
+        // would truncate (the fixture BFS performs >0 relaxations). It
+        // must complete instead.
+        let cfg = SearchConfig { max_expansions: spent, ..SearchConfig::default() };
+        let exact = enumerate(&g, &[a], d, &field, &cfg);
+        assert_eq!(exact.truncation, TruncationReason::None);
+        assert_eq!(exact.jungloids.len(), outcome.jungloids.len());
+        assert_eq!(exact.expansions, spent);
+
+        // One short of the real cost does truncate — the budget is tight.
+        let cfg = SearchConfig { max_expansions: spent - 1, ..SearchConfig::default() };
+        let short = enumerate(&g, &[a], d, &field, &cfg);
+        assert_eq!(short.truncation, TruncationReason::ExpansionCap);
+    }
+
+    #[test]
+    fn scratch_reuse_survives_truncated_queries() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let d = ty(&api, "t.D");
+        let field = DistanceField::towards(&g, d);
+        let mut scratch = SearchScratch::new();
+        // A truncated walk must leave the scratch clean...
+        let cfg = SearchConfig { max_expansions: 2, ..SearchConfig::default() };
+        let truncated = enumerate_with(&g, &[a], d, &field, &cfg, &mut scratch);
+        assert_eq!(truncated.truncation, TruncationReason::ExpansionCap);
+        // ...so a follow-up full query over the same scratch is unaffected.
+        let full = enumerate_with(&g, &[a], d, &field, &SearchConfig::default(), &mut scratch);
+        assert_eq!(full.truncation, TruncationReason::None);
+        let fresh = enumerate(&g, &[a], d, &field, &SearchConfig::default());
+        assert_eq!(full.jungloids.len(), fresh.jungloids.len());
+        for (x, y) in full.jungloids.iter().zip(&fresh.jungloids) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.elems, y.elems);
+        }
     }
 
     #[test]
