@@ -1,0 +1,88 @@
+//! Flight-recorder overhead — per-query latency for the Table 1 mix
+//! with the trace ring disabled (the default: one relaxed atomic load
+//! per query span, plain branches at every event site) versus enabled
+//! (events buffered per query and flushed under one shard lock at
+//! finish).
+//!
+//! The contract this guards: tracing OFF must be free enough that it is
+//! never worth compiling out, and tracing ON must stay cheap enough to
+//! leave on in a serving process.
+//!
+//! Run with `cargo bench -p bench --bench trace_overhead`; set
+//! `PROSPECTOR_BENCH_QUICK=1` (or pass `--quick`) for a CI-sized smoke
+//! run.
+
+use std::time::Instant;
+
+use jungloid_typesys::TyId;
+use prospector_core::Prospector;
+use prospector_corpora::{build, problems, BuildOptions};
+
+fn quick_mode() -> bool {
+    std::env::var_os("PROSPECTOR_BENCH_QUICK").is_some()
+        || std::env::args().any(|a| a == "--quick")
+}
+
+fn query_mix(engine: &Prospector) -> Vec<(TyId, TyId)> {
+    let api = engine.api();
+    problems::table1()
+        .iter()
+        .map(|p| {
+            (
+                api.types().resolve(p.tin).expect("table1 tin resolves"),
+                api.types().resolve(p.tout).expect("table1 tout resolves"),
+            )
+        })
+        .collect()
+}
+
+/// Mean ns/query over `rounds` passes of the mix (first pass warms the
+/// distance cache for both arms, so the two measure the same work).
+fn measure(engine: &Prospector, queries: &[(TyId, TyId)], rounds: usize) -> f64 {
+    for &(tin, tout) in queries {
+        let _ = engine.query(tin, tout);
+    }
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for &(tin, tout) in queries {
+            let _ = engine.query(tin, tout);
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let per_query = started.elapsed().as_nanos() as f64 / (rounds * queries.len()) as f64;
+    per_query
+}
+
+fn main() {
+    let quick = quick_mode();
+    let rounds = if quick { 5 } else { 50 };
+
+    println!("\n=== flight-recorder overhead (Table 1 mix) ===\n");
+    let engine = build(&BuildOptions::default()).expect("assembles").prospector;
+    let queries = query_mix(&engine);
+
+    prospector_obs::trace::set_enabled(false);
+    let off = measure(&engine, &queries, rounds);
+    assert_eq!(
+        prospector_obs::trace::event_count(),
+        0,
+        "disabled tracing must publish no events"
+    );
+
+    prospector_obs::trace::set_enabled(true);
+    let on = measure(&engine, &queries, rounds);
+    let recorded = prospector_obs::trace::event_count();
+    prospector_obs::trace::set_enabled(false);
+    assert!(recorded > 0, "enabled tracing must publish events");
+
+    let delta = on - off;
+    println!("tracing off: {off:>12.0} ns/query");
+    println!("tracing on:  {on:>12.0} ns/query  ({recorded} events recorded)");
+    println!(
+        "overhead:    {delta:>12.0} ns/query  ({:+.1}%)",
+        delta / off * 100.0
+    );
+    if quick {
+        println!("\n(quick mode: {rounds} rounds; timings are smoke-level only)");
+    }
+}

@@ -30,7 +30,15 @@
 //! Observability flags (any subcommand): `--metrics` prints the metric
 //! registry — per-stage pipeline timings, counters, gauges — after the
 //! command runs; `--metrics-json <path>` writes the same snapshot as a
-//! machine-readable JSON document (see the README's metric schema).
+//! machine-readable JSON document (see the README's metric schema);
+//! `--slow-ms <N>` turns the flight recorder on and retains the full
+//! timeline of any query slower than `N` ms (dumped to stderr at exit);
+//! `--trace-json <path>` turns the flight recorder on and writes the
+//! recorded ring as Chrome-trace JSON after the command.
+//!
+//! `serve [--addr host:port]` runs the std-only observability HTTP
+//! server (`/metrics`, `/healthz`, `/query`, `/slow`, `/trace.json`) —
+//! see the `serve` module in the library half of this crate.
 
 use std::process::ExitCode;
 
@@ -59,6 +67,8 @@ struct Flags {
     index: Option<String>,
     metrics: bool,
     metrics_json: Option<String>,
+    slow_ms: Option<u64>,
+    trace_json: Option<String>,
     rest: Vec<String>,
 }
 
@@ -69,6 +79,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut index = None;
     let mut metrics = false;
     let mut metrics_json = None;
+    let mut slow_ms = None;
+    let mut trace_json = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -100,10 +112,21 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--metrics-json" => {
                 metrics_json = Some(it.next().ok_or("--metrics-json needs a path")?.clone());
             }
+            "--slow-ms" => {
+                slow_ms = Some(
+                    it.next()
+                        .ok_or("--slow-ms needs a number")?
+                        .parse()
+                        .map_err(|_| "--slow-ms needs a number".to_owned())?,
+                );
+            }
+            "--trace-json" => {
+                trace_json = Some(it.next().ok_or("--trace-json needs a path")?.clone());
+            }
             other => rest.push(other.to_owned()),
         }
     }
-    Ok(Flags { options, max, seed, index, metrics, metrics_json, rest })
+    Ok(Flags { options, max, seed, index, metrics, metrics_json, slow_ms, trace_json, rest })
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -111,11 +134,46 @@ fn run(args: &[String]) -> Result<(), String> {
     if flags.metrics || flags.metrics_json.is_some() {
         prospector_obs::set_enabled(true);
     }
+    // Trace ids are deterministic in the seed, so a re-run with the same
+    // `--seed` and batch file reproduces the same id sequence (and thus
+    // a byte-comparable Chrome trace). Flag precedence mirrors
+    // `--metrics`: tracing is off unless a flag that needs it is present
+    // (`--slow-ms`, `--trace-json`, or the `serve`/`explain` commands);
+    // there is no environment-variable override.
+    prospector_obs::trace::set_seed(flags.seed);
+    if let Some(ms) = flags.slow_ms {
+        // The recorder treats threshold 0 as "slow log off"; passing the
+        // flag is already the opt-in, so `--slow-ms 0` clamps to 1 ns and
+        // retains every query's timeline.
+        prospector_obs::trace::global()
+            .set_slow_threshold_ns(ms.saturating_mul(1_000_000).max(1));
+        prospector_obs::trace::set_enabled(true);
+    }
+    if flags.trace_json.is_some() {
+        prospector_obs::trace::set_enabled(true);
+    }
     let result = run_command(&flags);
     // Emit metrics even when the command failed — the partial pipeline
     // record is exactly what a failure investigation wants.
     let emitted = emit_metrics(&flags);
-    result.and(emitted)
+    let traced = emit_traces(&flags);
+    result.and(emitted).and(traced)
+}
+
+/// Writes the Chrome-trace export and prints the slow-query log after
+/// the command finishes, when the corresponding flags asked for them.
+fn emit_traces(flags: &Flags) -> Result<(), String> {
+    if let Some(path) = &flags.trace_json {
+        let doc = prospector_obs::trace::to_chrome_json(&prospector_obs::trace::events());
+        std::fs::write(path, doc.to_text()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if flags.slow_ms.is_some() {
+        let slow = prospector_obs::trace::slow_queries();
+        if !slow.is_empty() {
+            eprint!("{}", prospector_obs::trace::format_slow_log(&slow));
+        }
+    }
+    Ok(())
 }
 
 fn emit_metrics(flags: &Flags) -> Result<(), String> {
@@ -267,12 +325,22 @@ fn run_command(flags: &Flags) -> Result<(), String> {
                 .rest
                 .get(3)
                 .map_or(Ok(1), |r| r.parse().map_err(|_| "RANK must be a number".to_owned()))?;
+            // `explain` replays the flight recorder's timeline for the
+            // query it just ran instead of re-deriving a narrative, so
+            // what it prints is exactly what the trace captured.
+            prospector_obs::trace::set_enabled(true);
             let result = engine.query(tin, tout).map_err(|e| e.to_string())?;
             let Some(s) = result.suggestions.get(rank.saturating_sub(1)) else {
                 return Err(format!("only {} suggestions", result.suggestions.len()));
             };
             println!("{}", s.code);
             print!("{}", prospector_core::explain::format_explanation(engine.api(), &s.jungloid));
+            let id = prospector_obs::trace::TraceId(result.stats.trace_id);
+            let timeline = prospector_obs::trace::events_for(id);
+            if !timeline.is_empty() {
+                println!("\nrecorded timeline (trace {id}):");
+                print!("{}", prospector_obs::trace::format_timeline(&timeline));
+            }
             Ok(())
         }
         "compose" => {
@@ -353,6 +421,30 @@ fn run_command(flags: &Flags) -> Result<(), String> {
                 engine.graph().edge_count()
             );
             Ok(())
+        }
+        "serve" => {
+            let mut addr = "127.0.0.1:7878".to_owned();
+            let mut it = flags.rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
+                    other => return Err(format!("serve: unknown argument `{other}`")),
+                }
+            }
+            let engine = engine(flags)?;
+            let server = prospector_cli::serve::Server::bind(&addr)?;
+            let bound = server.local_addr()?;
+            println!("serving on http://{bound}");
+            println!("  GET /healthz     liveness");
+            println!("  GET /metrics     Prometheus text exposition");
+            println!("  GET /query?tin=..&tout=..  ranked jungloids + trace_id");
+            println!("  GET /slow        retained slow-query timelines (JSON)");
+            println!("  GET /trace.json  flight-recorder ring as Chrome trace");
+            // The CLI has no signal handling (std-only), so the flag is
+            // never flipped here: the process serves until killed. Tests
+            // drive `Server::run` in-process and flip it for a clean join.
+            let shutdown = std::sync::atomic::AtomicBool::new(false);
+            server.run(&engine, flags.max, &shutdown)
         }
         "stats" => {
             // `stats` always times the pipeline so the §5 size report
@@ -509,8 +601,14 @@ fn query_batch(flags: &Flags, path: &str, threads: Option<usize>) -> Result<(), 
 
     let mut errors = 0usize;
     for (entry, (tin, tout)) in batch.iter().zip(&names) {
-        let mut pairs =
-            vec![("tin", Json::Str(tin.clone())), ("tout", Json::Str(tout.clone()))];
+        // `trace_id` is preallocated in input order (before the worker
+        // fan-out), so it is present — and deterministic under `--seed` —
+        // even for queries that failed.
+        let mut pairs = vec![
+            ("tin", Json::Str(tin.clone())),
+            ("tout", Json::Str(tout.clone())),
+            ("trace_id", Json::num_u(entry.trace_id.0)),
+        ];
         match &entry.result {
             Ok(result) => {
                 pairs.push(("ok", Json::Bool(true)));
@@ -520,6 +618,12 @@ fn query_batch(flags: &Flags, path: &str, threads: Option<usize>) -> Result<(), 
                 ));
                 pairs.push(("truncation", Json::Str(result.truncation.label().to_owned())));
                 pairs.push(("found", Json::num_u(result.suggestions.len() as u64)));
+                pairs.push(("dist_cache_hits", Json::num_u(result.stats.dist_cache_hits)));
+                pairs.push((
+                    "dist_cache_misses",
+                    Json::num_u(result.stats.dist_cache_misses),
+                ));
+                pairs.push(("dfs_expansions", Json::num_u(result.stats.dfs_expansions)));
                 pairs.push((
                     "suggestions",
                     Json::Arr(
@@ -581,8 +685,10 @@ usage:
   prospector [flags] study [--seed N]
   prospector [flags] mine
   prospector [flags] stats
+  prospector [flags] serve [--addr host:port]
 
 flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle
-       --max N --seed N --index <path> --metrics --metrics-json <path>"
+       --max N --seed N --index <path> --metrics --metrics-json <path>
+       --slow-ms N --trace-json <path>"
     );
 }

@@ -1,0 +1,325 @@
+//! `prospector serve` — a zero-dependency HTTP/1.1 observability server.
+//!
+//! Everything here is `std`-only: a blocking-free accept loop over
+//! [`std::net::TcpListener`] with one scoped thread per connection
+//! ([`std::thread::scope`]), so shutting down is "set the flag, wait for
+//! the scope" — the scope joins every in-flight handler and no thread
+//! outlives [`Server::run`].
+//!
+//! Endpoints:
+//!
+//! | path                      | returns                                     |
+//! |---------------------------|---------------------------------------------|
+//! | `GET /healthz`            | `ok` (liveness)                             |
+//! | `GET /metrics`            | Prometheus text exposition of the registry  |
+//! | `GET /query?tin=..&tout=..` | ranked-jungloid JSON + the query's `trace_id` |
+//! | `GET /slow`               | the retained slow-query timelines as JSON   |
+//! | `GET /trace.json`         | the flight-recorder ring as Chrome trace    |
+//!
+//! The server enables both the metric registry and the flight recorder
+//! at bind time (it exists to expose them), and pre-registers the core
+//! metric families at zero so a scrape taken before the first query
+//! still shows every series a dashboard will ever chart.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use prospector_core::Prospector;
+use prospector_obs::trace::{self, TraceId};
+use prospector_obs::Json;
+
+/// How long the accept loop sleeps when no connection is pending. The
+/// shutdown flag is re-checked at this cadence, so it bounds shutdown
+/// latency as well as idle wakeup rate.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection socket timeout: a client that connects and then goes
+/// silent cannot pin a handler thread (and thus the scope) forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A bound listener, separated from [`Server::run`] so callers (the CLI,
+/// the smoke test) can learn the real address before serving — binding
+/// port 0 and reading it back is how the test avoids port collisions.
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds `addr`, turns the metric registry and flight recorder on,
+    /// and pre-registers the core metric families at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind failure as a displayable message.
+    pub fn bind(addr: &str) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        prospector_obs::set_enabled(true);
+        trace::set_enabled(true);
+        warm_registry();
+        Ok(Server { listener })
+    }
+
+    /// The actual bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error as a displayable message.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| e.to_string())
+    }
+
+    /// Serves until `shutdown` is set. Connections are handled on scoped
+    /// threads; when the flag flips, the accept loop stops and the scope
+    /// joins every in-flight handler before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop failures other than `WouldBlock`.
+    pub fn run(
+        self,
+        engine: &Prospector,
+        max: usize,
+        shutdown: &AtomicBool,
+    ) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        std::thread::scope(|scope| {
+            while !shutdown.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn(move || handle_connection(stream, engine, max));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) => return Err(format!("accept: {e}")),
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Creates the metric families the core pipeline reports into, so the
+/// very first `/metrics` scrape already exposes them at zero. (Prometheus
+/// guidance: export a series before its first event, so `rate()` sees the
+/// 0 → 1 transition.)
+fn warm_registry() {
+    const COUNTERS: &[&str] = &[
+        "search.dfs_expansions",
+        "search.bfs_relaxations",
+        "search.paths_enumerated",
+        "search.truncated.path_cap",
+        "search.truncated.expansion_cap",
+        "engine.dist_cache.hits",
+        "engine.dist_cache.misses",
+        "engine.dist_cache.evictions",
+        "engine.batch.calls",
+        "engine.batch.queries",
+        "engine.batch.errors",
+        "engine.dedup_drops",
+        "rank.comparisons",
+        "synth.snippets",
+    ];
+    for name in COUNTERS {
+        prospector_obs::add(name, 0);
+    }
+    for name in [
+        "query.latency_ns",
+        "query.stage_ns.search",
+        "query.stage_ns.synth",
+        "query.stage_ns.rank",
+    ] {
+        let _ = prospector_obs::metrics::histogram(name);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, engine: &Prospector, max: usize) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some((method, path)) = read_request_line(&mut stream) else {
+        return;
+    };
+    if method != "GET" {
+        respond(&mut stream, 405, "Method Not Allowed", "text/plain", "only GET is served\n");
+        return;
+    }
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path.as_str(), ""),
+    };
+    match route {
+        "/healthz" => respond(&mut stream, 200, "OK", "text/plain", "ok\n"),
+        "/metrics" => {
+            let body = prospector_obs::prom::render(&prospector_obs::snapshot());
+            respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", &body);
+        }
+        "/query" => match run_query(engine, max, query) {
+            Ok(body) => respond(&mut stream, 200, "OK", "application/json", &body),
+            Err(message) => {
+                let body = Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(message)),
+                ])
+                .to_text();
+                respond(&mut stream, 400, "Bad Request", "application/json", &body);
+            }
+        },
+        "/slow" => {
+            let body = trace::slow_to_json(&trace::slow_queries()).to_text();
+            respond(&mut stream, 200, "OK", "application/json", &body);
+        }
+        "/trace.json" => {
+            let body = trace::to_chrome_json(&trace::events()).to_text();
+            respond(&mut stream, 200, "OK", "application/json", &body);
+        }
+        _ => respond(&mut stream, 404, "Not Found", "text/plain", "no such endpoint\n"),
+    }
+}
+
+/// Reads just the request line (`GET /path HTTP/1.1`). Headers are
+/// drained but ignored — every endpoint is a parameterless GET.
+fn read_request_line(stream: &mut TcpStream) -> Option<(String, String)> {
+    let mut buf = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Read to end-of-headers (or a sane cap) one byte at a time; request
+    // lines are tiny and this avoids over-reading into a keep-alive body.
+    while !buf.ends_with(b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(1) => buf.push(byte[0]),
+            _ => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_owned();
+    let path = parts.next()?.to_owned();
+    Some((method, path))
+}
+
+fn respond(stream: &mut TcpStream, code: u16, reason: &str, content_type: &str, body: &str) {
+    let header = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Answers `GET /query?tin=..&tout=..` with ranked-jungloid JSON.
+///
+/// Routed through the one-element batch path on purpose: the server's
+/// queries then share the exact accounting (`engine.batch.*`, preallocated
+/// trace ids) that `query --batch` lines get, so a dashboard scraping
+/// `/metrics` sees one coherent story regardless of how queries arrived.
+fn run_query(engine: &Prospector, max: usize, query: &str) -> Result<String, String> {
+    let mut tin: Option<String> = None;
+    let mut tout: Option<String> = None;
+    for pair in query.split('&') {
+        let Some((key, value)) = pair.split_once('=') else { continue };
+        match key {
+            "tin" => tin = Some(percent_decode(value)),
+            "tout" => tout = Some(percent_decode(value)),
+            _ => {}
+        }
+    }
+    let tin = tin.ok_or("missing query parameter `tin`")?;
+    let tout = tout.ok_or("missing query parameter `tout`")?;
+    let tin_ty = engine.api().types().resolve(&tin).map_err(|e| e.to_string())?;
+    let tout_ty = engine.api().types().resolve(&tout).map_err(|e| e.to_string())?;
+
+    let batch = engine.query_batch(&[(tin_ty, tout_ty)]);
+    let entry = batch.into_iter().next().ok_or("empty batch result")?;
+    let result = entry.result.map_err(|e| e.to_string())?;
+
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("tin", Json::Str(tin)),
+        ("tout", Json::Str(tout)),
+        ("trace_id", Json::num_u(entry.trace_id.0)),
+        ("trace_id_hex", Json::Str(TraceId(entry.trace_id.0).to_string())),
+        (
+            "shortest",
+            result.shortest.map_or(Json::Null, |m| Json::num_u(u64::from(m))),
+        ),
+        ("truncation", Json::Str(result.truncation.label().to_owned())),
+        ("found", Json::num_u(result.suggestions.len() as u64)),
+        (
+            "suggestions",
+            Json::Arr(
+                result
+                    .suggestions
+                    .iter()
+                    .take(max)
+                    .map(|s| Json::Str(s.code.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "stats",
+            Json::obj(vec![
+                ("dist_cache_hits", Json::num_u(result.stats.dist_cache_hits)),
+                ("dist_cache_misses", Json::num_u(result.stats.dist_cache_misses)),
+                ("bfs_relaxations", Json::num_u(result.stats.bfs_relaxations)),
+                ("dfs_expansions", Json::num_u(result.stats.dfs_expansions)),
+            ]),
+        ),
+    ];
+    pairs.push(("time_us", Json::num_u(entry.time.as_micros() as u64)));
+    Ok(Json::obj(pairs).to_text())
+}
+
+/// Minimal percent-decoding for query values (`%2E`, `+` → space). Type
+/// names are dot-separated identifiers, so this is already generous.
+fn percent_decode(value: &str) -> String {
+    let bytes = value.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percent_decode;
+
+    #[test]
+    fn percent_decode_handles_escapes_and_passthrough() {
+        assert_eq!(percent_decode("IFile"), "IFile");
+        assert_eq!(percent_decode("a%2Eb"), "a.b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+}

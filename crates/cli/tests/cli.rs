@@ -179,12 +179,21 @@ fn query_batch_emits_json_lines_and_aggregate() {
     assert_eq!(first.get("ok").unwrap().as_bool(), Some(true));
     let top = first.get("suggestions").unwrap().as_arr().unwrap()[0].as_str().unwrap();
     assert!(top.starts_with("AST.parseCompilationUnit("), "{top}");
+    let mut trace_ids = Vec::new();
     for line in &lines[..3] {
         let q = prospector_obs::Json::parse(line).expect("valid JSON");
         let label = q.get("truncation").unwrap().as_str().unwrap();
         assert!(["none", "path_cap", "expansion_cap"].contains(&label), "{label}");
         assert!(q.get("time_us").unwrap().as_u64().is_some());
+        // Every line carries its flight-recorder id and the per-query
+        // cache split (correlatable with the global engine.dist_cache.*).
+        trace_ids.push(q.get("trace_id").unwrap().as_u64().unwrap());
+        let hits = q.get("dist_cache_hits").unwrap().as_u64().unwrap();
+        let misses = q.get("dist_cache_misses").unwrap().as_u64().unwrap();
+        assert_eq!(hits + misses, 1, "each query does exactly one distance lookup");
+        assert!(q.get("dfs_expansions").unwrap().as_u64().is_some());
     }
+    assert!(trace_ids.windows(2).all(|w| w[0] < w[1]), "input-ordered ids: {trace_ids:?}");
 
     let agg = prospector_obs::Json::parse(lines[3]).expect("valid JSON");
     let batch = agg.get("batch").unwrap();
@@ -206,6 +215,91 @@ fn query_batch_reports_bad_lines_with_numbers() {
     assert!(stderr.contains(":2:"), "line number in error: {stderr}");
     assert!(stderr.contains("unknown type"), "{stderr}");
     std::fs::remove_file(&path).ok();
+}
+
+/// Rebuilds a Chrome-trace document with its wall-clock fields (`ts`,
+/// `dur`) zeroed, leaving names, phases, counter args, pids, and trace
+/// ids — everything that must be deterministic — intact.
+fn zero_chrome_clocks(doc: &prospector_obs::Json) -> prospector_obs::Json {
+    use prospector_obs::Json;
+    let events = doc.as_arr().expect("chrome trace is a JSON array");
+    Json::Arr(
+        events
+            .iter()
+            .map(|event| {
+                let pairs = event.as_obj().expect("chrome event is an object");
+                Json::obj(
+                    pairs
+                        .iter()
+                        .map(|(key, value)| {
+                            if key == "ts" || key == "dur" {
+                                (key.as_str(), Json::num_u(0))
+                            } else {
+                                (key.as_str(), value.clone())
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn same_seed_batch_runs_are_trace_deterministic() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let batch = dir.join("batch-determinism.txt");
+    std::fs::write(&batch, "IFile ASTNode\nInputStream BufferedReader\nIFile ASTNode\n").unwrap();
+
+    let run = |trace_path: &std::path::Path| -> (Vec<u64>, String) {
+        let (stdout, stderr, ok) = prospector(&[
+            "--seed",
+            "42",
+            "--trace-json",
+            trace_path.to_str().unwrap(),
+            "query",
+            "--batch",
+            batch.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]);
+        assert!(ok, "stderr: {stderr}");
+        let ids: Vec<u64> = stdout
+            .lines()
+            .filter(|l| l.contains("\"trace_id\""))
+            .map(|l| {
+                let q = prospector_obs::Json::parse(l).expect("valid JSON");
+                q.get("trace_id").unwrap().as_u64().unwrap()
+            })
+            .collect();
+        let chrome = std::fs::read_to_string(trace_path).unwrap();
+        let doc = prospector_obs::Json::parse(&chrome).expect("valid chrome trace");
+        (ids, zero_chrome_clocks(&doc).to_text())
+    };
+
+    let first_path = dir.join("trace-a.json");
+    let second_path = dir.join("trace-b.json");
+    let (ids_a, chrome_a) = run(&first_path);
+    let (ids_b, chrome_b) = run(&second_path);
+
+    assert_eq!(ids_a.len(), 3);
+    assert_eq!(ids_a, ids_b, "same seed must allocate the same trace ids");
+    assert!(!chrome_a.is_empty() && chrome_a != "[]", "trace captured events");
+    assert_eq!(chrome_a, chrome_b, "chrome traces identical modulo ts/dur");
+
+    std::fs::remove_file(&batch).ok();
+    std::fs::remove_file(&first_path).ok();
+    std::fs::remove_file(&second_path).ok();
+}
+
+#[test]
+fn explain_replays_recorded_timeline() {
+    let (stdout, stderr, ok) = prospector(&["explain", "IFile", "ASTNode"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("recorded timeline (trace "), "{stdout}");
+    assert!(stdout.contains("search.dfs_expansions"), "{stdout}");
+    assert!(stdout.contains("query.total"), "{stdout}");
 }
 
 #[test]

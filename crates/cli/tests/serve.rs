@@ -1,0 +1,191 @@
+//! End-to-end smoke test of `prospector serve`: bind port 0, issue real
+//! `TcpStream` requests, validate the Prometheus exposition strictly,
+//! and shut the loop down via the atomic flag (the scope joins every
+//! handler, so a clean return proves no thread leaked).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use prospector_cli::serve::Server;
+use prospector_corpora::{build, BuildOptions};
+use prospector_obs::Json;
+
+/// Issues one `GET` and returns `(status_line, body)`.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    http_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"))
+}
+
+fn http_request(addr: std::net::SocketAddr, raw: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().expect("status line").to_owned();
+    (status, body.to_owned())
+}
+
+fn is_metric_char(c: char, first: bool) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':' || (!first && c.is_ascii_digit())
+}
+
+/// Strict exposition-format check: every line is `# HELP`, `# TYPE`, or
+/// `name{labels} value` with a well-formed metric name and numeric value.
+fn validate_prometheus(body: &str) {
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "comment line is neither HELP nor TYPE: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line}"));
+        let name = series.split('{').next().unwrap();
+        assert!(!name.is_empty(), "empty metric name: {line}");
+        for (i, c) in name.chars().enumerate() {
+            assert!(is_metric_char(c, i == 0), "bad metric name `{name}` in: {line}");
+        }
+        if let Some(open) = series.find('{') {
+            assert!(series.ends_with('}'), "unclosed label set: {line}");
+            let labels = &series[open + 1..series.len() - 1];
+            for pair in labels.split(',') {
+                let (key, val) = pair.split_once('=').unwrap_or_else(|| panic!("bad label `{pair}`: {line}"));
+                assert!(key.chars().enumerate().all(|(i, c)| is_metric_char(c, i == 0)), "bad label name: {line}");
+                assert!(val.starts_with('"') && val.ends_with('"') && val.len() >= 2, "unquoted label value: {line}");
+            }
+        }
+        assert!(value.parse::<f64>().is_ok(), "non-numeric value `{value}`: {line}");
+    }
+}
+
+/// For every `_bucket` family: counts are cumulative (nondecreasing in
+/// file order), the last bucket is `le="+Inf"`, and it equals `_count`.
+fn validate_histogram_buckets(body: &str) {
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for line in body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap();
+        if let Some(prefix) = series.split('{').next().unwrap().strip_suffix("_bucket") {
+            let le = series
+                .split("le=\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .unwrap_or_else(|| panic!("bucket without le label: {line}"))
+                .to_owned();
+            buckets.entry(prefix.to_owned()).or_default().push((le, value.parse().unwrap()));
+        } else if let Some(prefix) = series.strip_suffix("_count") {
+            counts.insert(prefix.to_owned(), value.parse().unwrap());
+        }
+    }
+    assert!(!buckets.is_empty(), "no histogram families rendered");
+    for (family, series) in &buckets {
+        for window in series.windows(2) {
+            assert!(
+                window[0].1 <= window[1].1,
+                "{family}: buckets not cumulative: {series:?}"
+            );
+        }
+        let (last_le, last_count) = series.last().unwrap();
+        assert_eq!(last_le, "+Inf", "{family}: final bucket must be +Inf");
+        let total = counts
+            .get(family)
+            .unwrap_or_else(|| panic!("{family}: _bucket without _count"));
+        assert_eq!(last_count, total, "{family}: +Inf bucket != _count");
+    }
+}
+
+#[test]
+fn serve_smoke() {
+    let engine = build(&BuildOptions::default()).expect("corpus builds").prospector;
+    let server = Server::bind("127.0.0.1:0").expect("bind port 0");
+    let addr = server.local_addr().expect("bound address");
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| server.run(&engine, 5, &shutdown));
+
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        // Two identical queries: the second must be a distance-cache hit,
+        // proving the per-query split (not just the global counters).
+        let (status, body) = http_get(addr, "/query?tin=IFile&tout=ASTNode");
+        assert!(status.contains("200"), "{status}: {body}");
+        let first = Json::parse(&body).expect("valid query JSON");
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true));
+        assert!(first.get("trace_id").unwrap().as_u64().unwrap() > 0);
+        let top = first.get("suggestions").unwrap().as_arr().unwrap()[0].as_str().unwrap();
+        assert!(top.starts_with("AST.parseCompilationUnit("), "{top}");
+        assert_eq!(
+            first.get("stats").unwrap().get("dist_cache_misses").unwrap().as_u64(),
+            Some(1)
+        );
+        let (_, body) = http_get(addr, "/query?tin=IFile&tout=ASTNode");
+        let second = Json::parse(&body).expect("valid query JSON");
+        assert_eq!(
+            second.get("stats").unwrap().get("dist_cache_hits").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_ne!(
+            first.get("trace_id").unwrap().as_u64(),
+            second.get("trace_id").unwrap().as_u64()
+        );
+
+        let (status, body) = http_get(addr, "/query?tin=NoSuchType&tout=ASTNode");
+        assert!(status.contains("400"), "{status}");
+        assert_eq!(Json::parse(&body).unwrap().get("ok").unwrap().as_bool(), Some(false));
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        validate_prometheus(&body);
+        validate_histogram_buckets(&body);
+        for family in [
+            "prospector_search_dfs_expansions_total",
+            "prospector_search_bfs_relaxations_total",
+            "prospector_engine_dist_cache_hits_total",
+            "prospector_engine_dist_cache_misses_total",
+            "prospector_engine_batch_calls_total",
+            "prospector_engine_batch_queries_total",
+            "prospector_query_latency_ns_bucket",
+            "prospector_query_stage_ns_search_bucket",
+            "prospector_stage_count",
+        ] {
+            assert!(body.contains(family), "missing family `{family}` in:\n{body}");
+        }
+
+        let (status, body) = http_get(addr, "/trace.json");
+        assert!(status.contains("200"), "{status}");
+        let chrome = Json::parse(&body).expect("valid chrome trace");
+        let events = chrome.as_arr().expect("chrome trace is an array");
+        assert!(!events.is_empty(), "the two /query calls recorded events");
+        assert!(events.iter().any(|e| e.get("ph").unwrap().as_str() == Some("X")));
+
+        let (status, body) = http_get(addr, "/slow");
+        assert!(status.contains("200"), "{status}");
+        Json::parse(&body).expect("valid slow-query JSON");
+
+        let (status, _) = http_get(addr, "/nonexistent");
+        assert!(status.contains("404"), "{status}");
+        let (status, _) = http_request(
+            addr,
+            "POST /query HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        );
+        assert!(status.contains("405"), "{status}");
+
+        // Graceful shutdown: flip the flag, the accept loop exits, the
+        // scope joins every handler, and run() returns Ok.
+        shutdown.store(true, Ordering::Relaxed);
+        let outcome = worker.join().expect("serve thread joins");
+        assert_eq!(outcome, Ok(()));
+    });
+}

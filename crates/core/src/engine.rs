@@ -9,13 +9,14 @@
 //!   deduplicated by rendered code.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use jungloid_apidef::{Api, ElemJungloid};
 use jungloid_typesys::{Ty, TyId};
+use prospector_obs::trace::{self, TraceId};
 
 use crate::cache::ShardedLru;
 use crate::generalize::generalize;
@@ -86,6 +87,26 @@ pub struct Suggestion {
     pub key: RankKey,
 }
 
+/// Per-query attribution: the hot-path tallies this one query spent,
+/// regardless of whether the flight recorder is on. The process-global
+/// counters (`engine.dist_cache.*`, `search.*`) aggregate the same
+/// quantities across all queries; this is the per-request split that
+/// lets a batch line say *which* query missed the cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// The query's flight-recorder trace id.
+    pub trace_id: u64,
+    /// Distance-field cache hits this query scored (0 or 1).
+    pub dist_cache_hits: u64,
+    /// Distance-field cache misses this query paid for (0 or 1).
+    pub dist_cache_misses: u64,
+    /// DFS edge expansions charged against `max_expansions`.
+    pub dfs_expansions: u64,
+    /// 0-1 BFS edge relaxations this query paid to build its distance
+    /// field (0 on a cache hit — the field was already built).
+    pub bfs_relaxations: u64,
+}
+
 /// The outcome of one query.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
@@ -99,6 +120,8 @@ pub struct QueryResult {
     /// (their type widens to it). Only populated by
     /// [`Prospector::assist`].
     pub already_available: Vec<String>,
+    /// Per-query attribution (trace id, cache split, search budgets).
+    pub stats: QueryStats,
 }
 
 impl QueryResult {
@@ -115,6 +138,11 @@ pub struct BatchEntry {
     pub tin: TyId,
     /// The query's output type.
     pub tout: TyId,
+    /// The query's flight-recorder trace id. Ids are preallocated in
+    /// input order *before* the fan-out, so the id sequence of a batch
+    /// is deterministic under any worker interleaving (and identical
+    /// across same-seed runs). Present even when the query errored.
+    pub trace_id: TraceId,
     /// The query's outcome, exactly as [`Prospector::query`] would have
     /// returned it.
     pub result: Result<QueryResult, QueryError>,
@@ -276,7 +304,9 @@ impl Prospector {
         }
     }
 
-    fn distances(&self, target: TyId) -> Arc<DistanceField> {
+    /// The cached (or freshly built) distance field for `target`, plus
+    /// whether this lookup was a cache hit.
+    fn distances(&self, target: TyId) -> (Arc<DistanceField>, bool) {
         let (field, outcome) = self
             .dist_cache
             .get_or_insert_with(target, || Arc::new(DistanceField::towards(&self.graph, target)));
@@ -289,7 +319,7 @@ impl Prospector {
             }
             prospector_obs::gauge_set("engine.dist_cache.entries", self.dist_cache.len() as u64);
         }
-        field
+        (field, outcome.hit)
     }
 
     /// Answers an explicit query `(tin, tout)` (§2.1). `tin` may be
@@ -299,6 +329,22 @@ impl Prospector {
     ///
     /// Rejects primitive/`void` outputs and primitive inputs.
     pub fn query(&self, tin: TyId, tout: TyId) -> Result<QueryResult, QueryError> {
+        self.query_with_trace(tin, tout, TraceId::next())
+    }
+
+    /// [`Prospector::query`] under a caller-allocated trace id — the
+    /// form the batch fan-out uses so ids follow input order, and the
+    /// form a server uses to report the id it logged.
+    ///
+    /// # Errors
+    ///
+    /// Rejects primitive/`void` outputs and primitive inputs.
+    pub fn query_with_trace(
+        &self,
+        tin: TyId,
+        tout: TyId,
+        id: TraceId,
+    ) -> Result<QueryResult, QueryError> {
         self.check_out(tout)?;
         if tin != self.api.types().void() && !self.api.types().is_reference(tin) {
             return Err(QueryError::NotAReferenceType {
@@ -306,7 +352,7 @@ impl Prospector {
                 position: "input",
             });
         }
-        Ok(self.run(&[(None, tin)], tout))
+        Ok(self.run(&[(None, tin)], tout, id))
     }
 
     /// Answers a batch of explicit queries concurrently, fanning out
@@ -334,6 +380,10 @@ impl Prospector {
         prospector_obs::add("engine.batch.calls", 1);
         prospector_obs::add("engine.batch.queries", queries.len() as u64);
         prospector_obs::gauge_set("engine.batch.threads", threads as u64);
+        // Trace ids are allocated here, in input order, not inside the
+        // workers: the id sequence of a batch is then a pure function of
+        // the recorder seed, whatever the thread interleaving does.
+        let ids: Vec<TraceId> = queries.iter().map(|_| TraceId::next()).collect();
         let mut slots: Vec<Option<BatchEntry>> = Vec::new();
         slots.resize_with(queries.len(), || None);
         let next = AtomicUsize::new(0);
@@ -346,10 +396,16 @@ impl Prospector {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&(tin, tout)) = queries.get(i) else { break };
                             let start = Instant::now();
-                            let result = self.query(tin, tout);
+                            let result = self.query_with_trace(tin, tout, ids[i]);
                             done.push((
                                 i,
-                                BatchEntry { tin, tout, result, time: start.elapsed() },
+                                BatchEntry {
+                                    tin,
+                                    tout,
+                                    trace_id: ids[i],
+                                    result,
+                                    time: start.elapsed(),
+                                },
                             ));
                         }
                         done
@@ -386,7 +442,7 @@ impl Prospector {
             }
         }
         sources.push((None, self.api.types().void()));
-        let mut result = self.run(&sources, tout);
+        let mut result = self.run(&sources, tout, TraceId::next());
         for (name, ty) in visible {
             if self.api.types().is_subtype(*ty, tout) {
                 result.already_available.push((*name).to_owned());
@@ -406,12 +462,18 @@ impl Prospector {
         Ok(())
     }
 
-    fn run(&self, sources: &[(Option<String>, TyId)], tout: TyId) -> QueryResult {
+    fn run(&self, sources: &[(Option<String>, TyId)], tout: TyId, id: TraceId) -> QueryResult {
+        // The flight-recorder span. When tracing is disabled (the
+        // default) opening it costs one relaxed atomic load, every event
+        // call below is a plain branch, and no clock is read.
+        let mut qspan = trace::span(id);
         let tys: Vec<TyId> = sources.iter().map(|(_, t)| *t).collect();
-        let SearchOutcome { jungloids, shortest, truncation, .. } = {
+        let search_timer = qspan.timer();
+        let (outcome, cache_hit, relaxations) = {
             let _span = prospector_obs::stage("search");
-            let field = self.distances(tout);
-            SCRATCH.with(|scratch| {
+            let (field, cache_hit) = self.distances(tout);
+            let relaxations = if cache_hit { 0 } else { field.relaxations() };
+            let outcome = SCRATCH.with(|scratch| {
                 enumerate_with(
                     &self.graph,
                     &tys,
@@ -420,12 +482,32 @@ impl Prospector {
                     &self.search,
                     &mut scratch.borrow_mut(),
                 )
-            })
+            });
+            (outcome, cache_hit, relaxations)
         };
+        let SearchOutcome { jungloids, shortest, truncation, expansions } = outcome;
+        let stats = QueryStats {
+            trace_id: id.0,
+            dist_cache_hits: u64::from(cache_hit),
+            dist_cache_misses: u64::from(!cache_hit),
+            dfs_expansions: expansions as u64,
+            bfs_relaxations: relaxations,
+        };
+        let dur = qspan.span_event("search", "total", search_timer);
+        if dur > 0 {
+            prospector_obs::metrics::histogram("query.stage_ns.search").record(dur);
+        }
+        qspan.count("search", "dist_cache_hits", stats.dist_cache_hits);
+        qspan.count("search", "dist_cache_misses", stats.dist_cache_misses);
+        qspan.count("search", "bfs_relaxations", stats.bfs_relaxations);
+        qspan.count("search", "dfs_expansions", stats.dfs_expansions);
+        qspan.count("search", "paths_enumerated", jungloids.len() as u64);
+        qspan.count("search", "truncation", truncation as u64);
 
         // Synthesize, rank, and dedupe by rendered code (distinct paths —
         // e.g. differing only in widening — can render identically).
-        let mut best: HashMap<String, Suggestion> = HashMap::new();
+        let synth_timer = qspan.timer();
+        let mut best: BTreeMap<String, Suggestion> = BTreeMap::new();
         let mut snippets: u64 = 0;
         let mut dedup_drops: u64 = 0;
         {
@@ -456,9 +538,20 @@ impl Prospector {
         }
         prospector_obs::add("synth.snippets", snippets);
         prospector_obs::add("engine.dedup_drops", dedup_drops);
+        let dur = qspan.span_event("synth", "total", synth_timer);
+        if dur > 0 {
+            prospector_obs::metrics::histogram("query.stage_ns.synth").record(dur);
+        }
+        qspan.count("synth", "snippets", snippets);
+        qspan.count("synth", "dedup_drops", dedup_drops);
 
+        // `best` is a BTreeMap so the pre-rank order (and therefore the
+        // sort's comparison count, which the flight recorder attributes
+        // to the query) is deterministic — and key ties break by code
+        // instead of by hash-map iteration order.
         let mut suggestions: Vec<Suggestion> = best.into_values().collect();
         let comparisons = std::cell::Cell::new(0u64);
+        let rank_timer = qspan.timer();
         {
             let _span = prospector_obs::stage("rank");
             suggestions.sort_by(|a, b| {
@@ -467,7 +560,18 @@ impl Prospector {
             });
         }
         prospector_obs::add("rank.comparisons", comparisons.get());
-        QueryResult { suggestions, shortest, truncation, already_available: Vec::new() }
+        let dur = qspan.span_event("rank", "total", rank_timer);
+        if dur > 0 {
+            prospector_obs::metrics::histogram("query.stage_ns.rank").record(dur);
+        }
+        qspan.count("rank", "comparisons", comparisons.get());
+        qspan.count("rank", "suggestions", suggestions.len() as u64);
+
+        let total = qspan.finish();
+        if total > 0 {
+            prospector_obs::metrics::histogram("query.latency_ns").record(total);
+        }
+        QueryResult { suggestions, shortest, truncation, already_available: Vec::new(), stats }
     }
 }
 
@@ -658,6 +762,82 @@ mod tests {
         // Y -> J -> I and Y -> I both render `x.make()`.
         assert_eq!(result.suggestions.len(), 1);
         assert_eq!(result.suggestions[0].code, "x.make()");
+    }
+
+    /// The acceptance pin for the flight recorder's disabled cost: a
+    /// full query with tracing off publishes zero events, and enabling
+    /// tracing changes nothing about the ranked output. This is the only
+    /// core test that flips the global trace switch (the `event_count ==
+    /// 0` assertion runs before the flip, so parallel tests — which never
+    /// enable tracing — cannot race it).
+    #[test]
+    fn tracing_off_records_nothing_and_results_are_identical() {
+        let api = eclipse_mini();
+        let ifile = api.types().resolve("IFile").unwrap();
+        let ast = api.types().resolve("ASTNode").unwrap();
+        let p = Prospector::new(api);
+
+        assert!(!prospector_obs::trace::enabled(), "tracing is off by default");
+        let baseline = p.query(ifile, ast).unwrap();
+        assert_eq!(prospector_obs::trace::event_count(), 0, "disabled query published events");
+
+        prospector_obs::trace::set_enabled(true);
+        let traced = p.query(ifile, ast).unwrap();
+        prospector_obs::trace::set_enabled(false);
+
+        let codes = |r: &QueryResult| -> Vec<String> {
+            r.suggestions.iter().map(|s| s.code.clone()).collect()
+        };
+        assert_eq!(codes(&baseline), codes(&traced), "tracing must not perturb ranking");
+        assert!(prospector_obs::trace::event_count() > 0, "enabled query published a timeline");
+        let id = prospector_obs::trace::TraceId(traced.stats.trace_id);
+        let events = prospector_obs::trace::events_for(id);
+        assert!(!events.is_empty(), "timeline retained under the query's id");
+        assert!(events.iter().any(|e| e.stage == "query" && e.key == "total"));
+        assert!(events.iter().any(|e| e.stage == "search" && e.key == "dfs_expansions"));
+    }
+
+    #[test]
+    fn per_query_stats_split_cache_hits_from_misses() {
+        let api = eclipse_mini();
+        let ifile = api.types().resolve("IFile").unwrap();
+        let ast = api.types().resolve("ASTNode").unwrap();
+        let p = Prospector::new(api);
+
+        let first = p.query(ifile, ast).unwrap();
+        assert_eq!(first.stats.dist_cache_hits, 0);
+        assert_eq!(first.stats.dist_cache_misses, 1);
+        assert!(first.stats.bfs_relaxations > 0, "the miss paid for the BFS build");
+        assert!(first.stats.dfs_expansions > 0);
+
+        let second = p.query(ifile, ast).unwrap();
+        assert_eq!(second.stats.dist_cache_hits, 1);
+        assert_eq!(second.stats.dist_cache_misses, 0);
+        assert_eq!(second.stats.bfs_relaxations, 0, "hits charge no BFS work");
+        assert_eq!(second.stats.dfs_expansions, first.stats.dfs_expansions);
+        assert_ne!(second.stats.trace_id, first.stats.trace_id, "each query gets its own id");
+    }
+
+    #[test]
+    fn batch_preallocates_trace_ids_in_input_order() {
+        let api = eclipse_mini();
+        let ifile = api.types().resolve("IFile").unwrap();
+        let ast = api.types().resolve("ASTNode").unwrap();
+        let cu = api.types().resolve("ICompilationUnit").unwrap();
+        let p = Prospector::new(api);
+        let queries = vec![(ifile, ast), (ifile, cu), (ifile, ast), (ifile, cu)];
+        let batch = p.query_batch_threads(&queries, 4);
+        assert_eq!(batch.len(), 4);
+        for window in batch.windows(2) {
+            assert!(
+                window[0].trace_id < window[1].trace_id,
+                "ids follow input order regardless of worker interleaving"
+            );
+        }
+        for entry in &batch {
+            let result = entry.result.as_ref().unwrap();
+            assert_eq!(result.stats.trace_id, entry.trace_id.0);
+        }
     }
 
     #[test]

@@ -345,6 +345,9 @@ impl JungloidGraph {
         prospector_obs::add("graph.csr.rebuilds", 1);
         prospector_obs::gauge_set("graph.csr.edges", self.csr.edge_count() as u64);
         prospector_obs::gauge_set("graph.csr.bytes", self.csr.approx_bytes() as u64);
+        // Flight-recorder hook: rebuilds invalidate every cached distance
+        // field, so a rebuild mid-trace explains a burst of cache misses.
+        prospector_obs::trace::process_event("graph", "csr_rebuild", self.csr.edge_count() as u64);
     }
 
     /// The configuration the graph was built with.

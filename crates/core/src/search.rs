@@ -102,6 +102,10 @@ pub struct SearchOutcome {
 pub struct DistanceField {
     target: TyId,
     dist: Vec<u32>,
+    /// Edge relaxations the 0-1 BFS spent building this field. Kept on
+    /// the field so the engine can attribute the build cost to the one
+    /// query that missed the cache (cache hits charge 0).
+    relaxations: u64,
 }
 
 impl DistanceField {
@@ -139,7 +143,13 @@ impl DistanceField {
             }
         }
         prospector_obs::add("search.bfs_relaxations", relaxations);
-        DistanceField { target, dist }
+        DistanceField { target, dist, relaxations }
+    }
+
+    /// Edge relaxations the 0-1 BFS spent building this field.
+    #[must_use]
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations
     }
 
     /// The target this field points at.

@@ -16,6 +16,13 @@
 //!   per stage, not two `Instant::now()` calls.
 //! * [`json`] — a small strict JSON value type, writer, and parser, used
 //!   for the `--metrics-json` report and for index persistence.
+//! * [`trace`] — the per-query flight recorder: seeded [`trace::TraceId`]
+//!   allocation, an RAII [`trace::QuerySpan`] that buffers a query's
+//!   timestamped events and flushes them into a bounded lock-sharded
+//!   ring at finish, a slow-query log, and Chrome-trace / text exporters.
+//! * [`prom`] — Prometheus text exposition rendering of a metric
+//!   snapshot (counters, gauges, stages, and histograms as cumulative
+//!   `_bucket{le=...}` series), backing the `serve` mode's `/metrics`.
 //!
 //! [`rng`] is a bonus tenant: a tiny deterministic PRNG
 //! ([`rng::SmallRng`]) for the seeded generators and simulations, living
@@ -37,11 +44,14 @@
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod report;
 pub mod rng;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use metrics::{add, gauge_set, set_enabled, snapshot, Snapshot};
 pub use rng::SmallRng;
 pub use span::stage;
+pub use trace::{QuerySpan, TraceId};

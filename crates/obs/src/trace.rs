@@ -1,0 +1,840 @@
+//! The per-query flight recorder.
+//!
+//! The metric registry ([`crate::metrics`]) answers *"what has the
+//! process done so far"*; it cannot say which of two concurrent queries
+//! burned the DFS budget or missed the distance cache. This module adds
+//! the Dapper-style per-request layer: every query gets a [`TraceId`],
+//! an RAII [`QuerySpan`] buffers that query's timestamped events
+//! privately (no locks, no atomics on the record path), and the whole
+//! timeline is flushed into a bounded, lock-sharded ring buffer in one
+//! shard-lock acquisition when the span finishes. Attribution therefore
+//! happens *at flush time*: a query that never finishes publishes
+//! nothing, and concurrent queries never interleave their events inside
+//! a shard.
+//!
+//! On top of the ring:
+//!
+//! * a **slow-query log** — when a finished span's end-to-end latency
+//!   meets the configured threshold, its full timeline is copied into a
+//!   separate bounded log that ring eviction never touches;
+//! * a **Chrome-trace exporter** ([`to_chrome_json`]) emitting the
+//!   catapult `[{"ph":"X",...}]` array that `chrome://tracing` and
+//!   Perfetto open directly;
+//! * a **text timeline** ([`format_timeline`]) for the CLI's `explain`
+//!   replay and the slow-query dump.
+//!
+//! Recording is off by default. A disabled recorder costs one relaxed
+//! atomic load per [`QuerySpan`] (checked once at `begin`, cached as a
+//! plain bool for every event site) and one relaxed load per
+//! [`process_event`] site, and [`event_count`] stays zero.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::rng::SmallRng;
+
+/// Ring shards. Spans flush under exactly one shard lock (chosen by
+/// trace id), so concurrent flushes on different queries rarely contend.
+const RING_SHARDS: usize = 8;
+
+/// Events retained per shard before the oldest are overwritten.
+const RING_SHARD_CAP: usize = 1024;
+
+/// Slow queries retained; older entries are dropped first.
+const SLOW_LOG_CAP: usize = 32;
+
+/// What one [`TraceEvent`] measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed interval: `value` is the duration in nanoseconds and
+    /// `t_ns` the interval's start.
+    Span,
+    /// A counter attributed to the query: `value` is the count and
+    /// `t_ns` the moment it was charged.
+    Count,
+}
+
+impl EventKind {
+    /// Stable lower-case label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Count => "count",
+        }
+    }
+}
+
+/// One timestamped, query-attributed event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The owning query (0 for process-level events).
+    pub trace_id: u64,
+    /// Pipeline stage the event belongs to (`"search"`, `"rank"`, ...).
+    pub stage: &'static str,
+    /// Interval or counter.
+    pub kind: EventKind,
+    /// What was measured (`"dfs_expansions"`, `"total"`, ...).
+    pub key: &'static str,
+    /// Duration in nanoseconds ([`EventKind::Span`]) or the counter
+    /// value ([`EventKind::Count`]).
+    pub value: u64,
+    /// Nanoseconds since the recorder's epoch.
+    pub t_ns: u64,
+}
+
+/// A per-query trace identifier.
+///
+/// Ids are a pure function of the recorder seed and an atomic allocation
+/// counter: bit 48 is always set (so an id is never 0, which is reserved
+/// for process-level events), bits 24..48 derive from the seed via one
+/// splitmix64 draw, and bits 0..24 are the allocation index. Two runs
+/// with the same seed therefore allocate identical id sequences, and
+/// every id stays below 2^49 — exactly representable in the f64 JSON
+/// number type, so ids survive serialization unmangled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The next id from the global recorder.
+    #[must_use]
+    pub fn next() -> TraceId {
+        global().next_id()
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+/// One retained slow query: its id, end-to-end latency, and timeline.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The query's trace id.
+    pub trace_id: u64,
+    /// End-to-end latency in nanoseconds.
+    pub total_ns: u64,
+    /// The full event timeline, in record order.
+    pub events: Vec<TraceEvent>,
+}
+
+#[derive(Debug, Default)]
+struct RingShard {
+    buf: Vec<TraceEvent>,
+    /// Next write position once `buf` reaches capacity.
+    next: usize,
+}
+
+impl RingShard {
+    fn push(&mut self, e: TraceEvent) {
+        if self.buf.len() < RING_SHARD_CAP {
+            self.buf.push(e);
+        } else {
+            self.buf[self.next] = e;
+            self.next = (self.next + 1) % RING_SHARD_CAP;
+        }
+    }
+
+    /// Oldest-first copy of the shard.
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+/// A flight recorder: ring buffer, slow-query log, and id allocator.
+///
+/// The pipeline records into the process-global one (via the free
+/// functions in this module); tests can make their own.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    /// Seed-derived 24-bit id prefix (see [`TraceId`]).
+    id_base: AtomicU64,
+    /// Allocation counter for the low 24 id bits.
+    next_id: AtomicU64,
+    /// Total events ever recorded (monotonic; eviction never decreases it).
+    recorded: AtomicU64,
+    /// Slow-query latency threshold in nanoseconds; 0 disables the log.
+    slow_threshold_ns: AtomicU64,
+    epoch: Instant,
+    shards: Vec<Mutex<RingShard>>,
+    slow: Mutex<Vec<SlowQuery>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An empty, disabled recorder seeded with 0.
+    #[must_use]
+    pub fn new() -> Self {
+        let r = Recorder {
+            enabled: AtomicBool::new(false),
+            id_base: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            slow_threshold_ns: AtomicU64::new(0),
+            epoch: Instant::now(),
+            shards: (0..RING_SHARDS).map(|_| Mutex::new(RingShard::default())).collect(),
+            slow: Mutex::new(Vec::new()),
+        };
+        r.set_seed(0);
+        r
+    }
+
+    /// Turns event recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether event recording is on.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Re-seeds the id allocator: the id prefix becomes a pure function
+    /// of `seed` and the allocation counter restarts at 0.
+    pub fn set_seed(&self, seed: u64) {
+        let base = SmallRng::seed_from_u64(seed).next_u64() >> 40;
+        self.id_base.store(base, Ordering::Relaxed);
+        self.next_id.store(0, Ordering::Relaxed);
+    }
+
+    /// Sets the slow-query latency threshold (0 disables the log).
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The slow-query latency threshold in nanoseconds (0 = off).
+    #[must_use]
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Allocates the next trace id (see [`TraceId`] for the layout).
+    #[must_use]
+    pub fn next_id(&self) -> TraceId {
+        let n = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let base = self.id_base.load(Ordering::Relaxed);
+        TraceId((1 << 48) | (base << 24) | (n & 0xff_ffff))
+    }
+
+    /// Nanoseconds since this recorder was created (saturating).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Opens a query span. When recording is disabled this costs one
+    /// relaxed atomic load, and every event call on the returned span is
+    /// a plain branch.
+    #[must_use]
+    pub fn span(&self, id: TraceId) -> QuerySpan<'_> {
+        let enabled = self.enabled();
+        QuerySpan {
+            recorder: self,
+            id,
+            started: enabled.then(Instant::now),
+            begin_ns: if enabled { self.now_ns() } else { 0 },
+            events: Vec::new(),
+        }
+    }
+
+    /// Records a process-level (non-query) event, e.g. a CSR rebuild.
+    /// One relaxed load when recording is disabled.
+    pub fn process_event(&self, stage: &'static str, key: &'static str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let e = TraceEvent {
+            trace_id: 0,
+            stage,
+            kind: EventKind::Count,
+            key,
+            value,
+            t_ns: self.now_ns(),
+        };
+        self.flush(0, std::slice::from_ref(&e));
+    }
+
+    /// Publishes a finished timeline into the ring under one shard lock.
+    fn flush(&self, trace_id: u64, events: &[TraceEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        self.recorded.fetch_add(events.len() as u64, Ordering::Relaxed);
+        let shard = &self.shards[(trace_id % RING_SHARDS as u64) as usize];
+        let mut shard = shard.lock().expect("trace ring shard poisoned");
+        for &e in events {
+            shard.push(e);
+        }
+    }
+
+    fn retain_slow(&self, entry: SlowQuery) {
+        let mut slow = self.slow.lock().expect("slow log poisoned");
+        if slow.len() >= SLOW_LOG_CAP {
+            slow.remove(0);
+        }
+        slow.push(entry);
+    }
+
+    /// Total events ever recorded (eviction does not decrease this).
+    #[must_use]
+    pub fn event_count(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Every retained event: per shard oldest-first, then stably sorted
+    /// by trace id, so one query's timeline is contiguous and batch
+    /// exports are deterministic under any worker interleaving.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().expect("trace ring shard poisoned").snapshot());
+        }
+        out.sort_by_key(|e| e.trace_id);
+        out
+    }
+
+    /// The retained timeline of one query, in record order.
+    #[must_use]
+    pub fn events_for(&self, id: TraceId) -> Vec<TraceEvent> {
+        let shard = &self.shards[(id.0 % RING_SHARDS as u64) as usize];
+        let shard = shard.lock().expect("trace ring shard poisoned");
+        shard.snapshot().into_iter().filter(|e| e.trace_id == id.0).collect()
+    }
+
+    /// The retained slow queries, oldest first.
+    #[must_use]
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.lock().expect("slow log poisoned").clone()
+    }
+
+    /// Drops every retained event and slow query (the enabled flag, the
+    /// seed, and [`event_count`](Recorder::event_count) are left alone).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            *shard.lock().expect("trace ring shard poisoned") = RingShard::default();
+        }
+        self.slow.lock().expect("slow log poisoned").clear();
+    }
+}
+
+/// A live per-query recording session.
+///
+/// Events accumulate in a private buffer — recording an event touches no
+/// lock and no atomic — and publish to the recorder's ring in one shard
+/// lock when the span finishes (or is dropped). A span opened while
+/// recording is disabled ignores every event call.
+#[derive(Debug)]
+pub struct QuerySpan<'a> {
+    recorder: &'a Recorder,
+    id: TraceId,
+    /// `Some` iff recording was enabled when the span opened.
+    started: Option<Instant>,
+    begin_ns: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl QuerySpan<'_> {
+    /// The query's trace id.
+    #[must_use]
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// Whether this span is recording.
+    #[must_use]
+    pub fn recording(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Starts timing a stage; pass the result to
+    /// [`QuerySpan::span_event`]. `None` when not recording, so a
+    /// disabled run never calls `Instant::now`.
+    #[must_use]
+    pub fn timer(&self) -> Option<Instant> {
+        self.started.map(|_| Instant::now())
+    }
+
+    /// Records a timed interval that began at `started` and ends now.
+    /// Returns the measured duration in nanoseconds (0 when disabled).
+    pub fn span_event(
+        &mut self,
+        stage: &'static str,
+        key: &'static str,
+        started: Option<Instant>,
+    ) -> u64 {
+        let (Some(_), Some(started)) = (self.started, started) else { return 0 };
+        let dur = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let t_ns = self.recorder.now_ns().saturating_sub(dur);
+        self.events.push(TraceEvent {
+            trace_id: self.id.0,
+            stage,
+            kind: EventKind::Span,
+            key,
+            value: dur,
+            t_ns,
+        });
+        dur
+    }
+
+    /// Attributes a counter value to this query.
+    pub fn count(&mut self, stage: &'static str, key: &'static str, value: u64) {
+        if self.started.is_none() {
+            return;
+        }
+        self.events.push(TraceEvent {
+            trace_id: self.id.0,
+            stage,
+            kind: EventKind::Count,
+            key,
+            value,
+            t_ns: self.recorder.now_ns(),
+        });
+    }
+
+    /// Ends the query: records the end-to-end `query.total` span, copies
+    /// the timeline into the slow-query log if it met the threshold, and
+    /// publishes everything to the ring. Returns the end-to-end latency
+    /// in nanoseconds (0 when the span was not recording).
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> u64 {
+        let Some(started) = self.started.take() else { return 0 };
+        let total = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.events.push(TraceEvent {
+            trace_id: self.id.0,
+            stage: "query",
+            kind: EventKind::Span,
+            key: "total",
+            value: total,
+            t_ns: self.begin_ns,
+        });
+        let threshold = self.recorder.slow_threshold_ns();
+        if threshold > 0 && total >= threshold {
+            self.recorder.retain_slow(SlowQuery {
+                trace_id: self.id.0,
+                total_ns: total,
+                events: self.events.clone(),
+            });
+        }
+        self.recorder.flush(self.id.0, &self.events);
+        self.events.clear();
+        total
+    }
+}
+
+impl Drop for QuerySpan<'_> {
+    fn drop(&mut self) {
+        // A span abandoned by an early return still publishes.
+        let _ = self.close();
+    }
+}
+
+/// The process-global flight recorder.
+#[must_use]
+pub fn global() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+/// Turns global event recording on or off.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Whether global event recording is on.
+#[must_use]
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Re-seeds the global id allocator (see [`Recorder::set_seed`]).
+pub fn set_seed(seed: u64) {
+    global().set_seed(seed);
+}
+
+/// Sets the global slow-query threshold in milliseconds (0 = off).
+pub fn set_slow_threshold_ms(ms: u64) {
+    global().set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+}
+
+/// Opens a query span on the global recorder.
+#[must_use]
+pub fn span(id: TraceId) -> QuerySpan<'static> {
+    global().span(id)
+}
+
+/// Records a process-level event on the global recorder.
+pub fn process_event(stage: &'static str, key: &'static str, value: u64) {
+    global().process_event(stage, key, value);
+}
+
+/// Total events ever recorded globally.
+#[must_use]
+pub fn event_count() -> u64 {
+    global().event_count()
+}
+
+/// Every globally retained event (see [`Recorder::events`]).
+#[must_use]
+pub fn events() -> Vec<TraceEvent> {
+    global().events()
+}
+
+/// The globally retained timeline of one query.
+#[must_use]
+pub fn events_for(id: TraceId) -> Vec<TraceEvent> {
+    global().events_for(id)
+}
+
+/// The globally retained slow queries, oldest first.
+#[must_use]
+pub fn slow_queries() -> Vec<SlowQuery> {
+    global().slow_queries()
+}
+
+/// Converts nanoseconds to catapult microseconds (fractional).
+#[allow(clippy::cast_precision_loss)]
+fn us(ns: u64) -> Json {
+    Json::Num(ns as f64 / 1_000.0)
+}
+
+/// Renders events as a Chrome-trace (catapult) JSON array: spans become
+/// `"ph":"X"` complete events and counters become `"ph":"C"` counter
+/// events, with the trace id as the `tid` so each query gets its own
+/// track. The output opens directly in `chrome://tracing` / Perfetto.
+#[must_use]
+pub fn to_chrome_json(events: &[TraceEvent]) -> Json {
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        let name = if e.stage == "query" && e.key == "total" && e.kind == EventKind::Span {
+            e.stage.to_owned()
+        } else {
+            format!("{}.{}", e.stage, e.key)
+        };
+        let mut pairs: Vec<(&str, Json)> = Vec::new();
+        match e.kind {
+            EventKind::Span => {
+                pairs.push(("ph", Json::Str("X".to_owned())));
+                pairs.push(("name", Json::Str(name)));
+                pairs.push(("cat", Json::Str(e.stage.to_owned())));
+                pairs.push(("ts", us(e.t_ns)));
+                pairs.push(("dur", us(e.value)));
+            }
+            EventKind::Count => {
+                pairs.push(("ph", Json::Str("C".to_owned())));
+                pairs.push(("name", Json::Str(name)));
+                pairs.push(("ts", us(e.t_ns)));
+                pairs.push(("args", Json::Obj(vec![(e.key.to_owned(), Json::num_u(e.value))])));
+            }
+        }
+        pairs.push(("pid", Json::num_u(1)));
+        pairs.push(("tid", Json::num_u(e.trace_id)));
+        out.push(Json::obj(pairs));
+    }
+    Json::Arr(out)
+}
+
+/// Renders one query's timeline as aligned text, e.g. for the CLI's
+/// `explain` replay and the slow-query dump.
+#[must_use]
+pub fn format_timeline(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let t0 = events.iter().map(|e| e.t_ns).min().unwrap_or(0);
+    for e in events {
+        let at_us = (e.t_ns - t0) / 1_000;
+        match e.kind {
+            EventKind::Span => {
+                #[allow(clippy::cast_precision_loss)]
+                let ms = e.value as f64 / 1e6;
+                let _ = writeln!(
+                    out,
+                    "  +{at_us:>7}µs  {:<22} {:>10.3}ms",
+                    format!("{}.{}", e.stage, e.key),
+                    ms,
+                );
+            }
+            EventKind::Count => {
+                let _ = writeln!(
+                    out,
+                    "  +{at_us:>7}µs  {:<22} {:>12}",
+                    format!("{}.{}", e.stage, e.key),
+                    e.value,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the slow-query log as text: one header plus timeline per
+/// retained query.
+#[must_use]
+pub fn format_slow_log(slow: &[SlowQuery]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for q in slow {
+        #[allow(clippy::cast_precision_loss)]
+        let ms = q.total_ns as f64 / 1e6;
+        let _ = writeln!(out, "slow query {:x}: {ms:.3}ms", q.trace_id);
+        out.push_str(&format_timeline(&q.events));
+    }
+    out
+}
+
+/// Renders the slow-query log as a JSON array.
+#[must_use]
+pub fn slow_to_json(slow: &[SlowQuery]) -> Json {
+    Json::Arr(
+        slow.iter()
+            .map(|q| {
+                Json::obj(vec![
+                    ("trace_id", Json::num_u(q.trace_id)),
+                    ("total_ns", Json::num_u(q.total_ns)),
+                    (
+                        "events",
+                        Json::Arr(
+                            q.events
+                                .iter()
+                                .map(|e| {
+                                    Json::obj(vec![
+                                        ("stage", Json::Str(e.stage.to_owned())),
+                                        ("kind", Json::Str(e.kind.label().to_owned())),
+                                        ("key", Json::Str(e.key.to_owned())),
+                                        ("value", Json::num_u(e.value)),
+                                        ("t_ns", Json::num_u(e.t_ns)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing_and_count_zero() {
+        let r = Recorder::new();
+        let mut span = r.span(r.next_id());
+        let t = span.timer();
+        assert!(t.is_none());
+        let dur = span.span_event("search", "total", t);
+        assert_eq!(dur, 0);
+        span.count("search", "dfs_expansions", 42);
+        assert_eq!(span.finish(), 0);
+        assert_eq!(r.event_count(), 0);
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_spans_publish_at_finish_only() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        let id = r.next_id();
+        let mut span = r.span(id);
+        let t = span.timer();
+        span.count("search", "dfs_expansions", 7);
+        let dur = span.span_event("search", "total", t);
+        // Nothing visible until the flush.
+        assert_eq!(r.event_count(), 0);
+        let total = span.finish();
+        assert!(total >= dur);
+        let events = r.events_for(id);
+        // count + span + the query.total envelope.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Count);
+        assert_eq!(events[0].value, 7);
+        assert_eq!(events[2].stage, "query");
+        assert_eq!(events[2].key, "total");
+        assert_eq!(events[2].value, total);
+        assert_eq!(r.event_count(), 3);
+    }
+
+    #[test]
+    fn dropped_span_still_publishes() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        let id = r.next_id();
+        {
+            let mut span = r.span(id);
+            span.count("search", "paths", 1);
+        }
+        assert_eq!(r.events_for(id).len(), 2, "count + query.total envelope");
+    }
+
+    #[test]
+    fn ids_are_deterministic_in_seed_and_unique() {
+        let r = Recorder::new();
+        r.set_seed(7);
+        let a: Vec<u64> = (0..100).map(|_| r.next_id().0).collect();
+        r.set_seed(7);
+        let b: Vec<u64> = (0..100).map(|_| r.next_id().0).collect();
+        assert_eq!(a, b);
+        r.set_seed(8);
+        let c: Vec<u64> = (0..100).map(|_| r.next_id().0).collect();
+        assert_ne!(a, c);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "ids are unique");
+        for &id in &a {
+            assert_ne!(id, 0, "0 is reserved for process events");
+            assert!(id < (1 << 49), "ids stay f64-exact");
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_but_event_count_is_monotonic() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        // All events land in shard 0 (trace_id 0) and overflow it.
+        for i in 0..(RING_SHARD_CAP as u64 + 10) {
+            r.process_event("graph", "tick", i);
+        }
+        let events = r.events();
+        assert_eq!(events.len(), RING_SHARD_CAP);
+        assert_eq!(events[0].value, 10, "oldest 10 overwritten");
+        assert_eq!(events.last().unwrap().value, RING_SHARD_CAP as u64 + 9);
+        assert_eq!(r.event_count(), RING_SHARD_CAP as u64 + 10);
+    }
+
+    #[test]
+    fn slow_queries_survive_ring_eviction() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.set_slow_threshold_ns(1); // everything is slow
+        let id = r.next_id();
+        let mut span = r.span(id);
+        span.count("search", "dfs_expansions", 5);
+        let total = span.finish();
+        // Now flood the ring until the slow query's events are evicted.
+        for _ in 0..(RING_SHARDS * RING_SHARD_CAP + 64) {
+            r.process_event("graph", "noise", 0);
+        }
+        let slow = r.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].trace_id, id.0);
+        assert_eq!(slow[0].total_ns, total);
+        assert_eq!(slow[0].events.len(), 2);
+        // Threshold 0 disables retention.
+        r.set_slow_threshold_ns(0);
+        let mut span = r.span(r.next_id());
+        span.count("search", "dfs_expansions", 1);
+        span.finish();
+        assert_eq!(r.slow_queries().len(), 1);
+    }
+
+    #[test]
+    fn slow_log_is_bounded() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.set_slow_threshold_ns(1);
+        let first = r.next_id();
+        r.span(first).finish();
+        for _ in 0..SLOW_LOG_CAP {
+            r.span(r.next_id()).finish();
+        }
+        let slow = r.slow_queries();
+        assert_eq!(slow.len(), SLOW_LOG_CAP);
+        assert!(slow.iter().all(|q| q.trace_id != first.0), "oldest dropped");
+    }
+
+    #[test]
+    fn chrome_export_shapes_spans_and_counters() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        let id = r.next_id();
+        let mut span = r.span(id);
+        let t = span.timer();
+        span.count("search", "dfs_expansions", 3);
+        span.span_event("search", "total", t);
+        span.finish();
+        let doc = to_chrome_json(&r.events());
+        let text = doc.to_text();
+        let parsed = Json::parse(&text).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        let counter = &arr[0];
+        assert_eq!(counter.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            counter.get("args").unwrap().get("dfs_expansions").unwrap().as_u64(),
+            Some(3)
+        );
+        let span_ev = &arr[1];
+        assert_eq!(span_ev.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span_ev.get("name").unwrap().as_str(), Some("search.total"));
+        assert!(span_ev.get("dur").unwrap().as_f64().is_some());
+        assert_eq!(span_ev.get("tid").unwrap().as_u64(), Some(id.0));
+        let envelope = &arr[2];
+        assert_eq!(envelope.get("name").unwrap().as_str(), Some("query"));
+    }
+
+    #[test]
+    fn timeline_and_slow_log_render() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.set_slow_threshold_ns(1);
+        let id = r.next_id();
+        let mut span = r.span(id);
+        let t = span.timer();
+        span.count("search", "paths", 12);
+        span.span_event("search", "total", t);
+        span.finish();
+        let text = format_timeline(&r.events_for(id));
+        assert!(text.contains("search.paths"), "{text}");
+        assert!(text.contains("12"), "{text}");
+        assert!(text.contains("query.total"), "{text}");
+        let slow_text = format_slow_log(&r.slow_queries());
+        assert!(slow_text.contains("slow query"), "{slow_text}");
+        let slow_json = slow_to_json(&r.slow_queries()).to_text();
+        let parsed = Json::parse(&slow_json).unwrap();
+        assert_eq!(parsed.as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn events_sorted_by_trace_id_keep_per_query_order() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        let a = r.next_id();
+        let b = r.next_id();
+        // Interleave: open b's span first, finish a's first.
+        let mut sb = r.span(b);
+        let mut sa = r.span(a);
+        sa.count("search", "paths", 1);
+        sa.count("rank", "comparisons", 2);
+        sa.finish();
+        sb.count("search", "paths", 3);
+        sb.finish();
+        let events = r.events();
+        let a_events: Vec<_> = events.iter().filter(|e| e.trace_id == a.0).collect();
+        assert_eq!(a_events[0].stage, "search");
+        assert_eq!(a_events[1].stage, "rank");
+        // Sorted by id: all of a's events precede all of b's.
+        let first_b = events.iter().position(|e| e.trace_id == b.0).unwrap();
+        let last_a = events.iter().rposition(|e| e.trace_id == a.0).unwrap();
+        assert!(last_a < first_b);
+    }
+}
