@@ -1,0 +1,128 @@
+//! Snapshot I/O — how fast the engine's on-disk formats save and load,
+//! and what warm-starting buys over rebuilding.
+//!
+//! Three columns per format (JSON debug vs `.pspk` binary): save time,
+//! load time, and bytes on disk; plus the cold-build baseline the binary
+//! load replaces. The run writes a machine-readable baseline to
+//! `BENCH_snapshot.json` at the repository root (override with
+//! `BENCH_SNAPSHOT_OUT`).
+//!
+//! Run with `cargo bench -p bench --bench snapshot_io`; set
+//! `PROSPECTOR_BENCH_QUICK=1` (or pass `--quick`) for a CI-sized smoke
+//! run.
+
+use std::time::Instant;
+
+use prospector_corpora::{build, BuildOptions};
+use prospector_obs::Json;
+
+fn quick_mode() -> bool {
+    std::env::var_os("PROSPECTOR_BENCH_QUICK").is_some()
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// Best-of-`rounds` wall time for `f`, in microseconds.
+fn best_us<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let value = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+        last = Some(value);
+    }
+    (best, last.expect("rounds >= 1"))
+}
+
+fn main() {
+    let quick = quick_mode();
+    let rounds = if quick { 2 } else { 5 };
+
+    println!("\n=== snapshot I/O (JSON debug vs .pspk binary) ===\n");
+
+    // Cold-build baseline: what a server pays when it has no index.
+    let (build_us, built) =
+        best_us(1, || build(&BuildOptions::default()).expect("assembles"));
+    let mined = built.mine_report.map(|r| r.examples).unwrap_or_default();
+    let engine = built.prospector;
+    println!("cold build + mine + generalize: {build_us:10.0} us");
+
+    let dir = std::env::temp_dir().join("prospector-bench-snapshot");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("engine.json");
+    let bin_path = dir.join("engine.pspk");
+
+    let (json_save_us, ()) = best_us(rounds, || {
+        prospector_core::persist::save_file(&json_path, engine.api(), engine.graph())
+            .expect("JSON saves");
+    });
+    let json_bytes = std::fs::metadata(&json_path).expect("saved").len();
+    let (json_load_us, json_loaded) = best_us(rounds, || {
+        prospector_core::persist::load_file(&json_path).expect("JSON loads")
+    });
+    println!(
+        "JSON debug:  save {json_save_us:10.0} us   load {json_load_us:10.0} us   {json_bytes:>9} bytes"
+    );
+
+    let (bin_save_us, _) = best_us(rounds, || {
+        prospector_store::save_file(&bin_path, engine.api(), engine.graph(), &mined)
+            .expect("binary saves")
+    });
+    let bin_bytes = std::fs::metadata(&bin_path).expect("saved").len();
+    let (bin_load_us, bin_loaded) = best_us(rounds, || {
+        prospector_store::load_file(&bin_path).expect("binary loads").0
+    });
+    println!(
+        "binary .pspk: save {bin_save_us:10.0} us   load {bin_load_us:10.0} us   {bin_bytes:>9} bytes"
+    );
+
+    // Both loaders must agree with the live engine before their times
+    // mean anything.
+    assert_eq!(json_loaded.graph.edge_count(), engine.graph().edge_count());
+    assert_eq!(bin_loaded.graph.edge_count(), engine.graph().edge_count());
+    assert_eq!(bin_loaded.graph.csr().out_to(), engine.graph().csr().out_to());
+
+    let load_speedup = json_load_us / bin_load_us;
+    let vs_build = build_us / bin_load_us;
+    println!(
+        "\nbinary load: {load_speedup:.2}x faster than JSON load, {vs_build:.2}x faster than a cold build\n"
+    );
+    assert!(
+        bin_load_us < json_load_us,
+        "binary load must beat the JSON debug path ({bin_load_us:.0} us vs {json_load_us:.0} us)"
+    );
+
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("snapshot_io".to_owned())),
+        ("rounds", Json::num_u(rounds as u64)),
+        ("build_us", Json::Num(round1(build_us))),
+        (
+            "json",
+            Json::obj(vec![
+                ("save_us", Json::Num(round1(json_save_us))),
+                ("load_us", Json::Num(round1(json_load_us))),
+                ("bytes", Json::num_u(json_bytes)),
+            ]),
+        ),
+        (
+            "binary",
+            Json::obj(vec![
+                ("save_us", Json::Num(round1(bin_save_us))),
+                ("load_us", Json::Num(round1(bin_load_us))),
+                ("bytes", Json::num_u(bin_bytes)),
+            ]),
+        ),
+        ("load_speedup", Json::Num((load_speedup * 100.0).round() / 100.0)),
+        ("load_vs_build", Json::Num((vs_build * 100.0).round() / 100.0)),
+        ("quick", Json::Bool(quick)),
+    ]);
+    let out = std::env::var("BENCH_SNAPSHOT_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json").to_owned()
+    });
+    std::fs::write(&out, doc.to_text()).expect("baseline file writes");
+    println!("wrote {out}");
+
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+}

@@ -18,9 +18,13 @@
 //! * `graph <TYPE>...` — render the neighborhood of the given types as
 //!   Graphviz DOT (the paper's figure style);
 //! * `mine` — show the mined + generalized example jungloids;
-//! * `index <path>` — build the engine and persist it (§5's on-disk
-//!   graph); `--index <path>` on any command loads it instead of
-//!   rebuilding;
+//! * `index build [<stub.api>...] [--corpus <dir>] [-o <path>]` — build
+//!   the engine and snapshot it as a versioned binary `.pspk` (§5's
+//!   on-disk graph; `--json` writes the human-readable debug format
+//!   instead); `index inspect <path>` prints the validated section
+//!   breakdown; `index <path>` is shorthand for `index build -o <path>`;
+//!   `--index <path>` on any command warm-starts from a snapshot (binary
+//!   or JSON, sniffed by magic) instead of rebuilding;
 //! * `stats` — graph statistics (§5's size numbers).
 //!
 //! Engine flags (before the subcommand arguments): `--no-mining`,
@@ -402,26 +406,23 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             println!("{dot}");
             Ok(())
         }
-        "index" => {
-            let [_, path] = flags.rest.as_slice() else {
-                return Err("usage: prospector index <path>".to_owned());
-            };
-            let engine = build(&flags.options).map_err(|e| e.to_string())?.prospector;
-            prospector_core::persist::save_file(
-                std::path::Path::new(path),
-                engine.api(),
-                engine.graph(),
-            )
-            .map_err(|e| e.to_string())?;
-            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-            println!(
-                "wrote {path}: {:.1} MB, {} nodes, {} edges",
-                bytes as f64 / (1024.0 * 1024.0),
-                engine.graph().node_count(),
-                engine.graph().edge_count()
-            );
-            Ok(())
-        }
+        "index" => match flags.rest.get(1).map(String::as_str) {
+            Some("build") => index_build(flags, &flags.rest[2..]),
+            Some("inspect") => {
+                let [path] = &flags.rest[2..] else {
+                    return Err("usage: prospector index inspect <path>".to_owned());
+                };
+                index_inspect(path)
+            }
+            Some(path) if flags.rest.len() == 2 => {
+                index_build(flags, &["-o".to_owned(), path.to_owned()])
+            }
+            _ => Err(
+                "usage: prospector index build [<stub.api>...] [--corpus <dir>] [-o <path>] \
+                 | index inspect <path> | index <path>"
+                    .to_owned(),
+            ),
+        },
         "serve" => {
             let mut addr = "127.0.0.1:7878".to_owned();
             let mut it = flags.rest[1..].iter();
@@ -431,8 +432,12 @@ fn run_command(flags: &Flags) -> Result<(), String> {
                     other => return Err(format!("serve: unknown argument `{other}`")),
                 }
             }
-            let engine = engine(flags)?;
+            // Bind before constructing the engine: binding enables the
+            // metric registry and flight recorder, so the very first
+            // scrape shows how this process started — a `store` span for
+            // a warm start, the build/mine pipeline for a cold one.
             let server = prospector_cli::serve::Server::bind(&addr)?;
+            let engine = engine(flags)?;
             let bound = server.local_addr()?;
             println!("serving on http://{bound}");
             println!("  GET /healthz     liveness");
@@ -465,6 +470,19 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             println!("  widening:    {}", stats.widening_edges);
             println!("  downcast:    {} (mined examples: {})", stats.downcast_edges, stats.examples);
             println!("approx bytes: {}", g.approx_bytes());
+            if let Some(path) = &flags.index {
+                if let Ok(bytes) = std::fs::read(path) {
+                    if let Ok(m) = prospector_store::manifest(&bytes) {
+                        println!(
+                            "snapshot sections (format v{}, {} bytes total):",
+                            m.version, m.total_bytes
+                        );
+                        for s in &m.sections {
+                            println!("  {:<9} {:>9} bytes", s.name, s.bytes);
+                        }
+                    }
+                }
+            }
             print!("{}", prospector_obs::report::to_text(&prospector_obs::snapshot()));
             Ok(())
         }
@@ -477,11 +495,181 @@ fn run_command(flags: &Flags) -> Result<(), String> {
 
 fn engine(flags: &Flags) -> Result<Prospector, String> {
     if let Some(path) = &flags.index {
-        let loaded = prospector_core::persist::load_file(std::path::Path::new(path))
-            .map_err(|e| format!("{path}: {e}"))?;
-        return Ok(Prospector::from_parts(loaded.api, loaded.graph));
+        return load_index(path);
     }
     Ok(build(&flags.options).map_err(|e| e.to_string())?.prospector)
+}
+
+/// Loads `--index <path>`, routing by magic sniff: `PSPK` files take the
+/// binary warm-start path (CSR restored verbatim, no graph rebuild),
+/// anything else the JSON debug loader.
+fn load_index(path: &str) -> Result<Prospector, String> {
+    use std::io::Read as _;
+    let p = std::path::Path::new(path);
+    let mut head = [0u8; 4];
+    let binary = std::fs::File::open(p)
+        .map_err(|e| format!("{path}: {e}"))?
+        .read_exact(&mut head)
+        .is_ok()
+        && prospector_store::is_snapshot(&head);
+    if binary {
+        let (snap, _) = prospector_store::load_file(p).map_err(|e| e.to_string())?;
+        return Ok(Prospector::from_parts(snap.api, snap.graph));
+    }
+    let loaded =
+        prospector_core::persist::load_file(p).map_err(|e| e.to_string())?;
+    Ok(Prospector::from_parts(loaded.api, loaded.graph))
+}
+
+/// `index build [<stub.api>...] [--corpus <dir>] [-o <path>] [--json]`.
+///
+/// With no stubs and no corpus this snapshots the bundled evaluation
+/// engine (honoring the engine flags); with stubs, a custom API is
+/// loaded and an optional `--corpus` directory of `.mj` files is mined.
+fn index_build(flags: &Flags, args: &[String]) -> Result<(), String> {
+    let mut stubs: Vec<String> = Vec::new();
+    let mut corpus: Option<String> = None;
+    let mut out = "idx.pspk".to_owned();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--corpus" => corpus = Some(it.next().ok_or("--corpus needs a directory")?.clone()),
+            "-o" | "--out" => out = it.next().ok_or("-o needs a path")?.clone(),
+            "--json" => json = true,
+            other => stubs.push(other.to_owned()),
+        }
+    }
+    let (engine, mined) = if stubs.is_empty() && corpus.is_none() {
+        let built = build(&flags.options).map_err(|e| e.to_string())?;
+        let mined = built.mine_report.map(|r| r.examples).unwrap_or_default();
+        (built.prospector, mined)
+    } else {
+        build_custom(flags, &stubs, corpus.as_deref())?
+    };
+    let path = std::path::Path::new(&out);
+    if json {
+        prospector_core::persist::save_file(path, engine.api(), engine.graph())
+            .map_err(|e| e.to_string())?;
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "wrote {out} (JSON debug format): {:.1} MB, {} nodes, {} edges",
+            bytes as f64 / (1024.0 * 1024.0),
+            engine.graph().node_count(),
+            engine.graph().edge_count()
+        );
+        return Ok(());
+    }
+    let manifest = prospector_store::save_file(path, engine.api(), engine.graph(), &mined)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {:.1} MB, snapshot format v{}, {} nodes, {} edges",
+        manifest.total_bytes as f64 / (1024.0 * 1024.0),
+        manifest.version,
+        engine.graph().node_count(),
+        engine.graph().edge_count()
+    );
+    for s in &manifest.sections {
+        println!("  {:<9} {:>9} bytes  crc32 {:#010x}", s.name, s.bytes, s.crc32);
+    }
+    Ok(())
+}
+
+fn build_custom(
+    flags: &Flags,
+    stubs: &[String],
+    corpus: Option<&str>,
+) -> Result<(Prospector, Vec<Vec<jungloid_apidef::ElemJungloid>>), String> {
+    let mut loader = jungloid_apidef::ApiLoader::with_prelude();
+    for path in stubs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        loader.add_source(path, &text).map_err(|e| e.to_string())?;
+    }
+    let mut api = loader.finish().map_err(|e| e.to_string())?;
+    let mut report = None;
+    if let Some(dir) = corpus {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{dir}: {e}"))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "mj"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("{dir}: no .mj corpus files"));
+        }
+        let mut units = Vec::new();
+        for f in &files {
+            let name = f.display().to_string();
+            let text = std::fs::read_to_string(f).map_err(|e| format!("{name}: {e}"))?;
+            units.push(
+                jungloid_minijava::parse::parse_unit(&name, &text).map_err(|e| e.to_string())?,
+            );
+        }
+        let lowered = jungloid_dataflow::LoweredCorpus::lower(&mut api, &units)
+            .map_err(|e| e.to_string())?;
+        let mut miner = jungloid_dataflow::Miner::new(&api, &lowered);
+        miner.config = flags.options.miner;
+        report = Some(miner.mine());
+    }
+    let mut engine = Prospector::with_config(
+        api,
+        prospector_core::GraphConfig {
+            include_protected: flags.options.include_protected,
+            restrict_weak_params: flags.options.param_mining,
+        },
+    );
+    let mut mined = Vec::new();
+    if let Some(r) = report {
+        if flags.options.mining {
+            engine
+                .add_examples(&r.examples, flags.options.generalize)
+                .map_err(|e| e.to_string())?;
+            mined = r.examples;
+        }
+    }
+    Ok((engine, mined))
+}
+
+/// `index inspect <path>`: the validated manifest plus decoded counts.
+fn index_inspect(path: &str) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if !prospector_store::is_snapshot(&bytes) {
+        let loaded = prospector_core::persist::load_file(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("{path}: JSON debug index, {} bytes", bytes.len());
+        println!("  types:   {}", loaded.api.types().len());
+        println!("  methods: {}", loaded.api.method_count());
+        println!("  fields:  {}", loaded.api.field_count());
+        println!(
+            "  nodes:   {} ({} mined)",
+            loaded.graph.node_count(),
+            loaded.graph.mined_node_count()
+        );
+        println!("  edges:   {}", loaded.graph.edge_count());
+        return Ok(());
+    }
+    let m = prospector_store::manifest(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let snap = prospector_store::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: prospector snapshot, format v{}, {} bytes", m.version, m.total_bytes);
+    for s in &m.sections {
+        println!("  section {:<9} {:>9} bytes  crc32 {:#010x}", s.name, s.bytes, s.crc32);
+    }
+    println!("  types:   {}", snap.api.types().len());
+    println!("  methods: {}", snap.api.method_count());
+    println!("  fields:  {}", snap.api.field_count());
+    println!(
+        "  nodes:   {} ({} mined)",
+        snap.graph.node_count(),
+        snap.graph.mined_node_count()
+    );
+    println!("  edges:   {}", snap.graph.edge_count());
+    println!(
+        "  mined examples: {}, generalized paths: {}",
+        snap.mined_examples.len(),
+        snap.graph.examples().len()
+    );
+    Ok(())
 }
 
 fn resolve(engine: &Prospector, name: &str) -> Result<TyId, String> {
@@ -685,6 +873,8 @@ usage:
   prospector [flags] study [--seed N]
   prospector [flags] mine
   prospector [flags] stats
+  prospector [flags] index build [<stub.api>...] [--corpus <dir>] [-o <path>] [--json]
+  prospector [flags] index inspect <path>
   prospector [flags] serve [--addr host:port]
 
 flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle

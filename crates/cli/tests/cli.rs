@@ -344,6 +344,136 @@ fn index_round_trip() {
 }
 
 #[test]
+fn binary_index_build_inspect_and_query() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.pspk");
+    let path_str = path.to_str().unwrap();
+
+    let (stdout, stderr, ok) = prospector(&["index", "build", "-o", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+    assert!(stdout.contains("snapshot format v1"), "{stdout}");
+    for section in ["strings", "types", "members", "graph", "csr", "examples", "suffixes"] {
+        assert!(stdout.contains(section), "section `{section}` missing from:\n{stdout}");
+    }
+    // The file is the binary format, not JSON.
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..4], b"PSPK");
+
+    let (stdout, stderr, ok) = prospector(&["index", "inspect", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("prospector snapshot, format v1"), "{stdout}");
+    assert!(stdout.contains("crc32"), "{stdout}");
+    assert!(stdout.contains("mined examples:"), "{stdout}");
+
+    // Warm-started answers are identical to a fresh build's.
+    let (loaded, stderr, ok) = prospector(&["--index", path_str, "query", "IFile", "ASTNode"]);
+    assert!(ok, "stderr: {stderr}");
+    let (fresh, _, _) = prospector(&["query", "IFile", "ASTNode"]);
+    assert_eq!(loaded, fresh);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn json_debug_index_still_round_trips() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine-debug.json");
+    let path_str = path.to_str().unwrap();
+    let (stdout, stderr, ok) = prospector(&["index", "build", "--json", "-o", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("JSON debug format"), "{stdout}");
+    assert!(std::fs::read_to_string(&path).unwrap().starts_with('{'));
+
+    let (stdout, stderr, ok) = prospector(&["index", "inspect", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("JSON debug index"), "{stdout}");
+
+    let (loaded, stderr, ok) = prospector(&["--index", path_str, "query", "IFile", "ASTNode"]);
+    assert!(ok, "stderr: {stderr}");
+    let (fresh, _, _) = prospector(&["query", "IFile", "ASTNode"]);
+    assert_eq!(loaded, fresh);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_binary_index_fails_with_a_typed_message() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine-corrupt.pspk");
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) = prospector(&["index", "build", "-o", path_str]);
+    assert!(ok, "stderr: {stderr}");
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (_, stderr, ok) = prospector(&["--index", path_str, "query", "IFile", "ASTNode"]);
+    assert!(!ok);
+    assert!(stderr.contains("corrupt"), "typed corruption message expected: {stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serve_warm_start_records_store_stage_and_no_build_stages() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine-warm.pspk");
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) = prospector(&["index", "build", "-o", path_str]);
+    assert!(ok, "stderr: {stderr}");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_prospector"))
+        .args(["--index", path_str, "serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("serve prints its address").expect("readable");
+        if let Some(rest) = line.strip_prefix("serving on http://") {
+            break rest.trim().to_owned();
+        }
+    };
+
+    let get = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response.split_once("\r\n\r\n").expect("body").1.to_owned()
+    };
+
+    assert_eq!(get("/healthz"), "ok\n");
+    let body = get("/query?tin=IFile&tout=ASTNode");
+    assert!(body.contains("AST.parseCompilationUnit("), "{body}");
+
+    // The acceptance bar for warm starting: the pipeline record shows the
+    // snapshot load and *zero* graph-build or mining work at startup.
+    let metrics = get("/metrics");
+    assert!(metrics.contains("stage=\"store\""), "store stage missing:\n{metrics}");
+    for cold_stage in ["stage=\"build\"", "stage=\"mine\"", "stage=\"generalize\""] {
+        assert!(
+            !metrics.contains(cold_stage),
+            "warm start must not run {cold_stage}:\n{metrics}"
+        );
+    }
+    assert!(metrics.contains("prospector_store_loads_total"), "{metrics}");
+
+    child.kill().expect("stop server");
+    child.wait().expect("reap server");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn missing_index_fails_cleanly() {
     let (_, stderr, ok) = prospector(&["--index", "/nonexistent/engine.idx", "query", "IFile", "ASTNode"]);
     assert!(!ok);

@@ -181,6 +181,96 @@ impl CsrAdjacency {
         self.fwd_off[node] as usize..self.fwd_off[node + 1] as usize
     }
 
+    /// Forward offset array (`len = node_count + 1`); `off[n]..off[n+1]`
+    /// spans node `n`'s edges in the flat forward arrays.
+    #[must_use]
+    pub fn out_offsets(&self) -> &[u32] {
+        &self.fwd_off
+    }
+
+    /// Reverse offset array (`len = node_count + 1`), mirroring
+    /// [`CsrAdjacency::out_offsets`] for the in-edge arrays.
+    #[must_use]
+    pub fn in_offsets(&self) -> &[u32] {
+        &self.rev_off
+    }
+
+    /// Reassembles a CSR from stored flat arrays (the `prospector-store`
+    /// snapshot loader), validating structure so a corrupt file can never
+    /// produce an index-out-of-bounds panic on the query hot path:
+    /// offsets must start at zero, grow monotonically, and end at the
+    /// edge count; forward and reverse edge counts must agree; every
+    /// dense index must be in range; and each stored cost must equal the
+    /// cost [`CsrAdjacency::build`] derives from its elementary jungloid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] naming the violated invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_arrays(
+        fwd_off: Vec<u32>,
+        fwd_to: Vec<u32>,
+        fwd_elem: Vec<ElemJungloid>,
+        fwd_cost: Vec<u8>,
+        rev_off: Vec<u32>,
+        rev_from: Vec<u32>,
+        rev_cost: Vec<u8>,
+    ) -> Result<CsrAdjacency, SnapshotError> {
+        let fail = |detail: String| Err(SnapshotError { detail });
+        if fwd_off.is_empty() || rev_off.len() != fwd_off.len() {
+            return fail(format!(
+                "offset arrays must be non-empty and equal-length (fwd {}, rev {})",
+                fwd_off.len(),
+                rev_off.len()
+            ));
+        }
+        let node_count = fwd_off.len() - 1;
+        let edge_count = fwd_to.len();
+        if fwd_elem.len() != edge_count || fwd_cost.len() != edge_count {
+            return fail(format!(
+                "forward arrays disagree on edge count ({edge_count} to, {} elem, {} cost)",
+                fwd_elem.len(),
+                fwd_cost.len()
+            ));
+        }
+        if rev_from.len() != edge_count || rev_cost.len() != edge_count {
+            return fail(format!(
+                "reverse arrays hold {} edges, forward {edge_count}",
+                rev_from.len()
+            ));
+        }
+        for (name, off, flat_len) in
+            [("forward", &fwd_off, fwd_to.len()), ("reverse", &rev_off, rev_from.len())]
+        {
+            if off[0] != 0 {
+                return fail(format!("{name} offsets must start at 0"));
+            }
+            if off.windows(2).any(|w| w[0] > w[1]) {
+                return fail(format!("{name} offsets must be monotone"));
+            }
+            if off[node_count] as usize != flat_len {
+                return fail(format!(
+                    "{name} offsets end at {} but {flat_len} edges are stored",
+                    off[node_count]
+                ));
+            }
+        }
+        let bound = u32::try_from(node_count)
+            .map_err(|_| SnapshotError { detail: "node count exceeds u32".to_owned() })?;
+        if let Some(&bad) = fwd_to.iter().chain(&rev_from).find(|&&n| n >= bound) {
+            return fail(format!("edge endpoint {bad} out of range ({node_count} nodes)"));
+        }
+        for (i, elem) in fwd_elem.iter().enumerate() {
+            if fwd_cost[i] != u8::from(!elem.is_widen()) {
+                return fail(format!("forward edge {i} cost disagrees with its jungloid kind"));
+            }
+        }
+        if let Some(&bad) = rev_cost.iter().find(|&&c| c > 1) {
+            return fail(format!("reverse edge cost {bad} out of range (0-1 BFS costs)"));
+        }
+        Ok(CsrAdjacency { fwd_off, fwd_to, fwd_elem, fwd_cost, rev_off, rev_from, rev_cost })
+    }
+
     /// Destination dense indices, all nodes' edges concatenated.
     #[must_use]
     pub fn out_to(&self) -> &[u32] {
@@ -225,6 +315,22 @@ impl CsrAdjacency {
             + self.rev_from.len() * (4 + 1)
     }
 }
+
+/// A structurally invalid stored graph snapshot (binary `.pspk` sections
+/// that decoded cleanly but describe an impossible graph).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Explanation of the violated invariant.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid graph snapshot: {}", self.detail)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// An invalid mined example.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -331,6 +437,95 @@ impl JungloidGraph {
         prospector_obs::gauge_set("graph.nodes", graph.node_count() as u64);
         prospector_obs::gauge_set("graph.edges", graph.edge_count as u64);
         graph
+    }
+
+    /// Restores a graph from a stored snapshot: the CSR arrays verbatim
+    /// (already validated by [`CsrAdjacency::from_arrays`]) plus the mined
+    /// node bases and example step-sequences. The list adjacency is
+    /// *derived from* the CSR — per-node edge order is the CSR's flat
+    /// order, which [`CsrAdjacency::build`] preserves from the lists — so
+    /// no rebuild happens and a warm start records no `graph.csr.rebuilds`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the CSR's node count disagrees with
+    /// `api.types().len() + mined_base.len()` or a mined base type is out
+    /// of range. Elementary jungloids inside `csr` and `examples` must
+    /// already be validated against `api` (the store's section decoder
+    /// does this).
+    pub fn from_snapshot(
+        api: &Api,
+        config: GraphConfig,
+        mined_base: Vec<TyId>,
+        examples: Vec<Vec<ElemJungloid>>,
+        csr: CsrAdjacency,
+    ) -> Result<JungloidGraph, SnapshotError> {
+        let ty_count = u32::try_from(api.types().len())
+            .map_err(|_| SnapshotError { detail: "type arena exceeds u32".to_owned() })?;
+        let node_count = ty_count as usize + mined_base.len();
+        if csr.node_count() != node_count {
+            return Err(SnapshotError {
+                detail: format!(
+                    "CSR covers {} nodes but the API and mined bases imply {node_count}",
+                    csr.node_count()
+                ),
+            });
+        }
+        if let Some(bad) = mined_base.iter().find(|t| t.index() >= ty_count as usize) {
+            return Err(SnapshotError {
+                detail: format!("mined base type {bad:?} out of range ({ty_count} types)"),
+            });
+        }
+        // The reverse side must be the transpose of the forward side; the
+        // cheap certificate is matching per-node in-degrees.
+        let mut indegree = vec![0u32; node_count];
+        for &to in csr.out_to() {
+            indegree[to as usize] += 1;
+        }
+        for (node, &expected) in indegree.iter().enumerate() {
+            if csr.in_range(node).len() != expected as usize {
+                return Err(SnapshotError {
+                    detail: format!("node {node} in-degree disagrees between CSR sides"),
+                });
+            }
+        }
+        let node_at = |index: usize| {
+            if index < ty_count as usize {
+                NodeId::Ty(TyId::from_index(index))
+            } else {
+                NodeId::Mined(u32::try_from(index - ty_count as usize).expect("mined fits u32"))
+            }
+        };
+        let mut out = vec![Vec::new(); node_count];
+        let mut rev = vec![Vec::new(); node_count];
+        for (node, row) in out.iter_mut().enumerate() {
+            for flat in csr.out_range(node) {
+                row.push(Edge {
+                    elem: csr.out_elem()[flat],
+                    to: node_at(csr.out_to()[flat] as usize),
+                });
+            }
+        }
+        for (node, row) in rev.iter_mut().enumerate() {
+            for flat in csr.in_range(node) {
+                row.push((node_at(csr.in_from()[flat] as usize), csr.in_cost()[flat]));
+            }
+        }
+        let graph = JungloidGraph {
+            config,
+            ty_count,
+            mined_base,
+            out,
+            rev,
+            examples,
+            edge_count: csr.edge_count(),
+            csr,
+        };
+        prospector_obs::gauge_set("graph.nodes", graph.node_count() as u64);
+        prospector_obs::gauge_set("graph.edges", graph.edge_count as u64);
+        prospector_obs::gauge_set("graph.csr.edges", graph.csr.edge_count() as u64);
+        prospector_obs::gauge_set("graph.csr.bytes", graph.csr.approx_bytes() as u64);
+        Ok(graph)
     }
 
     /// The frozen CSR view of the adjacency (always in sync; see

@@ -71,7 +71,10 @@ pub mod viability;
 pub use cache::{CacheOutcome, ShardedLru};
 pub use compose::{compose, ComposeConfig, Composition};
 pub use engine::{BatchEntry, Prospector, QueryError, QueryResult, Suggestion};
-pub use graph::{CsrAdjacency, Edge, ExampleError, GraphConfig, GraphStats, JungloidGraph, NodeId};
+pub use graph::{
+    CsrAdjacency, Edge, ExampleError, GraphConfig, GraphStats, JungloidGraph, NodeId, SnapshotError,
+};
+pub use persist::PersistError;
 pub use path::Jungloid;
 pub use rank::{RankKey, RankOptions};
 pub use search::{

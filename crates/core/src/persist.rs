@@ -5,7 +5,7 @@
 //! measurements against this module's JSON encoding (the dependency-free
 //! [`prospector_obs::Json`] value type).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use jungloid_apidef::Api;
 use prospector_obs::json::{Json, JsonError};
@@ -19,6 +19,49 @@ pub struct PersistedIndex {
     pub api: Api,
     /// The jungloid graph built from it.
     pub graph: JungloidGraph,
+}
+
+/// A file-level persistence failure, preserving *which* file and — for
+/// decode failures — which key or section of the document was at fault
+/// (the wrapped [`JsonError`] carries the failing key's message).
+#[derive(Debug)]
+pub enum PersistError {
+    /// Reading or writing the file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file was read but its JSON did not decode as an index.
+    Decode {
+        /// The file involved.
+        path: PathBuf,
+        /// The decode failure, naming the offending key/section.
+        source: JsonError,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            PersistError::Decode { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Decode { source, .. } => Some(source),
+        }
+    }
 }
 
 /// Serializes to a JSON string.
@@ -44,19 +87,23 @@ pub fn from_json(text: &str) -> Result<PersistedIndex, JsonError> {
 ///
 /// # Errors
 ///
-/// I/O errors.
-pub fn save_file(path: &Path, api: &Api, graph: &JungloidGraph) -> std::io::Result<()> {
+/// [`PersistError::Io`] on write failure.
+pub fn save_file(path: &Path, api: &Api, graph: &JungloidGraph) -> Result<(), PersistError> {
     std::fs::write(path, to_json(api, graph))
+        .map_err(|source| PersistError::Io { path: path.to_owned(), source })
 }
 
 /// Reads a bundle from a file.
 ///
 /// # Errors
 ///
-/// I/O and deserialization errors.
-pub fn load_file(path: &Path) -> std::io::Result<PersistedIndex> {
-    let text = std::fs::read_to_string(path)?;
-    from_json(&text).map_err(std::io::Error::other)
+/// [`PersistError::Io`] if the file cannot be read;
+/// [`PersistError::Decode`] — naming the failing key — if it does not
+/// decode.
+pub fn load_file(path: &Path) -> Result<PersistedIndex, PersistError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| PersistError::Io { path: path.to_owned(), source })?;
+    from_json(&text).map_err(|source| PersistError::Decode { path: path.to_owned(), source })
 }
 
 #[cfg(test)]
@@ -118,5 +165,28 @@ mod tests {
     fn malformed_json_rejected() {
         assert!(from_json("{not json").is_err());
         assert!(from_json("{}").is_err());
+    }
+
+    #[test]
+    fn load_errors_are_typed_and_name_the_failure() {
+        let dir = std::env::temp_dir().join("prospector-persist-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("nope.json");
+        match load_file(&missing) {
+            Err(PersistError::Io { path, .. }) => assert_eq!(path, missing),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "{\"api\": 3}").unwrap();
+        match load_file(&garbled) {
+            Err(PersistError::Decode { path, source }) => {
+                assert_eq!(path, garbled);
+                // The wrapped JsonError names the offending key (the first
+                // thing `Api::from_json` asks the non-object for).
+                assert!(source.to_string().contains("missing key `types`"), "unhelpful: {source}");
+            }
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+        std::fs::remove_file(&garbled).ok();
     }
 }

@@ -1,0 +1,91 @@
+//! Typed failures for the `.pspk` snapshot format. Every malformed input
+//! — truncated, bit-flipped, version-skewed, or structurally impossible —
+//! maps to one of these variants; the loader never panics.
+
+use std::path::PathBuf;
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Reading or writing the snapshot file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the `PSPK` magic — it is not a binary
+    /// snapshot at all.
+    BadMagic {
+        /// The first four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's format version is newer (or older) than this build
+    /// understands. The version gate is strict equality: any change to
+    /// the section layout bumps [`crate::FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The byte stream ended before a length-prefixed value was complete.
+    Truncated {
+        /// Which section (or `"header"`) was being read.
+        context: &'static str,
+        /// Byte offset within that context where input ran out.
+        offset: usize,
+    },
+    /// A section's stored CRC32 does not match its contents.
+    ChecksumMismatch {
+        /// The damaged section.
+        section: &'static str,
+        /// Checksum recorded in the file.
+        expected: u32,
+        /// Checksum computed over the bytes actually present.
+        found: u32,
+    },
+    /// A section decoded structurally but describes something impossible
+    /// (out-of-range reference, disagreeing counts, invalid enum tag...).
+    Corrupt {
+        /// The offending section.
+        section: &'static str,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a prospector snapshot (magic {found:02x?}, want `PSPK`)")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads version {supported})"
+            ),
+            StoreError::Truncated { context, offset } => {
+                write!(f, "snapshot truncated in `{context}` at byte {offset}")
+            }
+            StoreError::ChecksumMismatch { section, expected, found } => write!(
+                f,
+                "section `{section}` is corrupt: stored crc32 {expected:#010x}, computed {found:#010x}"
+            ),
+            StoreError::Corrupt { section, detail } => {
+                write!(f, "section `{section}` is corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,800 @@
+//! The `.pspk` section layout: encoding a mined engine to bytes and
+//! validating/decoding it back.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! magic "PSPK" | version u32 | section_count u32
+//! then, per section, in fixed order:
+//! tag u32 | payload_len u64 | crc32 u32 (over tag bytes + payload) | payload
+//! ```
+//!
+//! | tag | section    | contents                                           |
+//! |-----|------------|----------------------------------------------------|
+//! | 1   | `strings`  | interned pool; other sections store `u32` refs      |
+//! | 2   | `types`    | package refs + type-arena slots ([`RawSlot`] shape) |
+//! | 3   | `members`  | method and field definitions, arena order           |
+//! | 4   | `graph`    | config, type/mined node counts, edge count          |
+//! | 5   | `csr`      | the frozen forward+reverse CSR arrays, verbatim     |
+//! | 6   | `examples` | raw mined example jungloids (provenance)            |
+//! | 7   | `suffixes` | generalized spliced step-sequences                  |
+//!
+//! The loader reconstructs [`CsrAdjacency`] directly from section 5 — no
+//! rebuild — and [`JungloidGraph::from_snapshot`] derives the list
+//! adjacency from it, so a warm-started engine is byte-identical to the
+//! one that was saved.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use jungloid_apidef::{Api, ElemJungloid, FieldDef, InputSlot, MethodDef, Visibility};
+use jungloid_typesys::{PackageId, Prim, RawSlot, TyId, TypeKind, TypeTable};
+use prospector_core::graph::{CsrAdjacency, JungloidGraph, NodeId};
+use prospector_core::GraphConfig;
+
+use crate::crc32::Crc32;
+use crate::error::StoreError;
+use crate::rw::{Reader, Writer};
+
+/// The four magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 4] = *b"PSPK";
+
+/// Format version written by this build; reads require exact equality
+/// (any layout change bumps it — there is no in-place migration).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// `(tag, name)` of every section, in file order.
+const SECTIONS: [(u32, &str); 7] = [
+    (1, "strings"),
+    (2, "types"),
+    (3, "members"),
+    (4, "graph"),
+    (5, "csr"),
+    (6, "examples"),
+    (7, "suffixes"),
+];
+
+const HEADER_BYTES: usize = 12;
+const SECTION_HEADER_BYTES: usize = 16;
+
+/// A fully decoded snapshot: everything needed to warm-start an engine.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The API model (type table + members).
+    pub api: Api,
+    /// The jungloid graph, CSR reconstructed verbatim (no rebuild).
+    pub graph: JungloidGraph,
+    /// The raw mined example jungloids the engine was built from, kept
+    /// for provenance/inspection (the generalized splices live in the
+    /// graph itself).
+    pub mined_examples: Vec<Vec<ElemJungloid>>,
+}
+
+/// Size/checksum breakdown of one stored section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section name (matches the table in the module docs).
+    pub name: &'static str,
+    /// Payload bytes (headers excluded).
+    pub bytes: u64,
+    /// Stored (and verified) CRC32 over tag + payload.
+    pub crc32: u32,
+}
+
+/// What `index inspect` prints: the validated file structure, without
+/// necessarily decoding the payloads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Format version found in the header.
+    pub version: u32,
+    /// Whole-file size in bytes.
+    pub total_bytes: u64,
+    /// Per-section breakdown, in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+/// Whether `bytes` look like a binary snapshot (magic sniff only) — the
+/// CLI uses this to route `--index` files between this format and the
+/// JSON debug path.
+#[must_use]
+pub fn is_snapshot(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == MAGIC
+}
+
+// --- encoding -----------------------------------------------------------
+
+/// Deduplicating string pool; all other sections store `u32` refs into it.
+#[derive(Default)]
+struct StringPool {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StringPool {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("string pool fits u32");
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+}
+
+fn encode_elem(w: &mut Writer, elem: &ElemJungloid) {
+    match *elem {
+        ElemJungloid::FieldAccess { field } => {
+            w.u8(0);
+            w.index(field.index());
+        }
+        ElemJungloid::Call { method, input } => {
+            w.u8(1);
+            w.index(method.index());
+            match input {
+                None => w.u8(0),
+                Some(InputSlot::Receiver) => w.u8(1),
+                Some(InputSlot::Arg(i)) => {
+                    w.u8(2);
+                    w.index(i);
+                }
+            }
+        }
+        ElemJungloid::Widen { from, to } => {
+            w.u8(2);
+            w.index(from.index());
+            w.index(to.index());
+        }
+        ElemJungloid::Downcast { from, to } => {
+            w.u8(3);
+            w.index(from.index());
+            w.index(to.index());
+        }
+    }
+}
+
+fn encode_examples(examples: &[Vec<ElemJungloid>]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.index(examples.len());
+    for steps in examples {
+        w.index(steps.len());
+        for step in steps {
+            encode_elem(&mut w, step);
+        }
+    }
+    w.into_bytes()
+}
+
+fn encode_types(types: &TypeTable, pool: &mut StringPool) -> Vec<u8> {
+    let mut w = Writer::new();
+    let packages = types.raw_packages();
+    w.index(packages.len());
+    for p in packages {
+        w.u32(pool.intern(p));
+    }
+    let slots = types.raw_slots();
+    w.index(slots.len());
+    for slot in slots {
+        match slot {
+            RawSlot::Void => w.u8(0),
+            RawSlot::Null => w.u8(1),
+            RawSlot::Prim(p) => {
+                w.u8(2);
+                w.u8(u8::try_from(Prim::ALL.iter().position(|q| *q == p).expect("listed"))
+                    .expect("8 prims"));
+            }
+            RawSlot::Decl { simple, package, kind, superclass, interfaces } => {
+                w.u8(3);
+                w.u32(pool.intern(&simple));
+                w.index(package.index());
+                w.u8(match kind {
+                    TypeKind::Class => 0,
+                    TypeKind::Interface => 1,
+                });
+                w.u32(superclass.map_or(u32::MAX, |s| {
+                    u32::try_from(s.index()).expect("arena fits u32")
+                }));
+                w.index(interfaces.len());
+                for i in interfaces {
+                    w.index(i.index());
+                }
+            }
+            RawSlot::Array { elem } => {
+                w.u8(4);
+                w.index(elem.index());
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn encode_visibility(v: Visibility) -> u8 {
+    match v {
+        Visibility::Public => 0,
+        Visibility::Protected => 1,
+        Visibility::Private => 2,
+    }
+}
+
+fn encode_members(api: &Api, pool: &mut StringPool) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.index(api.method_count());
+    for m in api.method_ids() {
+        let def = api.method(m);
+        w.u32(pool.intern(&def.name));
+        w.index(def.declaring.index());
+        w.index(def.params.len());
+        for p in &def.params {
+            w.index(p.index());
+        }
+        w.index(def.param_names.len());
+        for name in &def.param_names {
+            match name {
+                None => w.u8(0),
+                Some(n) => {
+                    w.u8(1);
+                    w.u32(pool.intern(n));
+                }
+            }
+        }
+        w.index(def.ret.index());
+        w.u8(encode_visibility(def.visibility));
+        w.u8(u8::from(def.is_static));
+        w.u8(u8::from(def.is_constructor));
+    }
+    w.index(api.field_count());
+    for f in api.field_ids() {
+        let def = api.field(f);
+        w.u32(pool.intern(&def.name));
+        w.index(def.declaring.index());
+        w.index(def.ty.index());
+        w.u8(encode_visibility(def.visibility));
+        w.u8(u8::from(def.is_static));
+    }
+    w.into_bytes()
+}
+
+fn encode_graph_meta(graph: &JungloidGraph) -> Vec<u8> {
+    let mut w = Writer::new();
+    let config = graph.config();
+    w.u8(u8::from(config.include_protected));
+    w.u8(u8::from(config.restrict_weak_params));
+    let ty_count = graph.node_count() - graph.mined_node_count();
+    w.index(ty_count);
+    w.index(graph.mined_node_count());
+    for i in 0..graph.mined_node_count() {
+        let base = graph.base_ty(NodeId::Mined(u32::try_from(i).expect("mined fits u32")));
+        w.index(base.index());
+    }
+    w.u64(graph.edge_count() as u64);
+    w.into_bytes()
+}
+
+fn encode_csr(csr: &CsrAdjacency) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.index(csr.node_count());
+    for &off in csr.out_offsets() {
+        w.u32(off);
+    }
+    w.u64(csr.edge_count() as u64);
+    for &to in csr.out_to() {
+        w.u32(to);
+    }
+    for &cost in csr.out_cost() {
+        w.u8(cost);
+    }
+    for elem in csr.out_elem() {
+        encode_elem(&mut w, elem);
+    }
+    for &off in csr.in_offsets() {
+        w.u32(off);
+    }
+    for &from in csr.in_from() {
+        w.u32(from);
+    }
+    for &cost in csr.in_cost() {
+        w.u8(cost);
+    }
+    w.into_bytes()
+}
+
+fn encode_strings(pool: &StringPool) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.index(pool.strings.len());
+    for s in &pool.strings {
+        w.index(s.len());
+        w.bytes(s.as_bytes());
+    }
+    w.into_bytes()
+}
+
+fn emit_section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
+    let mut crc = Crc32::new();
+    crc.update(&tag.to_le_bytes());
+    crc.update(payload);
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes a mined engine (API + graph + raw mined examples) to snapshot
+/// bytes.
+#[must_use]
+pub fn to_bytes(api: &Api, graph: &JungloidGraph, mined_examples: &[Vec<ElemJungloid>]) -> Vec<u8> {
+    let mut pool = StringPool::default();
+    // Sections that intern strings are encoded first; the pool itself is
+    // then emitted as section 1, ahead of everything that references it.
+    let types = encode_types(api.types(), &mut pool);
+    let members = encode_members(api, &mut pool);
+    let graph_meta = encode_graph_meta(graph);
+    let csr = encode_csr(graph.csr());
+    let examples = encode_examples(mined_examples);
+    let suffixes = encode_examples(graph.examples());
+    let strings = encode_strings(&pool);
+
+    let payloads = [&strings, &types, &members, &graph_meta, &csr, &examples, &suffixes];
+    let total = HEADER_BYTES
+        + payloads.iter().map(|p| SECTION_HEADER_BYTES + p.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&u32::try_from(SECTIONS.len()).expect("few sections").to_le_bytes());
+    for ((tag, _), payload) in SECTIONS.iter().zip(payloads) {
+        emit_section(&mut out, *tag, payload);
+    }
+    out
+}
+
+// --- decoding -----------------------------------------------------------
+
+/// Validates the header and every section frame (tag order, length
+/// bounds, CRC32), returning payload slices in section order plus the
+/// manifest. Shared by [`from_bytes`] and [`manifest`].
+fn walk(bytes: &[u8]) -> Result<(Vec<&[u8]>, Manifest), StoreError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(StoreError::Truncated { context: "header", offset: bytes.len() });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic { found: bytes[..4].try_into().expect("4 bytes") });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if count as usize != SECTIONS.len() {
+        return Err(StoreError::Corrupt {
+            section: "header",
+            detail: format!("{count} sections recorded, format version {FORMAT_VERSION} has {}", SECTIONS.len()),
+        });
+    }
+    let mut payloads = Vec::with_capacity(SECTIONS.len());
+    let mut infos = Vec::with_capacity(SECTIONS.len());
+    let mut pos = HEADER_BYTES;
+    for &(expected_tag, name) in &SECTIONS {
+        let Some(header) = bytes.get(pos..pos + SECTION_HEADER_BYTES) else {
+            return Err(StoreError::Truncated { context: name, offset: pos });
+        };
+        let tag = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let len = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let stored_crc = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+        if tag != expected_tag {
+            return Err(StoreError::Corrupt {
+                section: name,
+                detail: format!("expected section tag {expected_tag}, found {tag}"),
+            });
+        }
+        let len = usize::try_from(len).map_err(|_| StoreError::Corrupt {
+            section: name,
+            detail: format!("section length {len} exceeds addressable memory"),
+        })?;
+        let start = pos + SECTION_HEADER_BYTES;
+        let Some(payload) = start.checked_add(len).and_then(|end| bytes.get(start..end)) else {
+            return Err(StoreError::Truncated { context: name, offset: bytes.len() - start });
+        };
+        let mut crc = Crc32::new();
+        crc.update(&tag.to_le_bytes());
+        crc.update(payload);
+        let found = crc.finish();
+        if found != stored_crc {
+            return Err(StoreError::ChecksumMismatch { section: name, expected: stored_crc, found });
+        }
+        payloads.push(payload);
+        infos.push(SectionInfo { name, bytes: payload.len() as u64, crc32: stored_crc });
+        pos = start + len;
+    }
+    if pos != bytes.len() {
+        return Err(StoreError::Corrupt {
+            section: "header",
+            detail: format!("{} trailing bytes after the last section", bytes.len() - pos),
+        });
+    }
+    let manifest =
+        Manifest { version, total_bytes: bytes.len() as u64, sections: infos };
+    Ok((payloads, manifest))
+}
+
+/// Validates file structure (magic, version, section frames, checksums)
+/// and returns the per-section breakdown without decoding payloads.
+///
+/// # Errors
+///
+/// Any framing-level [`StoreError`].
+pub fn manifest(bytes: &[u8]) -> Result<Manifest, StoreError> {
+    walk(bytes).map(|(_, m)| m)
+}
+
+fn decode_strings(payload: &[u8]) -> Result<Vec<String>, StoreError> {
+    let mut r = Reader::new("strings", payload);
+    let count = r.count(4)?;
+    let mut pool = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = r.u32()? as usize;
+        let raw = r.bytes(len)?;
+        pool.push(
+            std::str::from_utf8(raw)
+                .map_err(|e| r.corrupt(format!("invalid UTF-8: {e}")))?
+                .to_owned(),
+        );
+    }
+    r.finish()?;
+    Ok(pool)
+}
+
+fn pooled<'p>(r: &Reader<'_>, pool: &'p [String], id: u32) -> Result<&'p String, StoreError> {
+    pool.get(id as usize)
+        .ok_or_else(|| r.corrupt(format!("string ref {id} out of range ({} pooled)", pool.len())))
+}
+
+fn decode_ty(r: &Reader<'_>, raw: u32, arena_len: usize) -> Result<TyId, StoreError> {
+    if (raw as usize) < arena_len {
+        Ok(TyId::from_index(raw as usize))
+    } else {
+        Err(r.corrupt(format!("type reference {raw} out of range ({arena_len} slots)")))
+    }
+}
+
+fn decode_types(payload: &[u8], pool: &[String]) -> Result<TypeTable, StoreError> {
+    let mut r = Reader::new("types", payload);
+    let package_count = r.count(4)?;
+    let mut packages = Vec::with_capacity(package_count);
+    for _ in 0..package_count {
+        let id = r.u32()?;
+        packages.push(pooled(&r, pool, id)?.clone());
+    }
+    let slot_count = r.count(1)?;
+    let mut slots = Vec::with_capacity(slot_count);
+    for _ in 0..slot_count {
+        slots.push(match r.u8()? {
+            0 => RawSlot::Void,
+            1 => RawSlot::Null,
+            2 => {
+                let idx = r.u8()? as usize;
+                let p = *Prim::ALL
+                    .get(idx)
+                    .ok_or_else(|| r.corrupt(format!("primitive index {idx} out of range")))?;
+                RawSlot::Prim(p)
+            }
+            3 => {
+                let simple_ref = r.u32()?;
+                let simple = pooled(&r, pool, simple_ref)?.clone();
+                let package = PackageId::from_index(r.u32()? as usize);
+                let kind = match r.u8()? {
+                    0 => TypeKind::Class,
+                    1 => TypeKind::Interface,
+                    other => return Err(r.corrupt(format!("type kind byte {other}"))),
+                };
+                let superclass = match r.u32()? {
+                    u32::MAX => None,
+                    raw => Some(decode_ty(&r, raw, slot_count)?),
+                };
+                let iface_count = r.count(4)?;
+                let mut interfaces = Vec::with_capacity(iface_count);
+                for _ in 0..iface_count {
+                    let raw = r.u32()?;
+                    interfaces.push(decode_ty(&r, raw, slot_count)?);
+                }
+                RawSlot::Decl { simple, package, kind, superclass, interfaces }
+            }
+            4 => {
+                let raw = r.u32()?;
+                RawSlot::Array { elem: decode_ty(&r, raw, slot_count)? }
+            }
+            other => return Err(r.corrupt(format!("type slot tag {other}"))),
+        });
+    }
+    r.finish()?;
+    TypeTable::from_raw(packages, slots).map_err(|e| StoreError::Corrupt {
+        section: "types",
+        detail: e.to_string(),
+    })
+}
+
+fn decode_visibility(r: &Reader<'_>, raw: u8) -> Result<Visibility, StoreError> {
+    match raw {
+        0 => Ok(Visibility::Public),
+        1 => Ok(Visibility::Protected),
+        2 => Ok(Visibility::Private),
+        other => Err(r.corrupt(format!("visibility byte {other}"))),
+    }
+}
+
+fn decode_members(payload: &[u8], types: TypeTable, pool: &[String]) -> Result<Api, StoreError> {
+    let arena_len = types.len();
+    let mut api = Api::from_types(types);
+    let mut r = Reader::new("members", payload);
+    let method_count = r.count(1)?;
+    for _ in 0..method_count {
+        let name_ref = r.u32()?;
+        let name = pooled(&r, pool, name_ref)?.clone();
+        let declaring_ref = r.u32()?;
+        let declaring = decode_ty(&r, declaring_ref, arena_len)?;
+        let param_count = r.count(4)?;
+        let mut params = Vec::with_capacity(param_count);
+        for _ in 0..param_count {
+            let raw = r.u32()?;
+            params.push(decode_ty(&r, raw, arena_len)?);
+        }
+        let name_count = r.count(1)?;
+        let mut param_names = Vec::with_capacity(name_count);
+        for _ in 0..name_count {
+            param_names.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let id = r.u32()?;
+                    Some(pooled(&r, pool, id)?.clone())
+                }
+                other => return Err(r.corrupt(format!("param-name flag {other}"))),
+            });
+        }
+        let ret_ref = r.u32()?;
+        let ret = decode_ty(&r, ret_ref, arena_len)?;
+        let vis_byte = r.u8()?;
+        let visibility = decode_visibility(&r, vis_byte)?;
+        let is_static = r.u8()? != 0;
+        let is_constructor = r.u8()? != 0;
+        api.add_method(MethodDef {
+            name,
+            declaring,
+            params,
+            param_names,
+            ret,
+            visibility,
+            is_static,
+            is_constructor,
+        })
+        .map_err(|e| StoreError::Corrupt { section: "members", detail: e.to_string() })?;
+    }
+    let field_count = r.count(1)?;
+    for _ in 0..field_count {
+        let name_ref = r.u32()?;
+        let name = pooled(&r, pool, name_ref)?.clone();
+        let declaring_ref = r.u32()?;
+        let declaring = decode_ty(&r, declaring_ref, arena_len)?;
+        let ty_ref = r.u32()?;
+        let ty = decode_ty(&r, ty_ref, arena_len)?;
+        let vis_byte = r.u8()?;
+        let visibility = decode_visibility(&r, vis_byte)?;
+        let is_static = r.u8()? != 0;
+        api.add_field(FieldDef { name, declaring, ty, visibility, is_static })
+            .map_err(|e| StoreError::Corrupt { section: "members", detail: e.to_string() })?;
+    }
+    r.finish()?;
+    Ok(api)
+}
+
+fn decode_elem(r: &mut Reader<'_>, api: &Api) -> Result<ElemJungloid, StoreError> {
+    let arena_len = api.types().len();
+    match r.u8()? {
+        0 => {
+            let idx = r.u32()? as usize;
+            let field = api.field_ids().nth(idx).ok_or_else(|| {
+                r.corrupt(format!("field index {idx} out of range ({})", api.field_count()))
+            })?;
+            Ok(ElemJungloid::FieldAccess { field })
+        }
+        1 => {
+            let idx = r.u32()? as usize;
+            let method = api.method_ids().nth(idx).ok_or_else(|| {
+                r.corrupt(format!("method index {idx} out of range ({})", api.method_count()))
+            })?;
+            let input = match r.u8()? {
+                0 => None,
+                1 => Some(InputSlot::Receiver),
+                2 => {
+                    let i = r.u32()? as usize;
+                    if i >= api.method(method).params.len() {
+                        return Err(r.corrupt(format!("parameter slot {i} out of range")));
+                    }
+                    Some(InputSlot::Arg(i))
+                }
+                other => return Err(r.corrupt(format!("input-slot tag {other}"))),
+            };
+            Ok(ElemJungloid::Call { method, input })
+        }
+        2 => {
+            let (from_raw, to_raw) = (r.u32()?, r.u32()?);
+            let from = decode_ty(r, from_raw, arena_len)?;
+            let to = decode_ty(r, to_raw, arena_len)?;
+            Ok(ElemJungloid::Widen { from, to })
+        }
+        3 => {
+            let (from_raw, to_raw) = (r.u32()?, r.u32()?);
+            let from = decode_ty(r, from_raw, arena_len)?;
+            let to = decode_ty(r, to_raw, arena_len)?;
+            Ok(ElemJungloid::Downcast { from, to })
+        }
+        other => Err(r.corrupt(format!("elementary jungloid tag {other}"))),
+    }
+}
+
+struct GraphMeta {
+    config: GraphConfig,
+    mined_base: Vec<TyId>,
+    edge_count: u64,
+}
+
+fn decode_graph_meta(payload: &[u8], api: &Api) -> Result<GraphMeta, StoreError> {
+    let mut r = Reader::new("graph", payload);
+    let config = GraphConfig {
+        include_protected: r.u8()? != 0,
+        restrict_weak_params: r.u8()? != 0,
+    };
+    let ty_count = r.u32()? as usize;
+    if ty_count != api.types().len() {
+        return Err(r.corrupt(format!(
+            "graph was saved over {ty_count} types but the snapshot API declares {}",
+            api.types().len()
+        )));
+    }
+    let mined_count = r.count(4)?;
+    let mut mined_base = Vec::with_capacity(mined_count);
+    for _ in 0..mined_count {
+        let raw = r.u32()?;
+        mined_base.push(decode_ty(&r, raw, ty_count)?);
+    }
+    let edge_count = r.u64()?;
+    r.finish()?;
+    Ok(GraphMeta { config, mined_base, edge_count })
+}
+
+fn decode_csr(payload: &[u8], api: &Api, meta: &GraphMeta) -> Result<CsrAdjacency, StoreError> {
+    let mut r = Reader::new("csr", payload);
+    let node_count = r.u32()? as usize;
+    let expected_nodes = api.types().len() + meta.mined_base.len();
+    if node_count != expected_nodes {
+        return Err(r.corrupt(format!(
+            "CSR covers {node_count} nodes, graph metadata implies {expected_nodes}"
+        )));
+    }
+    let fwd_off = r.u32_array(node_count + 1)?;
+    let edge_count = r.u64()?;
+    // Bound before the Vec::with_capacity below: every stored edge costs
+    // at least one payload byte, so a flipped count cannot OOM the loader.
+    let edge_count = usize::try_from(edge_count)
+        .ok()
+        .filter(|&e| e <= r.remaining())
+        .ok_or_else(|| r.corrupt(format!("edge count {edge_count} cannot fit the payload")))?;
+    let fwd_to = r.u32_array(edge_count)?;
+    let fwd_cost = r.bytes(edge_count)?.to_vec();
+    let mut fwd_elem = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        fwd_elem.push(decode_elem(&mut r, api)?);
+    }
+    let rev_off = r.u32_array(node_count + 1)?;
+    let rev_from = r.u32_array(edge_count)?;
+    let rev_cost = r.bytes(edge_count)?.to_vec();
+    r.finish()?;
+    CsrAdjacency::from_arrays(fwd_off, fwd_to, fwd_elem, fwd_cost, rev_off, rev_from, rev_cost)
+        .map_err(|e| StoreError::Corrupt { section: "csr", detail: e.detail })
+}
+
+fn decode_examples(
+    payload: &[u8],
+    api: &Api,
+    section: &'static str,
+) -> Result<Vec<Vec<ElemJungloid>>, StoreError> {
+    let mut r = Reader::new(section, payload);
+    let count = r.count(4)?;
+    let mut examples = Vec::with_capacity(count);
+    for _ in 0..count {
+        let steps = r.count(2)?;
+        let mut seq = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            seq.push(decode_elem(&mut r, api)?);
+        }
+        examples.push(seq);
+    }
+    r.finish()?;
+    Ok(examples)
+}
+
+/// Decodes snapshot bytes back into a ready-to-query engine state.
+///
+/// # Errors
+///
+/// Every malformed input returns a typed [`StoreError`]; the decoder
+/// never panics. Framing damage surfaces as
+/// [`StoreError::Truncated`]/[`StoreError::ChecksumMismatch`], structural
+/// impossibilities as [`StoreError::Corrupt`] naming the section.
+pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+    let (payloads, _) = walk(bytes)?;
+    let pool = decode_strings(payloads[0])?;
+    let types = decode_types(payloads[1], &pool)?;
+    let api = decode_members(payloads[2], types, &pool)?;
+    let meta = decode_graph_meta(payloads[3], &api)?;
+    let csr = decode_csr(payloads[4], &api, &meta)?;
+    if csr.edge_count() as u64 != meta.edge_count {
+        return Err(StoreError::Corrupt {
+            section: "graph",
+            detail: format!(
+                "metadata records {} edges, CSR stores {}",
+                meta.edge_count,
+                csr.edge_count()
+            ),
+        });
+    }
+    let mined_examples = decode_examples(payloads[5], &api, "examples")?;
+    let suffixes = decode_examples(payloads[6], &api, "suffixes")?;
+    let graph = JungloidGraph::from_snapshot(&api, meta.config, meta.mined_base, suffixes, csr)
+        .map_err(|e| StoreError::Corrupt { section: "graph", detail: e.detail })?;
+    Ok(Snapshot { api, graph, mined_examples })
+}
+
+// --- file I/O + observability -------------------------------------------
+
+fn record_sections(manifest: &Manifest) {
+    for s in &manifest.sections {
+        prospector_obs::gauge_set(&format!("store.section.{}.bytes", s.name), s.bytes);
+    }
+}
+
+/// Encodes and writes a snapshot, reporting `store.save_bytes` and the
+/// per-section size gauges under a `store` stage span.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on write failure.
+pub fn save_file(
+    path: &Path,
+    api: &Api,
+    graph: &JungloidGraph,
+    mined_examples: &[Vec<ElemJungloid>],
+) -> Result<Manifest, StoreError> {
+    let _span = prospector_obs::stage("store");
+    let bytes = to_bytes(api, graph, mined_examples);
+    let manifest = manifest(&bytes).expect("freshly encoded snapshot is well-formed");
+    std::fs::write(path, &bytes)
+        .map_err(|source| StoreError::Io { path: path.to_owned(), source })?;
+    prospector_obs::add("store.saves", 1);
+    prospector_obs::gauge_set("store.save_bytes", bytes.len() as u64);
+    record_sections(&manifest);
+    prospector_obs::trace::process_event("store", "save_bytes", bytes.len() as u64);
+    Ok(manifest)
+}
+
+/// Reads and decodes a snapshot, reporting `store.load_ms` and the
+/// per-section size gauges under a `store` stage span.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the file cannot be read; any decode-level
+/// [`StoreError`] otherwise.
+pub fn load_file(path: &Path) -> Result<(Snapshot, Manifest), StoreError> {
+    let _span = prospector_obs::stage("store");
+    let start = std::time::Instant::now();
+    let bytes =
+        std::fs::read(path).map_err(|source| StoreError::Io { path: path.to_owned(), source })?;
+    let (payloads_manifest, snapshot) = {
+        let m = manifest(&bytes)?;
+        (m, from_bytes(&bytes)?)
+    };
+    let ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    prospector_obs::add("store.loads", 1);
+    prospector_obs::gauge_set("store.load_ms", ms);
+    prospector_obs::gauge_set("store.load_bytes", bytes.len() as u64);
+    record_sections(&payloads_manifest);
+    prospector_obs::trace::process_event("store", "load_ms", ms);
+    Ok((snapshot, payloads_manifest))
+}

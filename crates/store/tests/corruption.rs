@@ -1,0 +1,132 @@
+//! Corruption fuzzing: a `.pspk` snapshot must survive any mutilation
+//! with a typed [`StoreError`] — never a panic, never a silent mis-load.
+//!
+//! The mutations exercised here are the two classes the format is built
+//! to catch: truncation at (and around) every section boundary, and a
+//! single flipped byte in every section's header and payload.
+
+use prospector_corpora::{build, BuildOptions};
+use prospector_store::{from_bytes, manifest, StoreError};
+
+/// Snapshot bytes for the full bundled engine — mined and generalized,
+/// so all seven sections carry real payloads.
+fn snapshot_bytes() -> Vec<u8> {
+    let built = build(&BuildOptions::default()).expect("bundled corpora assemble");
+    let mined = built.mine_report.map(|r| r.examples).unwrap_or_default();
+    prospector_store::to_bytes(built.prospector.api(), built.prospector.graph(), &mined)
+}
+
+/// Every interesting offset: the file-header bytes, each section's
+/// header start, payload start, payload midpoint, and payload end.
+fn boundaries(bytes: &[u8]) -> Vec<usize> {
+    let m = manifest(bytes).expect("pristine snapshot validates");
+    let mut offsets: Vec<usize> = (0..=12).collect();
+    let mut pos = 12usize;
+    for s in &m.sections {
+        let payload_start = pos + 16;
+        let payload_len = usize::try_from(s.bytes).expect("fits");
+        offsets.extend([
+            pos,
+            pos + 4,
+            pos + 12,
+            payload_start,
+            payload_start + payload_len / 2,
+            payload_start + payload_len,
+        ]);
+        pos = payload_start + payload_len;
+    }
+    offsets.retain(|&o| o <= bytes.len());
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_typed_error() {
+    let bytes = snapshot_bytes();
+    for cut in boundaries(&bytes) {
+        if cut == bytes.len() {
+            continue; // not a truncation
+        }
+        let err = from_bytes(&bytes[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("snapshot cut to {cut} bytes must not load"));
+        // The mutation must surface as a framing error, not a mis-parse
+        // deep inside a decoder.
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::Corrupt { .. }
+                    | StoreError::BadMagic { .. }
+                    | StoreError::UnsupportedVersion { .. }
+            ),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn one_flipped_byte_per_section_is_detected() {
+    let bytes = snapshot_bytes();
+    let m = manifest(&bytes).expect("pristine snapshot validates");
+    let mut pos = 12usize;
+    for s in &m.sections {
+        let payload_len = usize::try_from(s.bytes).expect("fits");
+        // One flip in the section header (its tag byte) and one in the
+        // middle of its payload.
+        let targets = [pos, pos + 16 + payload_len / 2];
+        for &at in &targets {
+            let mut mutated = bytes.clone();
+            mutated[at] ^= 0x40;
+            match from_bytes(&mutated) {
+                Ok(_) => panic!("flip at byte {at} (section `{}`) loaded anyway", s.name),
+                Err(
+                    StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt { .. }
+                    | StoreError::Truncated { .. },
+                ) => {}
+                Err(other) => {
+                    panic!("flip at byte {at} (section `{}`): unexpected error {other:?}", s.name)
+                }
+            }
+        }
+        pos += 16 + payload_len;
+    }
+}
+
+#[test]
+fn flips_in_the_file_header_are_detected() {
+    let bytes = snapshot_bytes();
+    for at in 0..12 {
+        let mut mutated = bytes.clone();
+        mutated[at] ^= 0x01;
+        assert!(
+            from_bytes(&mutated).is_err(),
+            "header flip at byte {at} must not load"
+        );
+    }
+}
+
+#[test]
+fn payload_flips_are_checksum_mismatches_naming_the_section() {
+    // A flip strictly inside a payload (headers untouched) must be caught
+    // by that section's CRC and blamed on it by name.
+    let bytes = snapshot_bytes();
+    let m = manifest(&bytes).expect("pristine snapshot validates");
+    let mut pos = 12usize;
+    for s in &m.sections {
+        let payload_len = usize::try_from(s.bytes).expect("fits");
+        if payload_len > 0 {
+            let mut mutated = bytes.clone();
+            mutated[pos + 16 + payload_len / 2] ^= 0x10;
+            match from_bytes(&mutated) {
+                Err(StoreError::ChecksumMismatch { section, .. }) => {
+                    assert_eq!(section, s.name);
+                }
+                other => panic!("payload flip in `{}`: expected checksum mismatch, got {other:?}", s.name),
+            }
+        }
+        pos += 16 + payload_len;
+    }
+}

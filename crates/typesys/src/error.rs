@@ -47,6 +47,13 @@ pub enum TypeError {
         /// Human-readable description of the violated rule.
         detail: String,
     },
+    /// A persisted arena (JSON or binary) failed structural validation:
+    /// out-of-range references, a malformed built-in prefix, duplicate
+    /// declarations, and the like.
+    InvalidTable {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TypeError {
@@ -71,6 +78,9 @@ impl std::fmt::Display for TypeError {
                 write!(f, "superclass of {class:?} is already set")
             }
             TypeError::KindMismatch { detail } => f.write_str(detail),
+            TypeError::InvalidTable { detail } => {
+                write!(f, "invalid persisted type table: {detail}")
+            }
         }
     }
 }

@@ -16,6 +16,16 @@ impl PackageId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs an id from a raw index.
+    ///
+    /// Only meaningful for indexes previously obtained from
+    /// [`PackageId::index`] against the same table (the binary snapshot
+    /// loader re-derives them; [`TypeTable::from_raw`] validates range).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        PackageId(u32::try_from(index).expect("package arena exceeds u32 range"))
+    }
 }
 
 /// Internal structure of one arena slot.
@@ -548,12 +558,212 @@ impl Default for TypeTable {
     }
 }
 
-// --- JSON persistence --------------------------------------------------
+// --- Persistence --------------------------------------------------------
 //
-// The wire format carries only the arena (packages + typed slots); every
-// derived index (qualified/simple lookup, array interning, the Object
-// root) is rebuilt on load, which keeps the format small and makes a
-// loaded table structurally identical to a freshly built one.
+// Both wire formats (JSON here, binary in `prospector-store`) carry only
+// the arena (packages + typed slots); every derived index
+// (qualified/simple lookup, array interning, the Object root) is rebuilt
+// on load, which keeps the format small and makes a loaded table
+// structurally identical to a freshly built one. [`RawSlot`] is the
+// neutral exchange shape both formats decode into; [`TypeTable::from_raw`]
+// owns all structural validation.
+
+/// The raw contents of one type-arena slot, as exchanged with persistence
+/// layers ([`TypeTable::to_json`] and the binary snapshot format in
+/// `prospector-store`). Obtained from [`TypeTable::raw_slots`]; reversed by
+/// [`TypeTable::from_raw`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RawSlot {
+    /// The `void` pseudo-type (always slot 0).
+    Void,
+    /// The null type (always slot 1).
+    Null,
+    /// A primitive (slots 2..10, in [`Prim::ALL`] order).
+    Prim(Prim),
+    /// A declared class or interface.
+    Decl {
+        /// Simple (unqualified) name.
+        simple: String,
+        /// Package reference.
+        package: PackageId,
+        /// Class or interface.
+        kind: TypeKind,
+        /// Declared superclass, if any.
+        superclass: Option<TyId>,
+        /// Implemented/extended interfaces.
+        interfaces: Vec<TyId>,
+    },
+    /// An array type.
+    Array {
+        /// Element type.
+        elem: TyId,
+    },
+}
+
+impl TypeTable {
+    /// The interned package names, in arena order.
+    #[must_use]
+    pub fn raw_packages(&self) -> &[String] {
+        &self.packages
+    }
+
+    /// The raw arena slots, in id order. Together with
+    /// [`TypeTable::raw_packages`] this is the table's complete persistent
+    /// state.
+    #[must_use]
+    pub fn raw_slots(&self) -> Vec<RawSlot> {
+        self.types
+            .iter()
+            .map(|slot| match slot {
+                TyData::Void => RawSlot::Void,
+                TyData::Null => RawSlot::Null,
+                TyData::Prim(p) => RawSlot::Prim(*p),
+                TyData::Decl(d) => RawSlot::Decl {
+                    simple: d.simple.clone(),
+                    package: d.package,
+                    kind: d.kind,
+                    superclass: d.superclass,
+                    interfaces: d.interfaces.clone(),
+                },
+                TyData::Array { elem } => RawSlot::Array { elem: *elem },
+            })
+            .collect()
+    }
+
+    /// Rebuilds a table from raw parts, validating every reference and
+    /// rebuilding all derived indexes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidTable`] on out-of-range package/type
+    /// references, a built-in prefix (void, null, the eight primitives)
+    /// that does not match a fresh table's, arrays of `void`/null, or
+    /// duplicate packages, declared types, or array internings.
+    pub fn from_raw(packages: Vec<String>, slots: Vec<RawSlot>) -> Result<TypeTable, TypeError> {
+        let invalid = |detail: String| TypeError::InvalidTable { detail };
+        let arena_len = slots.len();
+        let check_ty = |id: TyId| {
+            if id.index() < arena_len {
+                Ok(id)
+            } else {
+                Err(invalid(format!("type reference {id:?} out of bounds ({arena_len} slots)")))
+            }
+        };
+        let mut types = Vec::with_capacity(arena_len);
+        for slot in slots {
+            types.push(match slot {
+                RawSlot::Void => TyData::Void,
+                RawSlot::Null => TyData::Null,
+                RawSlot::Prim(p) => TyData::Prim(p),
+                RawSlot::Decl { simple, package, kind, superclass, interfaces } => {
+                    if package.index() >= packages.len() {
+                        return Err(invalid(format!(
+                            "package reference {} out of bounds ({} packages)",
+                            package.index(),
+                            packages.len()
+                        )));
+                    }
+                    if let Some(sup) = superclass {
+                        check_ty(sup)?;
+                    }
+                    for &i in &interfaces {
+                        check_ty(i)?;
+                    }
+                    TyData::Decl(DeclData { simple, package, kind, superclass, interfaces })
+                }
+                RawSlot::Array { elem } => {
+                    check_ty(elem)?;
+                    TyData::Array { elem }
+                }
+            });
+        }
+
+        // The built-in prefix must match what `TypeTable::new` interns.
+        if types.len() < 10
+            || !matches!(types[0], TyData::Void)
+            || !matches!(types[1], TyData::Null)
+        {
+            return Err(invalid("built-in prefix (void, null, primitives) missing".to_owned()));
+        }
+        let mut prim_ids = [TyId(0); 8];
+        for (i, p) in Prim::ALL.into_iter().enumerate() {
+            match &types[2 + i] {
+                TyData::Prim(q) if *q == p => prim_ids[i] = TyId(u32::try_from(2 + i).expect("small")),
+                _ => return Err(invalid("primitive slots out of order".to_owned())),
+            }
+        }
+        for slot in &types {
+            if let TyData::Array { elem } = slot {
+                if matches!(types[elem.index()], TyData::Void | TyData::Null) {
+                    return Err(invalid("array of void/null".to_owned()));
+                }
+            }
+        }
+
+        // Rebuild derived indexes.
+        let mut table = TypeTable {
+            packages,
+            package_index: HashMap::new(),
+            types,
+            by_qualified: HashMap::new(),
+            by_simple: HashMap::new(),
+            arrays: HashMap::new(),
+            void_id: TyId(0),
+            null_id: TyId(1),
+            prim_ids,
+            object: None,
+        };
+        for (i, name) in table.packages.iter().enumerate() {
+            let id = PackageId(u32::try_from(i).expect("small"));
+            if table.package_index.insert(name.clone(), id).is_some() {
+                return Err(invalid(format!("duplicate package `{name}`")));
+            }
+        }
+        enum Derived {
+            Decl { qualified: String, simple: String },
+            Array { elem: TyId },
+            Other,
+        }
+        let derived: Vec<Derived> = table
+            .types
+            .iter()
+            .map(|slot| match slot {
+                TyData::Decl(d) => {
+                    let pkg = &table.packages[d.package.index()];
+                    let qualified = if pkg.is_empty() {
+                        d.simple.clone()
+                    } else {
+                        format!("{pkg}.{}", d.simple)
+                    };
+                    Derived::Decl { qualified, simple: d.simple.clone() }
+                }
+                TyData::Array { elem } => Derived::Array { elem: *elem },
+                _ => Derived::Other,
+            })
+            .collect();
+        for (i, entry) in derived.into_iter().enumerate() {
+            let id = TyId::from_index(i);
+            match entry {
+                Derived::Decl { qualified, simple } => {
+                    if table.by_qualified.insert(qualified.clone(), id).is_some() {
+                        return Err(invalid(format!("duplicate declared type `{qualified}`")));
+                    }
+                    if qualified == "java.lang.Object" {
+                        table.object = Some(id);
+                    }
+                    table.by_simple.entry(simple).or_default().push(id);
+                }
+                Derived::Array { elem } => {
+                    if table.arrays.insert(elem, id).is_some() {
+                        return Err(invalid("duplicate array interning".to_owned()));
+                    }
+                }
+                Derived::Other => {}
+            }
+        }
+        Ok(table)
+    }
+}
 
 fn ty_ref(id: TyId) -> Json {
     Json::num_u(u64::from(id.0))
@@ -633,18 +843,18 @@ impl TypeTable {
             .as_arr()
             .ok_or_else(|| decode_err("`types` must be an array"))?;
         let arena_len = slots.len();
-        let mut types = Vec::with_capacity(arena_len);
+        let mut raw = Vec::with_capacity(arena_len);
         for slot in slots {
             let kind = slot.want("k")?.as_str().ok_or_else(|| decode_err("`k` must be a string"))?;
-            types.push(match kind {
-                "void" => TyData::Void,
-                "null" => TyData::Null,
+            raw.push(match kind {
+                "void" => RawSlot::Void,
+                "null" => RawSlot::Null,
                 "prim" => {
                     let word = slot
                         .want("p")?
                         .as_str()
                         .ok_or_else(|| decode_err("`p` must be a string"))?;
-                    TyData::Prim(
+                    RawSlot::Prim(
                         Prim::from_keyword(word)
                             .ok_or_else(|| decode_err(format!("unknown primitive `{word}`")))?,
                     )
@@ -654,7 +864,6 @@ impl TypeTable {
                         .want("pkg")?
                         .as_u64()
                         .and_then(|p| u32::try_from(p).ok())
-                        .filter(|&p| (p as usize) < packages.len())
                         .ok_or_else(|| decode_err("bad package reference"))?;
                     let superclass = match slot.want("super")? {
                         Json::Null => None,
@@ -667,7 +876,7 @@ impl TypeTable {
                         .iter()
                         .map(|i| want_ty(i, arena_len))
                         .collect::<Result<_, _>>()?;
-                    TyData::Decl(DeclData {
+                    RawSlot::Decl {
                         simple: slot
                             .want("simple")?
                             .as_str()
@@ -681,89 +890,13 @@ impl TypeTable {
                         },
                         superclass,
                         interfaces,
-                    })
+                    }
                 }
-                "array" => TyData::Array { elem: want_ty(slot.want("elem")?, arena_len)? },
+                "array" => RawSlot::Array { elem: want_ty(slot.want("elem")?, arena_len)? },
                 other => return Err(decode_err(format!("unknown type slot kind `{other}`"))),
             });
         }
-
-        // The built-in prefix must match what `TypeTable::new` interns.
-        if types.len() < 10
-            || !matches!(types[0], TyData::Void)
-            || !matches!(types[1], TyData::Null)
-        {
-            return Err(decode_err("built-in prefix (void, null, primitives) missing"));
-        }
-        let mut prim_ids = [TyId(0); 8];
-        for (i, p) in Prim::ALL.into_iter().enumerate() {
-            match &types[2 + i] {
-                TyData::Prim(q) if *q == p => prim_ids[i] = TyId(u32::try_from(2 + i).expect("small")),
-                _ => return Err(decode_err("primitive slots out of order")),
-            }
-        }
-
-        // Rebuild derived indexes.
-        let mut table = TypeTable {
-            packages,
-            package_index: HashMap::new(),
-            types,
-            by_qualified: HashMap::new(),
-            by_simple: HashMap::new(),
-            arrays: HashMap::new(),
-            void_id: TyId(0),
-            null_id: TyId(1),
-            prim_ids,
-            object: None,
-        };
-        for (i, name) in table.packages.iter().enumerate() {
-            table
-                .package_index
-                .insert(name.clone(), PackageId(u32::try_from(i).expect("small")));
-        }
-        enum Derived {
-            Decl { qualified: String, simple: String },
-            Array { elem: TyId },
-            Other,
-        }
-        let derived: Vec<Derived> = table
-            .types
-            .iter()
-            .map(|slot| match slot {
-                TyData::Decl(d) => {
-                    let pkg = &table.packages[d.package.index()];
-                    let qualified = if pkg.is_empty() {
-                        d.simple.clone()
-                    } else {
-                        format!("{pkg}.{}", d.simple)
-                    };
-                    Derived::Decl { qualified, simple: d.simple.clone() }
-                }
-                TyData::Array { elem } => Derived::Array { elem: *elem },
-                _ => Derived::Other,
-            })
-            .collect();
-        for (i, entry) in derived.into_iter().enumerate() {
-            let id = TyId::from_index(i);
-            match entry {
-                Derived::Decl { qualified, simple } => {
-                    if table.by_qualified.insert(qualified.clone(), id).is_some() {
-                        return Err(decode_err(format!("duplicate declared type `{qualified}`")));
-                    }
-                    if qualified == "java.lang.Object" {
-                        table.object = Some(id);
-                    }
-                    table.by_simple.entry(simple).or_default().push(id);
-                }
-                Derived::Array { elem } => {
-                    if table.arrays.insert(elem, id).is_some() {
-                        return Err(decode_err("duplicate array interning"));
-                    }
-                }
-                Derived::Other => {}
-            }
-        }
-        Ok(table)
+        TypeTable::from_raw(packages, raw).map_err(|e| decode_err(e.to_string()))
     }
 }
 
