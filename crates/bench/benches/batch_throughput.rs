@@ -58,8 +58,8 @@ fn serial_reference(engine: &Prospector, queries: &[(TyId, TyId)]) -> Vec<Vec<St
                 .query(tin, tout)
                 .expect("table1 queries succeed")
                 .suggestions
-                .into_iter()
-                .map(|s| s.code)
+                .iter()
+                .map(|s| s.code.clone())
                 .collect()
         })
         .collect()
@@ -72,7 +72,10 @@ fn main() {
     let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     println!("\n=== batch throughput (Table 1 mix, CSR graph) ===\n");
-    let engine = build(&BuildOptions::default()).expect("assembles").prospector;
+    let mut engine = build(&BuildOptions::default()).expect("assembles").prospector;
+    // This bench measures the pipeline itself; with the result cache on,
+    // every repeat after the first would be a lookup, not a query.
+    engine.cache_results = false;
     let queries = query_mix(&engine, repeats);
     println!(
         "host cpus: {cpus}; batch: {} queries ({} distinct problems x {repeats})",

@@ -12,8 +12,13 @@ use bench::{criterion_group, Criterion};
 use prospector_corpora::{build, jungle::JungleSpec, BuildOptions};
 
 fn engine_with_jungle(classes: usize) -> prospector_core::Prospector {
+    // The result cache is disabled engine-wide below: this bench charts
+    // how the *pipeline* scales with graph size, and a repeated query
+    // answered from the cache would flat-line every series.
     let jungle = (classes > 0).then(|| JungleSpec { classes, ..JungleSpec::default() });
-    build(&BuildOptions { jungle, ..BuildOptions::default() }).unwrap().prospector
+    let mut engine = build(&BuildOptions { jungle, ..BuildOptions::default() }).unwrap().prospector;
+    engine.cache_results = false;
+    engine
 }
 
 fn print_report() {

@@ -58,7 +58,10 @@ fn main() {
     let rounds = if quick { 5 } else { 50 };
 
     println!("\n=== flight-recorder overhead (Table 1 mix) ===\n");
-    let engine = build(&BuildOptions::default()).expect("assembles").prospector;
+    let mut engine = build(&BuildOptions::default()).expect("assembles").prospector;
+    // Measure the pipeline, not the result cache: repeated identical
+    // queries would otherwise be O(1) lookups in both arms.
+    engine.cache_results = false;
     let queries = query_mix(&engine);
 
     prospector_obs::trace::set_enabled(false);

@@ -40,9 +40,11 @@
 //! `--trace-json <path>` turns the flight recorder on and writes the
 //! recorded ring as Chrome-trace JSON after the command.
 //!
-//! `serve [--addr host:port]` runs the std-only observability HTTP
-//! server (`/metrics`, `/healthz`, `/query`, `/slow`, `/trace.json`) —
-//! see the `serve` module in the library half of this crate.
+//! `serve [--addr host:port] [--workers N]` runs the std-only
+//! observability HTTP server (`/metrics`, `/healthz`, `/query`, `/slow`,
+//! `/trace.json`) on a fixed worker pool (default: available
+//! parallelism) — see the `serve` module in the library half of this
+//! crate.
 
 use std::process::ExitCode;
 
@@ -425,10 +427,19 @@ fn run_command(flags: &Flags) -> Result<(), String> {
         },
         "serve" => {
             let mut addr = "127.0.0.1:7878".to_owned();
+            let mut workers: Option<usize> = None;
             let mut it = flags.rest[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
+                    "--workers" => {
+                        workers = Some(
+                            it.next()
+                                .ok_or("--workers needs a number")?
+                                .parse()
+                                .map_err(|_| "--workers needs a number".to_owned())?,
+                        );
+                    }
                     other => return Err(format!("serve: unknown argument `{other}`")),
                 }
             }
@@ -436,7 +447,10 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             // metric registry and flight recorder, so the very first
             // scrape shows how this process started — a `store` span for
             // a warm start, the build/mine pipeline for a cold one.
-            let server = prospector_cli::serve::Server::bind(&addr)?;
+            let mut server = prospector_cli::serve::Server::bind(&addr)?;
+            if let Some(n) = workers {
+                server.set_workers(n);
+            }
             let engine = engine(flags)?;
             let bound = server.local_addr()?;
             println!("serving on http://{bound}");
@@ -805,6 +819,7 @@ fn query_batch(flags: &Flags, path: &str, threads: Option<usize>) -> Result<(), 
                     result.shortest.map_or(Json::Null, |m| Json::num_u(u64::from(m))),
                 ));
                 pairs.push(("truncation", Json::Str(result.truncation.label().to_owned())));
+                pairs.push(("cached", Json::Bool(result.stats.result_cache_hits > 0)));
                 pairs.push(("found", Json::num_u(result.suggestions.len() as u64)));
                 pairs.push(("dist_cache_hits", Json::num_u(result.stats.dist_cache_hits)));
                 pairs.push((
@@ -875,7 +890,7 @@ usage:
   prospector [flags] stats
   prospector [flags] index build [<stub.api>...] [--corpus <dir>] [-o <path>] [--json]
   prospector [flags] index inspect <path>
-  prospector [flags] serve [--addr host:port]
+  prospector [flags] serve [--addr host:port] [--workers N]
 
 flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle
        --max N --seed N --index <path> --metrics --metrics-json <path>

@@ -1,10 +1,20 @@
 //! `prospector serve` — a zero-dependency HTTP/1.1 observability server.
 //!
-//! Everything here is `std`-only: a blocking-free accept loop over
-//! [`std::net::TcpListener`] with one scoped thread per connection
-//! ([`std::thread::scope`]), so shutting down is "set the flag, wait for
-//! the scope" — the scope joins every in-flight handler and no thread
-//! outlives [`Server::run`].
+//! Everything here is `std`-only: a non-blocking accept loop over
+//! [`std::net::TcpListener`] feeding a **fixed worker pool** through a
+//! bounded job queue (`Mutex<VecDeque>` + [`Condvar`]). Workers and the
+//! accept loop live inside one [`std::thread::scope`], so shutting down
+//! is still "set the flag, wait for the scope": the accept loop stops
+//! taking connections, workers drain whatever is already queued, and the
+//! scope joins everything before [`Server::run`] returns — no thread
+//! outlives it.
+//!
+//! Connections are HTTP/1.1 **keep-alive** by default: a worker serves
+//! requests off one socket until the client sends `Connection: close`,
+//! goes quiet past the IO timeout, or hits the per-connection request
+//! cap. This pairs with the engine's result cache: a dashboard or
+//! latency probe reissuing the same `/query` over one connection pays
+//! one TCP handshake and (after the first request) zero pipeline runs.
 //!
 //! Endpoints:
 //!
@@ -21,9 +31,11 @@
 //! metric families at zero so a scrape taken before the first query
 //! still shows every series a dashboard will ever chart.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use prospector_core::Prospector;
@@ -36,19 +48,76 @@ use prospector_obs::Json;
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Per-connection socket timeout: a client that connects and then goes
-/// silent cannot pin a handler thread (and thus the scope) forever.
+/// silent cannot pin a worker (and thus the scope) forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long an idle worker waits on the job-queue condvar before
+/// re-checking the shutdown flag; bounds shutdown latency for workers
+/// parked on an empty queue.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+/// Pending-connection slots per worker. When the queue is this deep the
+/// accept loop stops pulling from the kernel backlog, which is the
+/// natural place for further connections to wait.
+const QUEUE_SLOTS_PER_WORKER: usize = 16;
+
+/// Cap on requests served over one keep-alive connection before the
+/// server closes it — a backstop so one chatty client cannot hold a
+/// worker forever.
+const MAX_KEEPALIVE_REQUESTS: usize = 1000;
+
+/// The bounded handoff between the accept loop and the worker pool.
+struct JobQueue {
+    jobs: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue { jobs: Mutex::new(VecDeque::new()), ready: Condvar::new() }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        self.jobs.lock().unwrap().push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn len(&self) -> usize {
+        self.jobs.lock().unwrap().len()
+    }
+
+    /// Pops the next connection, waiting while the queue is empty. The
+    /// pop is attempted *before* the stop checks, so connections that
+    /// were accepted before either flag flipped are always drained;
+    /// `None` means "empty and stopping — exit". `stopping` is the
+    /// server-internal flag covering fatal accept errors, where the
+    /// caller's `shutdown` never flips.
+    fn pop(&self, shutdown: &AtomicBool, stopping: &AtomicBool) -> Option<TcpStream> {
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            if let Some(stream) = jobs.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::Relaxed) || stopping.load(Ordering::Relaxed) {
+                return None;
+            }
+            jobs = self.ready.wait_timeout(jobs, WORKER_POLL).unwrap().0;
+        }
+    }
+}
 
 /// A bound listener, separated from [`Server::run`] so callers (the CLI,
 /// the smoke test) can learn the real address before serving — binding
 /// port 0 and reading it back is how the test avoids port collisions.
 pub struct Server {
     listener: TcpListener,
+    workers: usize,
 }
 
 impl Server {
     /// Binds `addr`, turns the metric registry and flight recorder on,
-    /// and pre-registers the core metric families at zero.
+    /// and pre-registers the core metric families at zero. The worker
+    /// pool defaults to the machine's available parallelism.
     ///
     /// # Errors
     ///
@@ -58,7 +127,14 @@ impl Server {
         prospector_obs::set_enabled(true);
         trace::set_enabled(true);
         warm_registry();
-        Ok(Server { listener })
+        let workers = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+        Ok(Server { listener, workers })
+    }
+
+    /// Overrides the worker-pool size (`--workers N`); zero is clamped
+    /// to one.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// The actual bound address (resolves port 0).
@@ -70,9 +146,10 @@ impl Server {
         self.listener.local_addr().map_err(|e| e.to_string())
     }
 
-    /// Serves until `shutdown` is set. Connections are handled on scoped
-    /// threads; when the flag flips, the accept loop stops and the scope
-    /// joins every in-flight handler before this returns.
+    /// Serves until `shutdown` is set. Accepted connections are queued to
+    /// a fixed pool of worker threads; when the flag flips, the accept
+    /// loop stops, workers drain the queue and finish their in-flight
+    /// connections, and the scope joins them all before this returns.
     ///
     /// # Errors
     ///
@@ -86,19 +163,43 @@ impl Server {
         self.listener
             .set_nonblocking(true)
             .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let queue = JobQueue::new();
+        let queue_cap = self.workers * QUEUE_SLOTS_PER_WORKER;
+        let stopping = AtomicBool::new(false);
         std::thread::scope(|scope| {
-            while !shutdown.load(Ordering::Relaxed) {
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        scope.spawn(move || handle_connection(stream, engine, max));
+            for _ in 0..self.workers {
+                let queue = &queue;
+                let stopping = &stopping;
+                scope.spawn(move || {
+                    while let Some(stream) = queue.pop(shutdown, stopping) {
+                        handle_connection(stream, engine, max);
                     }
+                });
+            }
+            let result = loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    break Ok(());
+                }
+                if queue.len() >= queue_cap {
+                    // Backpressure: leave further connections in the
+                    // kernel backlog until the pool catches up.
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => queue.push(stream),
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
                     }
-                    Err(e) => return Err(format!("accept: {e}")),
+                    Err(e) => break Err(format!("accept: {e}")),
                 }
-            }
-            Ok(())
+            };
+            // Wake every parked worker so they observe the stop without
+            // waiting out their poll interval (covers both clean
+            // shutdown and fatal accept errors).
+            stopping.store(true, Ordering::Relaxed);
+            queue.ready.notify_all();
+            result
         })
     }
 }
@@ -117,6 +218,11 @@ fn warm_registry() {
         "engine.dist_cache.hits",
         "engine.dist_cache.misses",
         "engine.dist_cache.evictions",
+        "engine.result_cache.hits",
+        "engine.result_cache.misses",
+        "engine.result_cache.collapsed",
+        "engine.result_cache.evictions",
+        "engine.result_cache.invalidations",
         "engine.batch.calls",
         "engine.batch.queries",
         "engine.batch.errors",
@@ -127,6 +233,7 @@ fn warm_registry() {
     for name in COUNTERS {
         prospector_obs::add(name, 0);
     }
+    prospector_obs::gauge_set("engine.result_cache.entries", 0);
     for name in [
         "query.latency_ns",
         "query.stage_ns.search",
@@ -137,56 +244,88 @@ fn warm_registry() {
     }
 }
 
+/// Serves one connection: requests are answered in a keep-alive loop
+/// until the client asks to close (`Connection: close`), goes quiet past
+/// [`IO_TIMEOUT`], or exhausts [`MAX_KEEPALIVE_REQUESTS`].
 fn handle_connection(mut stream: TcpStream, engine: &Prospector, max: usize) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some((method, path)) = read_request_line(&mut stream) else {
-        return;
-    };
-    if method != "GET" {
-        respond(&mut stream, 405, "Method Not Allowed", "text/plain", "only GET is served\n");
+    for served in 0..MAX_KEEPALIVE_REQUESTS {
+        let Some(request) = read_request(&mut stream) else {
+            return;
+        };
+        // The final slot always closes, so the header never promises a
+        // request we will not serve.
+        let close = request.close || served + 1 == MAX_KEEPALIVE_REQUESTS;
+        serve_request(&mut stream, engine, max, &request, close);
+        if close {
+            return;
+        }
+    }
+}
+
+fn serve_request(
+    stream: &mut TcpStream,
+    engine: &Prospector,
+    max: usize,
+    request: &Request,
+    close: bool,
+) {
+    if request.method != "GET" {
+        respond(stream, 405, "Method Not Allowed", "text/plain", "only GET is served\n", close);
         return;
     }
-    let (route, query) = match path.split_once('?') {
+    let (route, query) = match request.path.split_once('?') {
         Some((r, q)) => (r, q),
-        None => (path.as_str(), ""),
+        None => (request.path.as_str(), ""),
     };
     match route {
-        "/healthz" => respond(&mut stream, 200, "OK", "text/plain", "ok\n"),
+        "/healthz" => respond(stream, 200, "OK", "text/plain", "ok\n", close),
         "/metrics" => {
             let body = prospector_obs::prom::render(&prospector_obs::snapshot());
-            respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", &body);
+            respond(stream, 200, "OK", "text/plain; version=0.0.4", &body, close);
         }
         "/query" => match run_query(engine, max, query) {
-            Ok(body) => respond(&mut stream, 200, "OK", "application/json", &body),
+            Ok(body) => respond(stream, 200, "OK", "application/json", &body, close),
             Err(message) => {
                 let body = Json::obj(vec![
                     ("ok", Json::Bool(false)),
                     ("error", Json::Str(message)),
                 ])
                 .to_text();
-                respond(&mut stream, 400, "Bad Request", "application/json", &body);
+                respond(stream, 400, "Bad Request", "application/json", &body, close);
             }
         },
         "/slow" => {
             let body = trace::slow_to_json(&trace::slow_queries()).to_text();
-            respond(&mut stream, 200, "OK", "application/json", &body);
+            respond(stream, 200, "OK", "application/json", &body, close);
         }
         "/trace.json" => {
             let body = trace::to_chrome_json(&trace::events()).to_text();
-            respond(&mut stream, 200, "OK", "application/json", &body);
+            respond(stream, 200, "OK", "application/json", &body, close);
         }
-        _ => respond(&mut stream, 404, "Not Found", "text/plain", "no such endpoint\n"),
+        _ => respond(stream, 404, "Not Found", "text/plain", "no such endpoint\n", close),
     }
 }
 
-/// Reads just the request line (`GET /path HTTP/1.1`). Headers are
-/// drained but ignored — every endpoint is a parameterless GET.
-fn read_request_line(stream: &mut TcpStream) -> Option<(String, String)> {
+/// One parsed request head. Every endpoint is a bodyless GET, so the
+/// request line plus the `Connection` header is all the server needs.
+struct Request {
+    method: String,
+    path: String,
+    /// The client sent `Connection: close`.
+    close: bool,
+}
+
+/// Reads one request head (`GET /path HTTP/1.1` + headers). Returns
+/// `None` on a clean disconnect, timeout, or malformed head — all of
+/// which end the connection.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
     let mut buf = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     // Read to end-of-headers (or a sane cap) one byte at a time; request
-    // lines are tiny and this avoids over-reading into a keep-alive body.
+    // heads are tiny and this avoids over-reading into the next
+    // pipelined request on a keep-alive connection.
     while !buf.ends_with(b"\r\n\r\n") && buf.len() < 8192 {
         match stream.read(&mut byte) {
             Ok(1) => buf.push(byte[0]),
@@ -194,16 +333,32 @@ fn read_request_line(stream: &mut TcpStream) -> Option<(String, String)> {
         }
     }
     let text = String::from_utf8_lossy(&buf);
-    let line = text.lines().next()?;
+    let mut lines = text.lines();
+    let line = lines.next()?;
     let mut parts = line.split_whitespace();
     let method = parts.next()?.to_owned();
     let path = parts.next()?.to_owned();
-    Some((method, path))
+    let close = lines
+        .take_while(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .any(|(name, value)| {
+            name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+        });
+    Some(Request { method, path, close })
 }
 
-fn respond(stream: &mut TcpStream, code: u16, reason: &str, content_type: &str, body: &str) {
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    close: bool,
+) {
+    let connection = if close { "close" } else { "keep-alive" };
     let header = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(header.as_bytes());
@@ -248,6 +403,7 @@ fn run_query(engine: &Prospector, max: usize, query: &str) -> Result<String, Str
             result.shortest.map_or(Json::Null, |m| Json::num_u(u64::from(m))),
         ),
         ("truncation", Json::Str(result.truncation.label().to_owned())),
+        ("cached", Json::Bool(result.stats.result_cache_hits > 0)),
         ("found", Json::num_u(result.suggestions.len() as u64)),
         (
             "suggestions",
@@ -263,6 +419,8 @@ fn run_query(engine: &Prospector, max: usize, query: &str) -> Result<String, Str
         (
             "stats",
             Json::obj(vec![
+                ("result_cache_hits", Json::num_u(result.stats.result_cache_hits)),
+                ("result_cache_misses", Json::num_u(result.stats.result_cache_misses)),
                 ("dist_cache_hits", Json::num_u(result.stats.dist_cache_hits)),
                 ("dist_cache_misses", Json::num_u(result.stats.dist_cache_misses)),
                 ("bfs_relaxations", Json::num_u(result.stats.bfs_relaxations)),

@@ -117,8 +117,9 @@ fn serve_smoke() {
         assert!(status.contains("200"), "{status}");
         assert_eq!(body, "ok\n");
 
-        // Two identical queries: the second must be a distance-cache hit,
-        // proving the per-query split (not just the global counters).
+        // Two identical queries: the first runs the pipeline (a result-
+        // cache miss), the second is answered from the result cache —
+        // `cached` flips to true and every pipeline cost counter is 0.
         let (status, body) = http_get(addr, "/query?tin=IFile&tout=ASTNode");
         assert!(status.contains("200"), "{status}: {body}");
         let first = Json::parse(&body).expect("valid query JSON");
@@ -126,15 +127,26 @@ fn serve_smoke() {
         assert!(first.get("trace_id").unwrap().as_u64().unwrap() > 0);
         let top = first.get("suggestions").unwrap().as_arr().unwrap()[0].as_str().unwrap();
         assert!(top.starts_with("AST.parseCompilationUnit("), "{top}");
+        assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
         assert_eq!(
             first.get("stats").unwrap().get("dist_cache_misses").unwrap().as_u64(),
             Some(1)
         );
         let (_, body) = http_get(addr, "/query?tin=IFile&tout=ASTNode");
         let second = Json::parse(&body).expect("valid query JSON");
+        assert_eq!(second.get("cached").unwrap().as_bool(), Some(true));
         assert_eq!(
-            second.get("stats").unwrap().get("dist_cache_hits").unwrap().as_u64(),
+            second.get("stats").unwrap().get("result_cache_hits").unwrap().as_u64(),
             Some(1)
+        );
+        assert_eq!(
+            second.get("stats").unwrap().get("dist_cache_misses").unwrap().as_u64(),
+            Some(0),
+            "a result-cache hit pays no pipeline cost"
+        );
+        assert_eq!(
+            second.get("suggestions").unwrap().as_arr().unwrap().len(),
+            first.get("suggestions").unwrap().as_arr().unwrap().len()
         );
         assert_ne!(
             first.get("trace_id").unwrap().as_u64(),
@@ -154,6 +166,10 @@ fn serve_smoke() {
             "prospector_search_bfs_relaxations_total",
             "prospector_engine_dist_cache_hits_total",
             "prospector_engine_dist_cache_misses_total",
+            "prospector_engine_result_cache_hits_total",
+            "prospector_engine_result_cache_misses_total",
+            "prospector_engine_result_cache_collapsed_total",
+            "prospector_engine_result_cache_invalidations_total",
             "prospector_engine_batch_calls_total",
             "prospector_engine_batch_queries_total",
             "prospector_query_latency_ns_bucket",
@@ -162,6 +178,14 @@ fn serve_smoke() {
         ] {
             assert!(body.contains(family), "missing family `{family}` in:\n{body}");
         }
+        // The repeated /query above was served from the result cache, so
+        // the scrape shows a nonzero hit counter.
+        let hits_line = body
+            .lines()
+            .find(|l| l.starts_with("prospector_engine_result_cache_hits_total"))
+            .expect("result-cache hit series rendered");
+        let hits: f64 = hits_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!(hits >= 1.0, "repeated /query must register a cache hit: {hits_line}");
 
         let (status, body) = http_get(addr, "/trace.json");
         assert!(status.contains("200"), "{status}");
@@ -186,6 +210,89 @@ fn serve_smoke() {
         // scope joins every handler, and run() returns Ok.
         shutdown.store(true, Ordering::Relaxed);
         let outcome = worker.join().expect("serve thread joins");
+        assert_eq!(outcome, Ok(()));
+    });
+}
+
+/// Reads one keep-alive response off the stream: parses the head up to
+/// `\r\n\r\n`, then exactly `Content-Length` body bytes — without
+/// closing the connection.
+fn read_response(stream: &mut TcpStream) -> (String, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("read header byte");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("utf8 head");
+    let length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .expect("Content-Length header");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("read body");
+    (head, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// The worker pool under an explicit `--workers 4`-style configuration:
+/// concurrent clients on distinct connections are all answered, one
+/// connection can carry several requests (HTTP/1.1 keep-alive), and the
+/// pool still drains and joins cleanly on shutdown.
+#[test]
+fn serve_worker_pool_keepalive_and_concurrent_clients() {
+    let engine = build(&BuildOptions::default()).expect("corpus builds").prospector;
+    let mut server = Server::bind("127.0.0.1:0").expect("bind port 0");
+    server.set_workers(4);
+    let addr = server.local_addr().expect("bound address");
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&engine, 5, &shutdown));
+
+        // Keep-alive: three requests over ONE connection. The first two
+        // responses advertise keep-alive; the last asks to close.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for _ in 0..2 {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+                .expect("send keep-alive request");
+            let (head, body) = read_response(&mut stream);
+            assert!(head.contains("200"), "{head}");
+            assert!(
+                head.to_ascii_lowercase().contains("connection: keep-alive"),
+                "server must hold the connection open: {head}"
+            );
+            assert_eq!(body, "ok\n");
+        }
+        stream
+            .write_all(b"GET /query?tin=IFile&tout=ASTNode HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+            .expect("send final request");
+        let (head, body) = read_response(&mut stream);
+        assert!(head.contains("200"), "{head}");
+        assert!(head.to_ascii_lowercase().contains("connection: close"), "{head}");
+        let parsed = Json::parse(&body).expect("valid query JSON");
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+        drop(stream);
+
+        // Concurrency: 8 clients (more than the 4 workers) firing the
+        // same query at once; every one must get the full answer.
+        std::thread::scope(|clients| {
+            for _ in 0..8 {
+                clients.spawn(|| {
+                    let (status, body) = http_get(addr, "/query?tin=IFile&tout=ASTNode");
+                    assert!(status.contains("200"), "{status}");
+                    let parsed = Json::parse(&body).expect("valid query JSON");
+                    assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+                    assert!(parsed.get("found").unwrap().as_u64().unwrap() > 0);
+                });
+            }
+        });
+
+        shutdown.store(true, Ordering::Relaxed);
+        let outcome = serving.join().expect("serve thread joins");
         assert_eq!(outcome, Ok(()));
     });
 }

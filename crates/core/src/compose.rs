@@ -144,7 +144,7 @@ fn compose_into(
                 let bound = (depth > 0)
                     .then(|| engine.assist(visible, free_ty).ok())
                     .flatten()
-                    .and_then(|result| result.suggestions.into_iter().next());
+                    .and_then(|result| result.suggestions.first().cloned());
                 match bound {
                     Some(best) => {
                         let sub_input = best.input_var.clone();

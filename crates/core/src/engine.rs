@@ -18,7 +18,7 @@ use jungloid_apidef::{Api, ElemJungloid};
 use jungloid_typesys::{Ty, TyId};
 use prospector_obs::trace::{self, TraceId};
 
-use crate::cache::ShardedLru;
+use crate::cache::{Lookup, ShardedLru, SingleflightCache};
 use crate::generalize::generalize;
 use crate::graph::{ExampleError, GraphConfig, JungloidGraph};
 use crate::path::Jungloid;
@@ -39,6 +39,29 @@ const DIST_CACHE_CAP: usize = 256;
 /// different targets take different shard locks, so batch workers never
 /// contend on the cache unless their targets collide.
 const DIST_CACHE_SHARDS: usize = 16;
+
+/// Cap on cached query results. A full result (suggestions, snippets,
+/// rank keys) is heavier than a distance field, but real traffic is
+/// heavily skewed toward a small set of popular `(tin, tout)` intents —
+/// 512 entries comfortably covers the hot set while per-shard LRU
+/// eviction ages out one-off queries.
+const RESULT_CACHE_CAP: usize = 512;
+
+/// Shard count for the query-result cache (same contention argument as
+/// [`DIST_CACHE_SHARDS`]).
+const RESULT_CACHE_SHARDS: usize = 16;
+
+/// The result cache's key: everything a query's answer depends on besides
+/// the graph itself (whose changes are tracked by the epoch stamp on each
+/// entry). Both config structs are `Copy` bit-bags, so the key is a cheap
+/// `Copy + Hash` value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct QueryKey {
+    tin: TyId,
+    tout: TyId,
+    search: SearchConfig,
+    ranking: RankOptions,
+}
 
 thread_local! {
     /// Per-thread search scratch: each serial caller and each batch
@@ -105,13 +128,25 @@ pub struct QueryStats {
     /// 0-1 BFS edge relaxations this query paid to build its distance
     /// field (0 on a cache hit — the field was already built).
     pub bfs_relaxations: u64,
+    /// 1 if this result was served from the query-result cache — either a
+    /// plain LRU hit or a collapse onto a concurrent identical query. A
+    /// served hit pays none of the pipeline costs, so every other counter
+    /// in these stats is 0 alongside it.
+    pub result_cache_hits: u64,
+    /// 1 if this query ran the full pipeline and populated the result
+    /// cache. 0 for hits, for [`Prospector::assist`] (uncached), and when
+    /// [`Prospector::cache_results`] is off.
+    pub result_cache_misses: u64,
 }
 
 /// The outcome of one query.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
-    /// Ranked suggestions, best first, deduplicated by code.
-    pub suggestions: Vec<Suggestion>,
+    /// Ranked suggestions, best first, deduplicated by code. Shared
+    /// behind an `Arc` so a result-cache hit (and any other clone) is a
+    /// reference-count bump, not a deep copy of every suggestion —
+    /// read access is unchanged via deref.
+    pub suggestions: Arc<Vec<Suggestion>>,
     /// Shortest path length `m` found (non-widening steps).
     pub shortest: Option<u32>,
     /// Which cap (if any) stopped the enumeration early.
@@ -160,7 +195,16 @@ pub struct Prospector {
     pub search: SearchConfig,
     /// Ranking heuristic knobs.
     pub ranking: RankOptions,
+    /// Whether explicit queries go through the result cache (on by
+    /// default). Benches that want to measure the raw pipeline turn this
+    /// off; correctness is unaffected either way — a cached hit is pinned
+    /// byte-identical to the pipeline's output.
+    pub cache_results: bool,
     dist_cache: ShardedLru<TyId, Arc<DistanceField>>,
+    /// Full-result cache for explicit `(tin, tout)` queries: epoch-stamped
+    /// against graph mutation, singleflight so concurrent identical
+    /// queries run the pipeline once and share the `Arc`.
+    result_cache: SingleflightCache<QueryKey, Arc<QueryResult>>,
 }
 
 impl Prospector {
@@ -175,13 +219,7 @@ impl Prospector {
     #[must_use]
     pub fn with_config(api: Api, config: GraphConfig) -> Self {
         let graph = JungloidGraph::from_api(&api, config);
-        Prospector {
-            api,
-            graph,
-            search: SearchConfig::default(),
-            ranking: RankOptions::default(),
-            dist_cache: ShardedLru::new(DIST_CACHE_SHARDS, DIST_CACHE_CAP),
-        }
+        Prospector::from_parts(api, graph)
     }
 
     /// Wraps an engine around a pre-built graph (e.g. one loaded from
@@ -193,7 +231,9 @@ impl Prospector {
             graph,
             search: SearchConfig::default(),
             ranking: RankOptions::default(),
+            cache_results: true,
             dist_cache: ShardedLru::new(DIST_CACHE_SHARDS, DIST_CACHE_CAP),
+            result_cache: SingleflightCache::new(RESULT_CACHE_SHARDS, RESULT_CACHE_CAP),
         }
     }
 
@@ -248,7 +288,10 @@ impl Prospector {
             }
         }
         // The graph (and its CSR) changed shape: every cached distance
-        // field is stale.
+        // field is stale. Cached query results need no eager sweep — the
+        // splice advanced the graph epoch, so their stamps no longer
+        // match and each is dropped (and counted as an invalidation) on
+        // its next lookup.
         self.dist_cache.clear();
         Ok(added)
     }
@@ -352,7 +395,58 @@ impl Prospector {
                 position: "input",
             });
         }
-        Ok(self.run(&[(None, tin)], tout, id))
+        if !self.cache_results {
+            return Ok(self.run(&[(None, tin)], tout, id));
+        }
+        // The key is the full query intent; the graph's state is carried
+        // by the epoch stamp instead, so entries invalidate lazily when a
+        // splice/load advances it. Mutations take `&mut self`, so the
+        // epoch cannot move underneath an in-flight lookup.
+        let key = QueryKey { tin, tout, search: self.search, ranking: self.ranking };
+        let (lookup, invalidated) = self.result_cache.lookup(key, self.graph.epoch());
+        if invalidated {
+            prospector_obs::add("engine.result_cache.invalidations", 1);
+        }
+        let lease = match lookup {
+            Lookup::Hit(cached) => return Ok(self.replay_cached(&cached, id, false)),
+            Lookup::Shared(cached) => return Ok(self.replay_cached(&cached, id, true)),
+            Lookup::Miss(lease) => lease,
+        };
+        // This caller leads: run the pipeline once; waiters collapsed
+        // onto the flight receive the same Arc. If `run` panics, the
+        // lease's drop guard abandons the flight so waiters retry rather
+        // than hang.
+        prospector_obs::add("engine.result_cache.misses", 1);
+        let mut result = self.run(&[(None, tin)], tout, id);
+        result.stats.result_cache_misses = 1;
+        let evicted = lease.complete(Arc::new(result.clone()));
+        if evicted > 0 {
+            prospector_obs::add("engine.result_cache.evictions", evicted as u64);
+        }
+        prospector_obs::gauge_set("engine.result_cache.entries", self.result_cache.len() as u64);
+        Ok(result)
+    }
+
+    /// Clones a cached result for one more caller: same suggestions, rank
+    /// keys, and truncation byte-for-byte, but fresh per-query stats —
+    /// the hit paid for none of the pipeline, so every cost counter is 0
+    /// and only the hit marker (and the caller's own trace id) is set.
+    fn replay_cached(&self, cached: &QueryResult, id: TraceId, shared: bool) -> QueryResult {
+        if shared {
+            prospector_obs::add("engine.result_cache.collapsed", 1);
+        } else {
+            prospector_obs::add("engine.result_cache.hits", 1);
+        }
+        let mut qspan = trace::span(id);
+        qspan.count("cache", "result_cache_hit", 1);
+        let mut result = cached.clone();
+        result.stats =
+            QueryStats { trace_id: id.0, result_cache_hits: 1, ..QueryStats::default() };
+        let total = qspan.finish();
+        if total > 0 {
+            prospector_obs::metrics::histogram("query.latency_ns").record(total);
+        }
+        result
     }
 
     /// Answers a batch of explicit queries concurrently, fanning out
@@ -492,6 +586,8 @@ impl Prospector {
             dist_cache_misses: u64::from(!cache_hit),
             dfs_expansions: expansions as u64,
             bfs_relaxations: relaxations,
+            result_cache_hits: 0,
+            result_cache_misses: 0,
         };
         let dur = qspan.span_event("search", "total", search_timer);
         if dur > 0 {
@@ -571,7 +667,13 @@ impl Prospector {
         if total > 0 {
             prospector_obs::metrics::histogram("query.latency_ns").record(total);
         }
-        QueryResult { suggestions, shortest, truncation, already_available: Vec::new(), stats }
+        QueryResult {
+            suggestions: Arc::new(suggestions),
+            shortest,
+            truncation,
+            already_available: Vec::new(),
+            stats,
+        }
     }
 }
 
@@ -775,7 +877,11 @@ mod tests {
         let api = eclipse_mini();
         let ifile = api.types().resolve("IFile").unwrap();
         let ast = api.types().resolve("ASTNode").unwrap();
-        let p = Prospector::new(api);
+        let mut p = Prospector::new(api);
+        // Caching off: both runs must exercise the full pipeline (the
+        // traced repeat would otherwise be a result-cache hit with no
+        // search events to assert on).
+        p.cache_results = false;
 
         assert!(!prospector_obs::trace::enabled(), "tracing is off by default");
         let baseline = p.query(ifile, ast).unwrap();
@@ -802,20 +908,72 @@ mod tests {
         let api = eclipse_mini();
         let ifile = api.types().resolve("IFile").unwrap();
         let ast = api.types().resolve("ASTNode").unwrap();
-        let p = Prospector::new(api);
+        let mut p = Prospector::new(api);
 
         let first = p.query(ifile, ast).unwrap();
         assert_eq!(first.stats.dist_cache_hits, 0);
         assert_eq!(first.stats.dist_cache_misses, 1);
         assert!(first.stats.bfs_relaxations > 0, "the miss paid for the BFS build");
         assert!(first.stats.dfs_expansions > 0);
+        assert_eq!(first.stats.result_cache_hits, 0);
+        assert_eq!(first.stats.result_cache_misses, 1);
 
+        // A different search config is a different result-cache key, but
+        // the same `tout` — so this query misses the result cache while
+        // hitting the distance cache, and the stats must say so.
+        p.search.extra_steps = 0;
         let second = p.query(ifile, ast).unwrap();
+        assert_eq!(second.stats.result_cache_misses, 1);
         assert_eq!(second.stats.dist_cache_hits, 1);
         assert_eq!(second.stats.dist_cache_misses, 0);
-        assert_eq!(second.stats.bfs_relaxations, 0, "hits charge no BFS work");
-        assert_eq!(second.stats.dfs_expansions, first.stats.dfs_expansions);
+        assert_eq!(second.stats.bfs_relaxations, 0, "dist hits charge no BFS work");
+        assert!(second.stats.dfs_expansions > 0);
         assert_ne!(second.stats.trace_id, first.stats.trace_id, "each query gets its own id");
+
+        // Repeating the original query is a result-cache hit: no pipeline
+        // work at all, only the hit marker and a fresh trace id.
+        p.search.extra_steps = 1;
+        let third = p.query(ifile, ast).unwrap();
+        assert_eq!(third.stats.result_cache_hits, 1);
+        assert_eq!(third.stats.result_cache_misses, 0);
+        assert_eq!(third.stats.dist_cache_hits + third.stats.dist_cache_misses, 0);
+        assert_eq!(third.stats.dfs_expansions, 0);
+        assert_eq!(third.stats.bfs_relaxations, 0);
+        assert_ne!(third.stats.trace_id, first.stats.trace_id);
+    }
+
+    /// The acceptance pin for cached-hit determinism: a result-cache hit
+    /// must be byte-identical — suggestion codes, rank keys, truncation,
+    /// shortest length — to what the uncached pipeline produces for the
+    /// same query, with only the per-query stats differing.
+    #[test]
+    fn result_cache_hit_is_byte_identical_to_the_pipeline() {
+        let ids = |api: &Api| {
+            (api.types().resolve("IFile").unwrap(), api.types().resolve("ASTNode").unwrap())
+        };
+        let cached_engine = Prospector::new(eclipse_mini());
+        let mut raw_engine = Prospector::new(eclipse_mini());
+        raw_engine.cache_results = false;
+
+        let (ifile, ast) = ids(cached_engine.api());
+        let miss = cached_engine.query(ifile, ast).unwrap();
+        let hit = cached_engine.query(ifile, ast).unwrap();
+        assert_eq!(hit.stats.result_cache_hits, 1, "second identical query must hit");
+        let raw = raw_engine.query(ifile, ast).unwrap();
+        assert_eq!(raw.stats.result_cache_misses, 0, "caching disabled leaves stats untouched");
+
+        for other in [&miss, &raw] {
+            assert_eq!(hit.shortest, other.shortest);
+            assert_eq!(hit.truncation, other.truncation);
+            assert_eq!(hit.suggestions.len(), other.suggestions.len());
+            for (a, b) in hit.suggestions.iter().zip(other.suggestions.iter()) {
+                assert_eq!(a.code, b.code);
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.input_var, b.input_var);
+                assert_eq!(a.jungloid.source, b.jungloid.source);
+                assert_eq!(a.jungloid.elems, b.jungloid.elems);
+            }
+        }
     }
 
     #[test]

@@ -15,10 +15,24 @@
 //! Strom & Yemini) ensure the example lends viability only to jungloids
 //! that reproduce its call sequence — Figure 6's `Object-1` node.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use jungloid_apidef::elem::{elem_of_field, elems_of_method};
 use jungloid_apidef::{Api, ElemJungloid, Visibility};
 use jungloid_typesys::TyId;
 use prospector_obs::json::{decode_err, Json, JsonError};
+
+/// Process-global epoch source. Every graph *state* — a freshly built
+/// graph, a loaded snapshot, or the state after any mutation — gets a
+/// distinct epoch, so an epoch-stamped cache entry from one state can
+/// never match another. Monotone and process-wide: two different graphs
+/// never share an epoch either, which keeps stamps valid even if an
+/// engine is rebuilt in place.
+static GRAPH_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    GRAPH_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A node: an API type or a fresh mined (typestate) node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -366,6 +380,9 @@ pub struct JungloidGraph {
     edge_count: usize,
     /// Frozen CSR mirror of `out`/`rev`; rebuilt after every mutation.
     csr: CsrAdjacency,
+    /// This graph state's epoch (see [`JungloidGraph::epoch`]). Advanced
+    /// on every mutation, fresh on every construction path.
+    epoch: u64,
 }
 
 impl JungloidGraph {
@@ -383,6 +400,7 @@ impl JungloidGraph {
             examples: Vec::new(),
             edge_count: 0,
             csr: CsrAdjacency::default(),
+            epoch: next_epoch(),
         };
         let visible = |v: Visibility| match v {
             Visibility::Public => true,
@@ -520,6 +538,7 @@ impl JungloidGraph {
             examples,
             edge_count: csr.edge_count(),
             csr,
+            epoch: next_epoch(),
         };
         prospector_obs::gauge_set("graph.nodes", graph.node_count() as u64);
         prospector_obs::gauge_set("graph.edges", graph.edge_count as u64);
@@ -549,6 +568,17 @@ impl JungloidGraph {
     #[must_use]
     pub fn config(&self) -> GraphConfig {
         self.config
+    }
+
+    /// The epoch of this graph state. Distinct for every construction
+    /// (built, deserialized, snapshot-loaded) and advanced by every
+    /// mutation ([`JungloidGraph::add_example`],
+    /// [`JungloidGraph::with_naive_downcasts`]), so anything derived from
+    /// the graph — cached query results in particular — can stamp itself
+    /// with the epoch and detect staleness by comparison alone.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Total node count (type nodes + mined nodes).
@@ -708,6 +738,7 @@ impl JungloidGraph {
         }
         self.examples.push(steps.to_vec());
         self.rebuild_csr();
+        self.epoch = next_epoch();
         prospector_obs::add("graph.examples_spliced", 1);
         Ok(true)
     }
@@ -729,6 +760,7 @@ impl JungloidGraph {
             }
         }
         g.rebuild_csr();
+        g.epoch = next_epoch();
         g
     }
 
@@ -904,6 +936,7 @@ impl JungloidGraph {
             examples,
             edge_count: 0,
             csr: CsrAdjacency::default(),
+            epoch: next_epoch(),
         };
         for (from_idx, edges_doc) in adjacency.iter().enumerate() {
             let from = graph.node_at(from_idx);
@@ -1254,6 +1287,45 @@ mod tests {
         let back = JungloidGraph::from_json(&g.to_json(), &api).unwrap();
         assert_csr_mirrors_lists(&back);
         assert_eq!(back.csr().edge_count(), g.csr().edge_count());
+    }
+
+    #[test]
+    fn epochs_are_distinct_per_state_and_advance_on_mutation() {
+        let api = api();
+        let g1 = JungloidGraph::from_api(&api, GraphConfig::default());
+        let g2 = JungloidGraph::from_api(&api, GraphConfig::default());
+        assert_ne!(g1.epoch(), g2.epoch(), "independent builds get distinct epochs");
+
+        let mut g = g1;
+        let before = g.epoch();
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let m = api.lookup_instance_method(a, "toB", 0)[0];
+        let steps = vec![
+            ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+            ElemJungloid::Downcast { from: b, to: b },
+        ];
+        // A rejected example mutates nothing, so the epoch must not move.
+        assert!(g.add_example(&api, &steps).is_err());
+        assert_eq!(g.epoch(), before);
+        let obj = api.types().object().unwrap();
+        let steps = vec![
+            ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+            ElemJungloid::Widen { from: b, to: obj },
+            ElemJungloid::Downcast { from: obj, to: b },
+        ];
+        assert!(g.add_example(&api, &steps).unwrap());
+        assert_ne!(g.epoch(), before, "splicing an example advances the epoch");
+        let spliced = g.epoch();
+        // A duplicate splice is a no-op and must not advance it again.
+        assert!(!g.add_example(&api, &steps).unwrap());
+        assert_eq!(g.epoch(), spliced);
+
+        // Deserialization is a fresh state.
+        let back = JungloidGraph::from_json(&g.to_json(), &api).unwrap();
+        assert_ne!(back.epoch(), g.epoch());
+        // The naive-downcast copy is a different graph too.
+        assert_ne!(g.with_naive_downcasts(&api).epoch(), g.epoch());
     }
 
     #[test]

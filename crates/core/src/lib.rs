@@ -68,9 +68,9 @@ pub mod search;
 pub mod synth;
 pub mod viability;
 
-pub use cache::{CacheOutcome, ShardedLru};
+pub use cache::{CacheOutcome, FlightLease, Lookup, ShardedLru, SingleflightCache};
 pub use compose::{compose, ComposeConfig, Composition};
-pub use engine::{BatchEntry, Prospector, QueryError, QueryResult, Suggestion};
+pub use engine::{BatchEntry, Prospector, QueryError, QueryResult, QueryStats, Suggestion};
 pub use graph::{
     CsrAdjacency, Edge, ExampleError, GraphConfig, GraphStats, JungloidGraph, NodeId, SnapshotError,
 };

@@ -25,8 +25,9 @@ use jungloid_apidef::Api;
 use crate::path::Jungloid;
 
 /// Ranking knobs; the defaults reproduce the paper, the switches feed the
-/// ranking-ablation bench.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// ranking-ablation bench. `Hash` because the engine's result cache keys
+/// on the full ranking configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RankOptions {
     /// Estimated jungloid size per reference-typed free variable (paper: 2).
     pub free_ref_cost: u32,

@@ -22,7 +22,11 @@ use crate::graph::{CsrAdjacency, JungloidGraph, NodeId};
 use crate::path::Jungloid;
 
 /// Enumeration limits and the `m + extra` window.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash` because the engine's result cache keys on the full search
+/// configuration: two queries differing in any limit may legitimately
+/// produce different (truncated) result sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SearchConfig {
     /// Paths up to `m + extra_steps` non-widening steps are produced
     /// (paper: 1).
@@ -245,11 +249,23 @@ pub fn enumerate_with(
     scratch: &mut SearchScratch,
 ) -> SearchOutcome {
     assert_eq!(field.target(), target, "distance field target mismatch");
-    let mut uniq_sources: Vec<TyId> = Vec::new();
+    let csr = graph.csr();
+    scratch.reset(csr.node_count());
+    // Dedup sources in first-occurrence order (enumeration order is part
+    // of the engine's contract) by borrowing the on-path mark array: mark,
+    // collect, unmark — O(sources) instead of the quadratic
+    // `Vec::contains` scan, which matters for assist queries over scopes
+    // with many same-typed variables.
+    let mut uniq_sources: Vec<TyId> = Vec::with_capacity(sources.len().min(csr.node_count()));
     for &s in sources {
-        if !uniq_sources.contains(&s) {
+        let idx = graph.index_of(NodeId::Ty(s));
+        if !scratch.on_path[idx] {
+            scratch.on_path[idx] = true;
             uniq_sources.push(s);
         }
+    }
+    for &s in &uniq_sources {
+        scratch.on_path[graph.index_of(NodeId::Ty(s))] = false;
     }
     let m = uniq_sources
         .iter()
@@ -264,16 +280,27 @@ pub fn enumerate_with(
             expansions: 0,
         };
     };
-    let csr = graph.csr();
-    scratch.reset(csr.node_count());
+    let bound = m + config.extra_steps;
+    // Preallocate the walk buffers so the enumeration loop itself never
+    // grows a Vec: a path holds at most `bound` costed steps (plus a few
+    // interleaved zero-cost widenings), and the produced-path buffer is
+    // bounded by `max_results` but rarely approaches it — the immediate
+    // fan-out of the reachable sources is the cheaper first estimate.
+    scratch.elems.reserve(bound as usize + 8);
+    scratch.stack.reserve(bound as usize + 9);
+    let fanout: usize = uniq_sources
+        .iter()
+        .filter(|&&s| field.from(graph, NodeId::Ty(s)) != u32::MAX)
+        .map(|&s| csr.out_range(graph.index_of(NodeId::Ty(s))).len())
+        .sum();
     let mut dfs = Dfs {
         csr,
         dist: field.raw(),
         target_idx: u32::try_from(graph.index_of(NodeId::Ty(target))).expect("node fits u32"),
-        bound: m + config.extra_steps,
+        bound,
         config,
         scratch,
-        out: Vec::new(),
+        out: Vec::with_capacity(config.max_results.min(fanout)),
         expansions: 0,
         truncation: TruncationReason::None,
     };
@@ -612,6 +639,42 @@ mod tests {
         let once = run(&g, &[a], d).jungloids.len();
         let twice = run(&g, &[a, a], d).jungloids.len();
         assert_eq!(once, twice);
+    }
+
+    /// The mark-array dedup must behave exactly like the old linear-scan
+    /// one: first-occurrence order, duplicates dropped — even when the
+    /// source list is pathologically repetitive (the case the O(n²) scan
+    /// choked on).
+    #[test]
+    fn many_duplicate_sources_dedup_in_first_occurrence_order() {
+        let api = api();
+        let g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let c = ty(&api, "t.C");
+        let d = ty(&api, "t.D");
+
+        // 30k sources, 3 distinct, interleaved so order matters.
+        let mut noisy: Vec<TyId> = Vec::new();
+        for _ in 0..10_000 {
+            noisy.extend_from_slice(&[a, c, b, a, c]);
+        }
+        let deduped = run(&g, &[a, c, b], d);
+        let from_noisy = run(&g, &noisy, d);
+        assert_eq!(deduped.shortest, from_noisy.shortest);
+        assert_eq!(deduped.jungloids.len(), from_noisy.jungloids.len());
+        for (x, y) in deduped.jungloids.iter().zip(&from_noisy.jungloids) {
+            assert_eq!(x.source, y.source, "enumeration order must be preserved");
+            assert_eq!(x.elems, y.elems);
+        }
+        // Scratch is left clean for the next query on the same buffers.
+        let mut scratch = SearchScratch::new();
+        let field = DistanceField::towards(&g, d);
+        let first =
+            enumerate_with(&g, &noisy, d, &field, &SearchConfig::default(), &mut scratch);
+        let second =
+            enumerate_with(&g, &[a, c, b], d, &field, &SearchConfig::default(), &mut scratch);
+        assert_eq!(first.jungloids.len(), second.jungloids.len());
     }
 
     #[test]

@@ -43,8 +43,8 @@ fn codes(engine: &Prospector, tin: TyId, tout: TyId) -> Vec<String> {
         .query(tin, tout)
         .unwrap()
         .suggestions
-        .into_iter()
-        .map(|s| s.code)
+        .iter()
+        .map(|s| s.code.clone())
         .collect()
 }
 
@@ -118,6 +118,81 @@ fn query_batch_is_byte_identical_to_serial_loop() {
             assert_eq!(got, serial[i], "threads={threads} slot={i}");
         }
     }
+}
+
+/// The singleflight satellite: 8 threads issuing the same query
+/// concurrently observe pipeline-runs-once semantics — exactly one
+/// per-query miss across all threads, everyone else served from the
+/// cache (collapsed onto the leader's flight, or hitting the entry the
+/// leader published) — and all receive identical suggestion codes.
+///
+/// The fixture is a chain of binary diamonds (`D0 → … → D13`, two
+/// methods per hop) so the leader's pipeline enumerates 2^13 paths and
+/// runs for milliseconds: long enough that even a single-CPU scheduler
+/// preempts it while followers are queued, which is what actually lands
+/// them on the in-progress flight.
+#[test]
+fn eight_concurrent_identical_queries_run_the_pipeline_once() {
+    const DEPTH: usize = 13;
+    let mut src = String::from("package w;\n");
+    for i in 0..DEPTH {
+        let next = i + 1;
+        src.push_str(&format!("public class D{i} {{ D{next} a(); D{next} b(); }}\n"));
+    }
+    src.push_str(&format!("public class D{DEPTH} {{}}\n"));
+    let mut loader = ApiLoader::with_prelude();
+    loader.add_source("w.api", &src).unwrap();
+    let api = loader.finish().unwrap();
+    let first = ty(&api, "w.D0");
+    let last = ty(&api, &format!("w.D{DEPTH}"));
+    let mut engine = Prospector::new(api);
+
+    let collapsed_at = || {
+        prospector_obs::snapshot().counter("engine.result_cache.collapsed").unwrap_or(0)
+    };
+    let collapsed_before = collapsed_at();
+    // Each round bumps `max_results` (still far above the 2^13 result
+    // set), which changes the result-cache key — so every round races on
+    // a cold key without rebuilding the engine. One round is normally
+    // enough; the retry absorbs scheduler flukes where the leader
+    // finishes before any follower got scheduled at all.
+    for round in 0..20 {
+        engine.search.max_results = 10_000 + round;
+        let barrier = std::sync::Barrier::new(8);
+        let results: Vec<prospector_core::QueryResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let engine = &engine;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        engine.query(first, last).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let misses: u64 = results.iter().map(|r| r.stats.result_cache_misses).sum();
+        let hits: u64 = results.iter().map(|r| r.stats.result_cache_hits).sum();
+        assert_eq!(misses, 1, "exactly one thread runs the pipeline (round {round})");
+        assert_eq!(hits, 7, "every other thread is served from the cache (round {round})");
+
+        let reference: Vec<&str> =
+            results[0].suggestions.iter().map(|s| s.code.as_str()).collect();
+        assert_eq!(reference.len(), 1 << DEPTH, "all diamond combinations enumerated");
+        for r in &results {
+            let got: Vec<&str> = r.suggestions.iter().map(|s| s.code.as_str()).collect();
+            assert_eq!(got, reference, "all threads receive identical suggestion codes");
+            assert_eq!(r.truncation, results[0].truncation);
+            assert_eq!(r.shortest, results[0].shortest);
+        }
+
+        if collapsed_at() > collapsed_before {
+            return; // at least one follower provably joined an open flight
+        }
+    }
+    panic!("no round collapsed a single concurrent query onto the leader's flight");
 }
 
 #[test]

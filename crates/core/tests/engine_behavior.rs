@@ -88,6 +88,60 @@ fn distance_cache_invalidated_by_new_examples() {
     assert!(after.suggestions[0].code.contains("(DSub)"));
 }
 
+/// The result-cache epoch guard: a query cached before a corpus splice
+/// must NOT be served afterwards — the splice advances the graph epoch,
+/// the stale entry's stamp no longer matches, and the engine both
+/// re-runs the pipeline and counts the invalidation.
+#[test]
+fn result_cache_invalidated_by_graph_epoch_bump() {
+    let api = api();
+    let b = api.types().resolve("t.B").unwrap();
+    let d = api.types().resolve("t.D").unwrap();
+    let dsub = api.types().resolve("DSub").unwrap();
+    let to_d = api.lookup_instance_method(b, "toD", 0)[0];
+    let mut engine = Prospector::new(api);
+
+    // Prime the result cache: empty answer, then a verified hit on it.
+    assert!(engine.query(b, dsub).unwrap().suggestions.is_empty());
+    let hit = engine.query(b, dsub).unwrap();
+    assert_eq!(hit.stats.result_cache_hits, 1, "identical repeat must be cached");
+    assert!(hit.suggestions.is_empty());
+
+    let epoch_before = engine.graph().epoch();
+    engine
+        .add_examples(
+            &[vec![
+                ElemJungloid::Call {
+                    method: to_d,
+                    input: Some(jungloid_apidef::InputSlot::Receiver),
+                },
+                ElemJungloid::Downcast { from: d, to: dsub },
+            ]],
+            false,
+        )
+        .unwrap();
+    assert_ne!(engine.graph().epoch(), epoch_before, "splice advances the epoch");
+
+    // Same key, new epoch: the stale empty answer must not come back.
+    let invalidations_before =
+        prospector_obs::snapshot().counter("engine.result_cache.invalidations").unwrap_or(0);
+    let after = engine.query(b, dsub).unwrap();
+    assert_eq!(after.stats.result_cache_misses, 1, "stale entry must not be served");
+    assert_eq!(after.suggestions.len(), 1);
+    assert!(after.suggestions[0].code.contains("(DSub)"));
+    let invalidations_after =
+        prospector_obs::snapshot().counter("engine.result_cache.invalidations").unwrap_or(0);
+    assert!(
+        invalidations_after > invalidations_before,
+        "dropping the stale entry must tick engine.result_cache.invalidations"
+    );
+
+    // And the fresh answer is cached in turn.
+    let rehit = engine.query(b, dsub).unwrap();
+    assert_eq!(rehit.stats.result_cache_hits, 1);
+    assert_eq!(rehit.suggestions[0].code, after.suggestions[0].code);
+}
+
 #[test]
 fn ranking_knobs_change_order_not_set() {
     let api = api();
@@ -95,7 +149,7 @@ fn ranking_knobs_change_order_not_set() {
     let d = api.types().resolve("t.D").unwrap();
     let mut engine = Prospector::new(api);
     let full: Vec<String> =
-        engine.query(a, d).unwrap().suggestions.into_iter().map(|s| s.code).collect();
+        engine.query(a, d).unwrap().suggestions.iter().map(|s| s.code.clone()).collect();
     engine.ranking = RankOptions {
         free_ref_cost: 0,
         free_prim_cost: 0,
@@ -103,7 +157,7 @@ fn ranking_knobs_change_order_not_set() {
         use_generality: false,
     };
     let bare: Vec<String> =
-        engine.query(a, d).unwrap().suggestions.into_iter().map(|s| s.code).collect();
+        engine.query(a, d).unwrap().suggestions.iter().map(|s| s.code.clone()).collect();
     let mut full_sorted = full.clone();
     let mut bare_sorted = bare.clone();
     full_sorted.sort();
@@ -147,7 +201,7 @@ fn duplicate_visible_variables_take_first_name() {
     let d = api.types().resolve("t.D").unwrap();
     let engine = Prospector::new(api);
     let result = engine.assist(&[("first", a), ("second", a)], d).unwrap();
-    for s in &result.suggestions {
+    for s in result.suggestions.iter() {
         if s.jungloid.source == a {
             assert_eq!(s.input_var.as_deref(), Some("first"));
         }

@@ -155,7 +155,7 @@ fn engine_ranking_monotone_and_deduped() {
         let result = engine.query(tin, tout).unwrap();
         let mut codes = Vec::new();
         let mut prev: Option<prospector_core::RankKey> = None;
-        for s in &result.suggestions {
+        for s in result.suggestions.iter() {
             assert!(!codes.contains(&s.code), "seed {seed}: duplicate code {}", s.code);
             codes.push(s.code.clone());
             if let Some(p) = &prev {

@@ -26,6 +26,16 @@ fn reloaded_engine_answers_byte_identically() {
     assert_eq!(snap.mined_examples, mined);
     let warm = Prospector::from_parts(snap.api, snap.graph);
 
+    // A restored graph is a *different* graph as far as the result cache
+    // is concerned: the loader stamps it with a fresh epoch, so entries
+    // cached against the live engine can never be replayed against the
+    // reloaded one (and vice versa), even inside one process.
+    assert_ne!(
+        warm.graph().epoch(),
+        live.graph().epoch(),
+        "a reloaded snapshot must take a fresh graph epoch"
+    );
+
     // Table 1's flagship queries plus a mined-path-dependent one.
     let queries = [
         ("IFile", "ASTNode"),

@@ -160,7 +160,7 @@ fn suggestions_globally_well_formed() {
         let tout = api.types().resolve(problem.tout).unwrap();
         let result = prospector.query(tin, tout).unwrap();
         let mut prev: Option<&prospector_core::RankKey> = None;
-        for s in &result.suggestions {
+        for s in result.suggestions.iter() {
             s.jungloid.validate(api).unwrap_or_else(|e| panic!("P{}: {e}", problem.id));
             assert_eq!(s.jungloid.source, tin);
             assert!(api.types().is_subtype(s.jungloid.output_ty(api), tout) || s.jungloid.output_ty(api) == tout);

@@ -116,7 +116,7 @@ fn mining_recovers_rendered_jungloids() {
         engine.add_examples(&report.examples, false).unwrap();
         let result = engine.query(j.source, target).unwrap();
         if result.shortest.is_some() {
-            for s in &result.suggestions {
+            for s in result.suggestions.iter() {
                 s.jungloid
                     .validate(engine.api())
                     .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
