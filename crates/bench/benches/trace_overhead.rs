@@ -8,15 +8,56 @@
 //! never worth compiling out, and tracing ON must stay cheap enough to
 //! leave on in a serving process.
 //!
+//! The `window_record` case extends the same contract to the rolling
+//! SLO windows ([`prospector_obs::window`]): recording one observation
+//! into a [`WindowRing`] must be O(ns) and **allocation-free** — the
+//! serve layer calls it on every request, so a counting global
+//! allocator asserts zero allocations across the hot loop. Results land
+//! in `BENCH_obs_window.json` at the repository root (override with
+//! `BENCH_OBS_WINDOW_OUT`).
+//!
 //! Run with `cargo bench -p bench --bench trace_overhead`; set
 //! `PROSPECTOR_BENCH_QUICK=1` (or pass `--quick`) for a CI-sized smoke
 //! run.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use jungloid_typesys::TyId;
 use prospector_core::Prospector;
 use prospector_corpora::{build, problems, BuildOptions};
+use prospector_obs::window::WindowRing;
+use prospector_obs::Json;
+
+/// Counts every heap allocation so the window-record loop can prove it
+/// makes none. Deallocation is uncounted — the contract is "no new
+/// memory on the record path".
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers to `System` for every operation; only adds a relaxed
+// counter bump on the allocation paths.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn quick_mode() -> bool {
     std::env::var_os("PROSPECTOR_BENCH_QUICK").is_some()
@@ -53,6 +94,31 @@ fn measure(engine: &Prospector, queries: &[(TyId, TyId)], rounds: usize) -> f64 
     per_query
 }
 
+/// `(ns_per_record, allocations, ns_per_view)` over `iters` records
+/// into one ring. The slot for the current second is claimed before the
+/// timed loop, so the loop measures the steady-state path: one `Instant`
+/// read, one stamp load, one bucket fetch-add.
+fn measure_window(iters: u64) -> (f64, u64, f64) {
+    let ring = WindowRing::new();
+    ring.record(1); // claim the current slot outside the timed loop
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let started = Instant::now();
+    for i in 0..iters {
+        ring.record(black_box(i & 0xFFFF));
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let per_record = started.elapsed().as_nanos() as f64 / iters as f64;
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    let views = (iters / 100).max(100);
+    let started = Instant::now();
+    for _ in 0..views {
+        black_box(ring.view(60));
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let per_view = started.elapsed().as_nanos() as f64 / views as f64;
+    (per_record, allocs, per_view)
+}
+
 fn main() {
     let quick = quick_mode();
     let rounds = if quick { 5 } else { 50 };
@@ -85,6 +151,47 @@ fn main() {
         "overhead:    {delta:>12.0} ns/query  ({:+.1}%)",
         delta / off * 100.0
     );
+
+    println!("\n=== rolling-window recording ===\n");
+    let iters: u64 = if quick { 200_000 } else { 5_000_000 };
+    let (per_record, allocs, per_view) = measure_window(iters);
+    println!("window record: {per_record:>10.1} ns/record  ({iters} records, {allocs} allocations)");
+    println!("window view:   {per_view:>10.1} ns/view (1m over 330 slots)");
+    assert_eq!(allocs, 0, "the window record path must not allocate");
+    assert!(
+        per_record < 10_000.0,
+        "window recording must stay O(ns): {per_record} ns/record"
+    );
+
+    let doc = Json::obj(vec![
+        (
+            "window_record",
+            Json::obj(vec![
+                ("iters", Json::num_u(iters)),
+                ("ns_per_record", Json::Num((per_record * 10.0).round() / 10.0)),
+                ("allocations", Json::num_u(allocs)),
+            ]),
+        ),
+        (
+            "window_view_1m",
+            Json::obj(vec![("ns_per_view", Json::Num((per_view * 10.0).round() / 10.0))]),
+        ),
+        (
+            "trace_overhead",
+            Json::obj(vec![
+                ("off_ns_per_query", Json::Num(off.round())),
+                ("on_ns_per_query", Json::Num(on.round())),
+                ("delta_ns_per_query", Json::Num(delta.round())),
+            ]),
+        ),
+        ("quick", Json::Bool(quick)),
+    ]);
+    let out = std::env::var("BENCH_OBS_WINDOW_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs_window.json").to_owned()
+    });
+    std::fs::write(&out, doc.to_text()).expect("baseline file writes");
+    println!("wrote {out}");
+
     if quick {
         println!("\n(quick mode: {rounds} rounds; timings are smoke-level only)");
     }

@@ -37,14 +37,17 @@
 //! machine-readable JSON document (see the README's metric schema);
 //! `--slow-ms <N>` turns the flight recorder on and retains the full
 //! timeline of any query slower than `N` ms (dumped to stderr at exit);
-//! `--trace-json <path>` turns the flight recorder on and writes the
-//! recorded ring as Chrome-trace JSON after the command.
+//! `--slow-log-cap <N>` bounds how many slow-query timelines are
+//! retained (default 32); `--trace-json <path>` turns the flight
+//! recorder on and writes the recorded ring as Chrome-trace JSON after
+//! the command.
 //!
-//! `serve [--addr host:port] [--workers N]` runs the std-only
-//! observability HTTP server (`/metrics`, `/healthz`, `/query`, `/slow`,
-//! `/trace.json`) on a fixed worker pool (default: available
-//! parallelism) — see the `serve` module in the library half of this
-//! crate.
+//! `serve [--addr host:port] [--workers N] [--access-log <path>]` runs
+//! the std-only observability HTTP server (`/metrics`, `/healthz`,
+//! `/readyz`, `/status`, `/query`, `/slow`, `/trace.json`, `/logs`) on a
+//! fixed worker pool (default: available parallelism) — see the `serve`
+//! module in the library half of this crate. The structured access log
+//! goes to stderr unless `--access-log` redirects it to a file.
 
 use std::process::ExitCode;
 
@@ -74,6 +77,7 @@ struct Flags {
     metrics: bool,
     metrics_json: Option<String>,
     slow_ms: Option<u64>,
+    slow_log_cap: Option<usize>,
     trace_json: Option<String>,
     rest: Vec<String>,
 }
@@ -86,6 +90,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut metrics = false;
     let mut metrics_json = None;
     let mut slow_ms = None;
+    let mut slow_log_cap = None;
     let mut trace_json = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
@@ -126,13 +131,32 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|_| "--slow-ms needs a number".to_owned())?,
                 );
             }
+            "--slow-log-cap" => {
+                slow_log_cap = Some(
+                    it.next()
+                        .ok_or("--slow-log-cap needs a number")?
+                        .parse()
+                        .map_err(|_| "--slow-log-cap needs a number".to_owned())?,
+                );
+            }
             "--trace-json" => {
                 trace_json = Some(it.next().ok_or("--trace-json needs a path")?.clone());
             }
             other => rest.push(other.to_owned()),
         }
     }
-    Ok(Flags { options, max, seed, index, metrics, metrics_json, slow_ms, trace_json, rest })
+    Ok(Flags {
+        options,
+        max,
+        seed,
+        index,
+        metrics,
+        metrics_json,
+        slow_ms,
+        slow_log_cap,
+        trace_json,
+        rest,
+    })
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -157,6 +181,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if flags.trace_json.is_some() {
         prospector_obs::trace::set_enabled(true);
+    }
+    if let Some(cap) = flags.slow_log_cap {
+        prospector_obs::trace::set_slow_log_cap(cap);
     }
     let result = run_command(&flags);
     // Emit metrics even when the command failed — the partial pipeline
@@ -428,6 +455,7 @@ fn run_command(flags: &Flags) -> Result<(), String> {
         "serve" => {
             let mut addr = "127.0.0.1:7878".to_owned();
             let mut workers: Option<usize> = None;
+            let mut access_log: Option<String> = None;
             let mut it = flags.rest[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -440,30 +468,45 @@ fn run_command(flags: &Flags) -> Result<(), String> {
                                 .map_err(|_| "--workers needs a number".to_owned())?,
                         );
                     }
+                    "--access-log" => {
+                        access_log =
+                            Some(it.next().ok_or("--access-log needs a path")?.clone());
+                    }
                     other => return Err(format!("serve: unknown argument `{other}`")),
                 }
             }
             // Bind before constructing the engine: binding enables the
-            // metric registry and flight recorder, so the very first
-            // scrape shows how this process started — a `store` span for
-            // a warm start, the build/mine pipeline for a cold one.
+            // metric registry, flight recorder, and access log, so the
+            // very first scrape shows how this process started — a
+            // `store` span for a warm start, the build/mine pipeline for
+            // a cold one.
             let mut server = prospector_cli::serve::Server::bind(&addr)?;
             if let Some(n) = workers {
                 server.set_workers(n);
+            }
+            if let Some(path) = &access_log {
+                prospector_obs::log::set_file(path)?;
             }
             let engine = engine(flags)?;
             let bound = server.local_addr()?;
             println!("serving on http://{bound}");
             println!("  GET /healthz     liveness");
+            println!("  GET /readyz      readiness + warm-start provenance (JSON)");
             println!("  GET /metrics     Prometheus text exposition");
+            println!("  GET /status      SLO introspection: windowed latency, rates, pool, RSS (JSON)");
             println!("  GET /query?tin=..&tout=..  ranked jungloids + trace_id");
-            println!("  GET /slow        retained slow-query timelines (JSON)");
+            println!("  GET /slow        retained slow-query timelines (JSON; ?clear=1 resets)");
             println!("  GET /trace.json  flight-recorder ring as Chrome trace");
+            println!("  GET /logs?n=     newest structured access-log records (JSON)");
             // The CLI has no signal handling (std-only), so the flag is
             // never flipped here: the process serves until killed. Tests
             // drive `Server::run` in-process and flip it for a clean join.
             let shutdown = std::sync::atomic::AtomicBool::new(false);
-            server.run(&engine, flags.max, &shutdown)
+            let opts = prospector_cli::serve::ServeOptions {
+                max: flags.max,
+                snapshot_source: flags.index.clone(),
+            };
+            server.run(&engine, &opts, &shutdown)
         }
         "stats" => {
             // `stats` always times the pipeline so the §5 size report
@@ -890,10 +933,10 @@ usage:
   prospector [flags] stats
   prospector [flags] index build [<stub.api>...] [--corpus <dir>] [-o <path>] [--json]
   prospector [flags] index inspect <path>
-  prospector [flags] serve [--addr host:port] [--workers N]
+  prospector [flags] serve [--addr host:port] [--workers N] [--access-log <path>]
 
 flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle
        --max N --seed N --index <path> --metrics --metrics-json <path>
-       --slow-ms N --trace-json <path>"
+       --slow-ms N --slow-log-cap N --trace-json <path>"
     );
 }

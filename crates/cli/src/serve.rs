@@ -21,25 +21,39 @@
 //! | path                      | returns                                     |
 //! |---------------------------|---------------------------------------------|
 //! | `GET /healthz`            | `ok` (liveness)                             |
+//! | `GET /readyz`             | readiness JSON (warm-start provenance)      |
 //! | `GET /metrics`            | Prometheus text exposition of the registry  |
+//! | `GET /status`             | SLO introspection JSON (windowed latency, rates, pool, RSS) |
 //! | `GET /query?tin=..&tout=..` | ranked-jungloid JSON + the query's `trace_id` |
-//! | `GET /slow`               | the retained slow-query timelines as JSON   |
+//! | `GET /slow`               | the retained slow-query timelines as JSON (`?clear=1` resets) |
 //! | `GET /trace.json`         | the flight-recorder ring as Chrome trace    |
+//! | `GET /logs?n=`            | the newest access-log records as JSON       |
 //!
-//! The server enables both the metric registry and the flight recorder
-//! at bind time (it exists to expose them), and pre-registers the core
-//! metric families at zero so a scrape taken before the first query
-//! still shows every series a dashboard will ever chart.
+//! Every finished request is accounted three ways, whatever the
+//! endpoint: a `serve.http.requests{endpoint,code}` counter, a
+//! per-endpoint latency observation (cumulative histogram *and* the
+//! rolling 1m/5m window rings of [`prospector_obs::window`]), and one
+//! strict-JSON access-log line ([`prospector_obs::log`]) carrying the
+//! same `trace_id` the flight recorder assigned — so `/metrics`,
+//! `/status`, `/logs`, and `/trace.json` tell one joinable story.
+//!
+//! The server enables the metric registry, the flight recorder, and the
+//! access log at bind time (it exists to expose them), and pre-registers
+//! the core metric families at zero so a scrape taken before the first
+//! query still shows every series a dashboard will ever chart.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use prospector_core::Prospector;
+use prospector_obs::hist::Histogram;
+use prospector_obs::log::{self as alog, AccessRecord};
 use prospector_obs::trace::{self, TraceId};
+use prospector_obs::window::{self, CounterRing, WindowRing, STANDARD_WINDOWS};
 use prospector_obs::Json;
 
 /// How long the accept loop sleeps when no connection is pending. The
@@ -53,7 +67,8 @@ const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// How long an idle worker waits on the job-queue condvar before
 /// re-checking the shutdown flag; bounds shutdown latency for workers
-/// parked on an empty queue.
+/// parked on an empty queue. The self-stats sampler polls the flag at
+/// the same cadence.
 const WORKER_POLL: Duration = Duration::from_millis(50);
 
 /// Pending-connection slots per worker. When the queue is this deep the
@@ -66,9 +81,111 @@ const QUEUE_SLOTS_PER_WORKER: usize = 16;
 /// worker forever.
 const MAX_KEEPALIVE_REQUESTS: usize = 1000;
 
+/// Sampler polls between process self-stat refreshes: 20 × [`WORKER_POLL`]
+/// ≈ one second between `/proc/self/status` reads.
+const SAMPLE_EVERY_POLLS: u32 = 20;
+
+/// Access-log records returned by `GET /logs` when `n` is not given.
+const DEFAULT_LOG_TAIL: usize = 100;
+
+/// Endpoint labels, in routing order. `other` absorbs every unknown
+/// path so scans and typos still show up in the request counters
+/// without minting unbounded label values.
+const ENDPOINTS: [&str; 9] =
+    ["healthz", "readyz", "metrics", "status", "query", "slow", "trace", "logs", "other"];
+
+/// Status codes the server can emit, one counter column each.
+const CODES: [u16; 5] = [200, 400, 404, 405, 500];
+
+/// Everything [`Server::run`] needs beyond the engine itself.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Suggestions returned per `/query` (the CLI's `--max`).
+    pub max: usize,
+    /// Where the engine came from: `Some(path)` when warm-started from a
+    /// `--index` snapshot, `None` when built in-process. Reported by
+    /// `/readyz` and `/status` as provenance.
+    pub snapshot_source: Option<String>,
+}
+
+/// Per-endpoint × status-code request counters — the label support the
+/// metric registry does not have, kept serve-local and rendered into
+/// `/metrics` as `prospector_serve_http_requests_total{endpoint,code}`.
+struct HttpStats {
+    counts: Vec<[AtomicU64; CODES.len()]>,
+}
+
+impl HttpStats {
+    fn new() -> HttpStats {
+        HttpStats {
+            counts: (0..ENDPOINTS.len())
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    fn record(&self, endpoint: usize, code: u16) {
+        let ci = CODES.iter().position(|&c| c == code).unwrap_or(CODES.len() - 1);
+        self.counts[endpoint][ci].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(requests, errors)` totals for one endpoint row.
+    fn totals(&self, endpoint: usize) -> (u64, u64) {
+        let mut requests = 0;
+        let mut errors = 0;
+        for (ci, &code) in CODES.iter().enumerate() {
+            let v = self.counts[endpoint][ci].load(Ordering::Relaxed);
+            requests += v;
+            if code >= 400 {
+                errors += v;
+            }
+        }
+        (requests, errors)
+    }
+}
+
+fn http_stats() -> &'static HttpStats {
+    static GLOBAL: OnceLock<HttpStats> = OnceLock::new();
+    GLOBAL.get_or_init(HttpStats::new)
+}
+
+/// The serve layer's pre-resolved metric handles: per-endpoint latency
+/// (window ring + cumulative histogram), per-endpoint windowed error
+/// counters, and the queue-wait pair. Resolved once so the per-request
+/// path never touches the registry locks.
+struct ServeRings {
+    latency: Vec<Arc<WindowRing>>,
+    latency_hist: Vec<Arc<Histogram>>,
+    errors: Vec<Arc<CounterRing>>,
+    queue_wait: Arc<WindowRing>,
+    queue_wait_hist: Arc<Histogram>,
+}
+
+fn serve_rings() -> &'static ServeRings {
+    static GLOBAL: OnceLock<ServeRings> = OnceLock::new();
+    GLOBAL.get_or_init(|| ServeRings {
+        latency: ENDPOINTS
+            .iter()
+            .map(|e| window::ring(&format!("serve.http.latency_ns.{e}")))
+            .collect(),
+        latency_hist: ENDPOINTS
+            .iter()
+            .map(|e| prospector_obs::metrics::histogram(&format!("serve.http.latency_ns.{e}")))
+            .collect(),
+        errors: ENDPOINTS
+            .iter()
+            .map(|e| window::counter_ring(&format!("serve.http.errors.{e}")))
+            .collect(),
+        queue_wait: window::ring("serve.queue.wait_ns"),
+        queue_wait_hist: prospector_obs::metrics::histogram("serve.queue.wait_ns"),
+    })
+}
+
 /// The bounded handoff between the accept loop and the worker pool.
+/// Jobs are stamped with their enqueue [`Instant`] so the pop side can
+/// measure queue wait — the time a connection sat behind the pool.
 struct JobQueue {
-    jobs: Mutex<VecDeque<TcpStream>>,
+    jobs: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
 }
 
@@ -78,7 +195,7 @@ impl JobQueue {
     }
 
     fn push(&self, stream: TcpStream) {
-        self.jobs.lock().unwrap().push_back(stream);
+        self.jobs.lock().unwrap().push_back((stream, Instant::now()));
         self.ready.notify_one();
     }
 
@@ -91,12 +208,17 @@ impl JobQueue {
     /// were accepted before either flag flipped are always drained;
     /// `None` means "empty and stopping — exit". `stopping` is the
     /// server-internal flag covering fatal accept errors, where the
-    /// caller's `shutdown` never flips.
-    fn pop(&self, shutdown: &AtomicBool, stopping: &AtomicBool) -> Option<TcpStream> {
+    /// caller's `shutdown` never flips. The returned [`Instant`] is the
+    /// job's enqueue time.
+    fn pop(
+        &self,
+        shutdown: &AtomicBool,
+        stopping: &AtomicBool,
+    ) -> Option<(TcpStream, Instant)> {
         let mut jobs = self.jobs.lock().unwrap();
         loop {
-            if let Some(stream) = jobs.pop_front() {
-                return Some(stream);
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
             }
             if shutdown.load(Ordering::Relaxed) || stopping.load(Ordering::Relaxed) {
                 return None;
@@ -104,6 +226,22 @@ impl JobQueue {
             jobs = self.ready.wait_timeout(jobs, WORKER_POLL).unwrap().0;
         }
     }
+}
+
+/// Shared per-run state: the engine, the options, and the live pool
+/// gauges every worker updates and `/status` reads.
+struct Ctx<'a> {
+    engine: &'a Prospector,
+    max: usize,
+    workers: usize,
+    snapshot_source: Option<&'a str>,
+    started: Instant,
+    /// Workers currently inside `handle_connection`.
+    busy: AtomicU64,
+    /// Connections accepted and not yet finished (queued + in-flight).
+    conns: AtomicU64,
+    /// Jobs currently waiting in the queue.
+    depth: AtomicU64,
 }
 
 /// A bound listener, separated from [`Server::run`] so callers (the CLI,
@@ -115,9 +253,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr`, turns the metric registry and flight recorder on,
-    /// and pre-registers the core metric families at zero. The worker
-    /// pool defaults to the machine's available parallelism.
+    /// Binds `addr`, turns the metric registry, flight recorder, and
+    /// access log on, and pre-registers the core metric families at
+    /// zero. The worker pool defaults to the machine's available
+    /// parallelism.
     ///
     /// # Errors
     ///
@@ -126,6 +265,7 @@ impl Server {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
         prospector_obs::set_enabled(true);
         trace::set_enabled(true);
+        alog::set_enabled(true);
         warm_registry();
         let workers = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
         Ok(Server { listener, workers })
@@ -147,9 +287,11 @@ impl Server {
     }
 
     /// Serves until `shutdown` is set. Accepted connections are queued to
-    /// a fixed pool of worker threads; when the flag flips, the accept
-    /// loop stops, workers drain the queue and finish their in-flight
-    /// connections, and the scope joins them all before this returns.
+    /// a fixed pool of worker threads; a sampler thread refreshes the
+    /// `process.*` and `serve.*` gauges about once a second. When the
+    /// flag flips, the accept loop stops, workers drain the queue and
+    /// finish their in-flight connections, the sampler exits, and the
+    /// scope joins them all before this returns.
     ///
     /// # Errors
     ///
@@ -157,7 +299,7 @@ impl Server {
     pub fn run(
         self,
         engine: &Prospector,
-        max: usize,
+        opts: &ServeOptions,
         shutdown: &AtomicBool,
     ) -> Result<(), String> {
         self.listener
@@ -166,15 +308,40 @@ impl Server {
         let queue = JobQueue::new();
         let queue_cap = self.workers * QUEUE_SLOTS_PER_WORKER;
         let stopping = AtomicBool::new(false);
+        let ctx = Ctx {
+            engine,
+            max: opts.max,
+            workers: self.workers,
+            snapshot_source: opts.snapshot_source.as_deref(),
+            started: Instant::now(),
+            busy: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+        };
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 let queue = &queue;
                 let stopping = &stopping;
+                let ctx = &ctx;
                 scope.spawn(move || {
-                    while let Some(stream) = queue.pop(shutdown, stopping) {
-                        handle_connection(stream, engine, max);
+                    while let Some((stream, enqueued)) = queue.pop(shutdown, stopping) {
+                        ctx.depth.store(queue.len() as u64, Ordering::Relaxed);
+                        let wait_ns = u64::try_from(enqueued.elapsed().as_nanos())
+                            .unwrap_or(u64::MAX);
+                        let rings = serve_rings();
+                        rings.queue_wait.record(wait_ns);
+                        rings.queue_wait_hist.record(wait_ns);
+                        ctx.busy.fetch_add(1, Ordering::Relaxed);
+                        handle_connection(stream, ctx, wait_ns);
+                        ctx.busy.fetch_sub(1, Ordering::Relaxed);
+                        ctx.conns.fetch_sub(1, Ordering::Relaxed);
                     }
                 });
+            }
+            {
+                let stopping = &stopping;
+                let ctx = &ctx;
+                scope.spawn(move || sampler_loop(ctx, shutdown, stopping));
             }
             let result = loop {
                 if shutdown.load(Ordering::Relaxed) {
@@ -187,7 +354,11 @@ impl Server {
                     continue;
                 }
                 match self.listener.accept() {
-                    Ok((stream, _peer)) => queue.push(stream),
+                    Ok((stream, _peer)) => {
+                        ctx.conns.fetch_add(1, Ordering::Relaxed);
+                        queue.push(stream);
+                        ctx.depth.store(queue.len() as u64, Ordering::Relaxed);
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
                     }
@@ -204,10 +375,58 @@ impl Server {
     }
 }
 
-/// Creates the metric families the core pipeline reports into, so the
-/// very first `/metrics` scrape already exposes them at zero. (Prometheus
-/// guidance: export a series before its first event, so `rate()` sees the
-/// 0 → 1 transition.)
+/// The background self-stats sampler: polls the stop flags at
+/// [`WORKER_POLL`] (the shutdown contract every pool thread shares) and
+/// about once a second publishes pool gauges plus `/proc/self/status`
+/// derived `process.*` gauges into the metric registry.
+fn sampler_loop(ctx: &Ctx<'_>, shutdown: &AtomicBool, stopping: &AtomicBool) {
+    let mut polls = 0u32;
+    loop {
+        if shutdown.load(Ordering::Relaxed) || stopping.load(Ordering::Relaxed) {
+            return;
+        }
+        if polls.is_multiple_of(SAMPLE_EVERY_POLLS) {
+            sample_self_stats(ctx);
+        }
+        polls = polls.wrapping_add(1);
+        std::thread::sleep(WORKER_POLL);
+    }
+}
+
+/// One sampler tick: pool gauges from [`Ctx`], process gauges from
+/// `/proc/self/status` (silently skipped off-Linux, where the file does
+/// not exist — the `serve.*` gauges still publish).
+fn sample_self_stats(ctx: &Ctx<'_>) {
+    prospector_obs::gauge_set("serve.queue.depth", ctx.depth.load(Ordering::Relaxed));
+    prospector_obs::gauge_set("serve.workers.busy", ctx.busy.load(Ordering::Relaxed));
+    prospector_obs::gauge_set("serve.conns.active", ctx.conns.load(Ordering::Relaxed));
+    if let Some((rss, threads)) = read_proc_self_status() {
+        prospector_obs::gauge_set("process.rss_bytes", rss);
+        prospector_obs::gauge_set("process.threads", threads);
+    }
+}
+
+/// Parses `VmRSS:` (kB → bytes) and `Threads:` out of
+/// `/proc/self/status`. `None` when the file is unreadable (non-Linux).
+fn read_proc_self_status() -> Option<(u64, u64)> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let mut rss = None;
+    let mut threads = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            rss = Some(kb.saturating_mul(1024));
+        } else if let Some(rest) = line.strip_prefix("Threads:") {
+            threads = Some(rest.trim().parse().ok()?);
+        }
+    }
+    Some((rss?, threads?))
+}
+
+/// Creates the metric families the core pipeline and the serve layer
+/// report into, so the very first `/metrics` scrape already exposes them
+/// at zero. (Prometheus guidance: export a series before its first
+/// event, so `rate()` sees the 0 → 1 transition.)
 fn warm_registry() {
     const COUNTERS: &[&str] = &[
         "search.dfs_expansions",
@@ -242,12 +461,20 @@ fn warm_registry() {
     ] {
         let _ = prospector_obs::metrics::histogram(name);
     }
+    prospector_obs::gauge_set("serve.queue.depth", 0);
+    prospector_obs::gauge_set("serve.workers.busy", 0);
+    prospector_obs::gauge_set("serve.conns.active", 0);
+    // Resolving the serve ring handles registers every per-endpoint
+    // window series and histogram, so they render from the first scrape.
+    let _ = serve_rings();
 }
 
 /// Serves one connection: requests are answered in a keep-alive loop
 /// until the client asks to close (`Connection: close`), goes quiet past
-/// [`IO_TIMEOUT`], or exhausts [`MAX_KEEPALIVE_REQUESTS`].
-fn handle_connection(mut stream: TcpStream, engine: &Prospector, max: usize) {
+/// [`IO_TIMEOUT`], or exhausts [`MAX_KEEPALIVE_REQUESTS`]. `queue_wait_ns`
+/// is attributed to the first request only — follow-ups on a keep-alive
+/// connection never waited in the accept queue.
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx<'_>, queue_wait_ns: u64) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     for served in 0..MAX_KEEPALIVE_REQUESTS {
@@ -257,55 +484,336 @@ fn handle_connection(mut stream: TcpStream, engine: &Prospector, max: usize) {
         // The final slot always closes, so the header never promises a
         // request we will not serve.
         let close = request.close || served + 1 == MAX_KEEPALIVE_REQUESTS;
-        serve_request(&mut stream, engine, max, &request, close);
+        let wait_ns = if served == 0 { queue_wait_ns } else { 0 };
+        serve_request(&mut stream, ctx, &request, close, wait_ns);
         if close {
             return;
         }
     }
 }
 
+/// One response, carrying everything the per-request accounting needs
+/// alongside the wire fields.
+struct Response {
+    code: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+    /// Send an `Allow: GET` header (405 responses).
+    allow_get: bool,
+    /// The flight-recorder id for `/query`; 0 elsewhere.
+    trace_id: u64,
+    /// Whether a `/query` answer came from the result cache.
+    cached: bool,
+    /// The query's truncation label; empty for non-query endpoints.
+    truncation: String,
+}
+
+impl Response {
+    fn new(code: u16, reason: &'static str, content_type: &'static str, body: String) -> Response {
+        Response {
+            code,
+            reason,
+            content_type,
+            body,
+            allow_get: false,
+            trace_id: 0,
+            cached: false,
+            truncation: String::new(),
+        }
+    }
+
+    fn ok_json(body: String) -> Response {
+        Response::new(200, "OK", "application/json", body)
+    }
+}
+
+/// Answers one parsed request and records it: the endpoint/code counter,
+/// the endpoint's latency (window ring + cumulative histogram), the
+/// windowed error counter for non-2xx codes, and exactly one access-log
+/// record. Handle time runs from parsed request to flushed response, so
+/// keep-alive idle gaps are never counted as latency.
 fn serve_request(
     stream: &mut TcpStream,
-    engine: &Prospector,
-    max: usize,
+    ctx: &Ctx<'_>,
     request: &Request,
     close: bool,
+    queue_wait_ns: u64,
 ) {
-    if request.method != "GET" {
-        respond(stream, 405, "Method Not Allowed", "text/plain", "only GET is served\n", close);
-        return;
-    }
+    let started = Instant::now();
     let (route, query) = match request.path.split_once('?') {
         Some((r, q)) => (r, q),
         None => (request.path.as_str(), ""),
     };
-    match route {
-        "/healthz" => respond(stream, 200, "OK", "text/plain", "ok\n", close),
-        "/metrics" => {
-            let body = prospector_obs::prom::render(&prospector_obs::snapshot());
-            respond(stream, 200, "OK", "text/plain; version=0.0.4", &body, close);
+    let endpoint = endpoint_index(route);
+    let response = if request.method == "GET" {
+        route_get(ctx, endpoint, query)
+    } else {
+        let mut r = Response::new(
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is served\n".to_owned(),
+        );
+        r.allow_get = true;
+        r
+    };
+    respond(stream, &response, close);
+    let handle_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    record_request(endpoint, &response, queue_wait_ns, handle_ns);
+}
+
+/// Maps a route to its [`ENDPOINTS`] row; unknown paths land on `other`.
+fn endpoint_index(route: &str) -> usize {
+    let label = match route {
+        "/healthz" => "healthz",
+        "/readyz" => "readyz",
+        "/metrics" => "metrics",
+        "/status" => "status",
+        "/query" => "query",
+        "/slow" => "slow",
+        "/trace.json" => "trace",
+        "/logs" => "logs",
+        _ => "other",
+    };
+    ENDPOINTS.iter().position(|&e| e == label).expect("label is in ENDPOINTS")
+}
+
+/// Routes one GET to its handler.
+fn route_get(ctx: &Ctx<'_>, endpoint: usize, query: &str) -> Response {
+    match ENDPOINTS[endpoint] {
+        "healthz" => Response::new(200, "OK", "text/plain", "ok\n".to_owned()),
+        "readyz" => Response::ok_json(readyz_json(ctx).to_text()),
+        "metrics" => {
+            let mut body = prospector_obs::prom::render(&prospector_obs::snapshot());
+            body.push_str(&prospector_obs::prom::render_windows(&window::views(
+                &STANDARD_WINDOWS,
+            )));
+            body.push_str(&render_http_requests());
+            Response::new(200, "OK", "text/plain; version=0.0.4", body)
         }
-        "/query" => match run_query(engine, max, query) {
-            Ok(body) => respond(stream, 200, "OK", "application/json", &body, close),
+        "status" => Response::ok_json(status_json(ctx).to_text()),
+        "query" => match run_query(ctx.engine, ctx.max, query) {
+            Ok(outcome) => {
+                let mut r = Response::ok_json(outcome.body);
+                r.trace_id = outcome.trace_id;
+                r.cached = outcome.cached;
+                r.truncation = outcome.truncation;
+                r
+            }
             Err(message) => {
                 let body = Json::obj(vec![
                     ("ok", Json::Bool(false)),
                     ("error", Json::Str(message)),
                 ])
                 .to_text();
-                respond(stream, 400, "Bad Request", "application/json", &body, close);
+                Response::new(400, "Bad Request", "application/json", body)
             }
         },
-        "/slow" => {
-            let body = trace::slow_to_json(&trace::slow_queries()).to_text();
-            respond(stream, 200, "OK", "application/json", &body, close);
+        "slow" => {
+            if query_param(query, "clear").is_some_and(|v| v == "1") {
+                let cleared = trace::clear_slow();
+                let body =
+                    Json::obj(vec![("cleared", Json::num_u(cleared as u64))]).to_text();
+                Response::ok_json(body)
+            } else {
+                Response::ok_json(trace::slow_to_json(&trace::slow_queries()).to_text())
+            }
         }
-        "/trace.json" => {
-            let body = trace::to_chrome_json(&trace::events()).to_text();
-            respond(stream, 200, "OK", "application/json", &body, close);
+        "trace" => Response::ok_json(trace::to_chrome_json(&trace::events()).to_text()),
+        "logs" => {
+            let n = query_param(query, "n")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_LOG_TAIL);
+            Response::ok_json(alog::to_json_array(&alog::tail(n)).to_text())
         }
-        _ => respond(stream, 404, "Not Found", "text/plain", "no such endpoint\n", close),
+        _ => Response::new(404, "Not Found", "text/plain", "no such endpoint\n".to_owned()),
     }
+}
+
+/// The value of one query-string parameter, percent-decoded.
+fn query_param(query: &str, name: &str) -> Option<String> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| percent_decode(v))
+}
+
+/// The per-request accounting fan-out (see [`serve_request`]).
+fn record_request(endpoint: usize, response: &Response, queue_wait_ns: u64, handle_ns: u64) {
+    http_stats().record(endpoint, response.code);
+    let rings = serve_rings();
+    rings.latency[endpoint].record(handle_ns);
+    rings.latency_hist[endpoint].record(handle_ns);
+    if response.code >= 400 {
+        rings.errors[endpoint].add(1);
+    }
+    alog::record(AccessRecord {
+        ts_ms: alog::now_ms(),
+        trace_id: response.trace_id,
+        endpoint: ENDPOINTS[endpoint],
+        code: response.code,
+        bytes: response.body.len() as u64,
+        queue_wait_us: queue_wait_ns / 1_000,
+        handle_us: handle_ns / 1_000,
+        cached: response.cached,
+        truncation: response.truncation.clone(),
+    });
+}
+
+/// The labeled request counters as a Prometheus exposition block. Every
+/// endpoint × code cell is emitted (zeros included) so dashboards see
+/// each series before its first event.
+fn render_http_requests() -> String {
+    use std::fmt::Write as _;
+    let stats = http_stats();
+    let mut out = String::new();
+    out.push_str(
+        "# HELP prospector_serve_http_requests_total HTTP requests served, by endpoint and status code.\n",
+    );
+    out.push_str("# TYPE prospector_serve_http_requests_total counter\n");
+    for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
+        for (ci, code) in CODES.iter().enumerate() {
+            let v = stats.counts[ei][ci].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "prospector_serve_http_requests_total{{endpoint=\"{endpoint}\",code=\"{code}\"}} {v}"
+            );
+        }
+    }
+    out
+}
+
+/// `GET /readyz`: strict JSON distinguishing *ready to answer queries*
+/// from bare liveness (`/healthz`). The worker pool only runs once the
+/// engine is constructed, so a served `/readyz` is always `ready`; the
+/// value of the endpoint is the provenance — whether this process
+/// warm-started from a snapshot and which graph epoch it serves.
+fn readyz_json(ctx: &Ctx<'_>) -> Json {
+    let status = ctx.engine.status();
+    Json::obj(vec![
+        ("ready", Json::Bool(true)),
+        ("warm_start", Json::Bool(ctx.snapshot_source.is_some())),
+        (
+            "snapshot_source",
+            ctx.snapshot_source.map_or(Json::Null, |p| Json::Str(p.to_owned())),
+        ),
+        ("graph_epoch", Json::num_u(status.graph_epoch)),
+    ])
+}
+
+/// `hits / (hits + misses)`, 0 when nothing has been counted.
+fn hit_ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// One window's stats as the `/status` JSON shape.
+fn window_stats_json(v: window::WindowStats, errors_in_window: u64) -> Json {
+    let error_rate =
+        if v.count == 0 { 0.0 } else { errors_in_window as f64 / v.count as f64 };
+    Json::obj(vec![
+        ("count", Json::num_u(v.count)),
+        ("rate", Json::Num(if v.rate.is_finite() { v.rate } else { 0.0 })),
+        ("error_rate", Json::Num(error_rate)),
+        ("p50_ns", Json::num_u(v.p50)),
+        ("p90_ns", Json::num_u(v.p90)),
+        ("p99_ns", Json::num_u(v.p99)),
+    ])
+}
+
+/// `GET /status`: the SLO dashboard in one strict-JSON document —
+/// uptime, provenance, per-endpoint windowed latency/rate/error-rate,
+/// pool and process gauges, and engine cache hit ratios.
+fn status_json(ctx: &Ctx<'_>) -> Json {
+    let snap = prospector_obs::snapshot();
+    let engine_status = ctx.engine.status();
+    let rings = serve_rings();
+
+    let mut endpoints: Vec<(String, Json)> = Vec::new();
+    for (ei, name) in ENDPOINTS.iter().enumerate() {
+        let (requests, errors) = http_stats().totals(ei);
+        let mut fields = vec![
+            ("requests_total".to_owned(), Json::num_u(requests)),
+            ("errors_total".to_owned(), Json::num_u(errors)),
+        ];
+        for &(label, secs) in &STANDARD_WINDOWS {
+            let view = rings.latency[ei].view(secs);
+            let errs = rings.errors[ei].sum(secs);
+            fields.push((label.to_owned(), window_stats_json(view, errs)));
+        }
+        endpoints.push(((*name).to_owned(), Json::Obj(fields)));
+    }
+
+    let queue_wait: Vec<(String, Json)> = STANDARD_WINDOWS
+        .iter()
+        .map(|&(label, secs)| {
+            (label.to_owned(), window_stats_json(rings.queue_wait.view(secs), 0))
+        })
+        .collect();
+
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let result_hits = counter("engine.result_cache.hits");
+    let result_misses = counter("engine.result_cache.misses");
+    let dist_hits = counter("engine.dist_cache.hits");
+    let dist_misses = counter("engine.dist_cache.misses");
+
+    Json::obj(vec![
+        ("uptime_s", Json::Num(ctx.started.elapsed().as_secs_f64())),
+        ("ready", Json::Bool(true)),
+        ("warm_start", Json::Bool(ctx.snapshot_source.is_some())),
+        (
+            "snapshot_source",
+            ctx.snapshot_source.map_or(Json::Null, |p| Json::Str(p.to_owned())),
+        ),
+        ("graph_epoch", Json::num_u(engine_status.graph_epoch)),
+        (
+            "pool",
+            Json::obj(vec![
+                ("workers", Json::num_u(ctx.workers as u64)),
+                ("busy", Json::num_u(ctx.busy.load(Ordering::Relaxed))),
+                ("queue_depth", Json::num_u(ctx.depth.load(Ordering::Relaxed))),
+                ("conns_active", Json::num_u(ctx.conns.load(Ordering::Relaxed))),
+            ]),
+        ),
+        (
+            "process",
+            Json::obj(vec![
+                ("rss_bytes", Json::num_u(snap.gauge("process.rss_bytes").unwrap_or(0))),
+                ("threads", Json::num_u(snap.gauge("process.threads").unwrap_or(0))),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                (
+                    "result",
+                    Json::obj(vec![
+                        ("hits", Json::num_u(result_hits)),
+                        ("misses", Json::num_u(result_misses)),
+                        ("hit_ratio", Json::Num(hit_ratio(result_hits, result_misses))),
+                        ("entries", Json::num_u(engine_status.result_cache_entries)),
+                    ]),
+                ),
+                (
+                    "dist",
+                    Json::obj(vec![
+                        ("hits", Json::num_u(dist_hits)),
+                        ("misses", Json::num_u(dist_misses)),
+                        ("hit_ratio", Json::Num(hit_ratio(dist_hits, dist_misses))),
+                        ("entries", Json::num_u(engine_status.dist_cache_entries)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("queue_wait", Json::Obj(queue_wait)),
+        ("endpoints", Json::Obj(endpoints)),
+    ])
 }
 
 /// One parsed request head. Every endpoint is a bodyless GET, so the
@@ -348,22 +856,28 @@ fn read_request(stream: &mut TcpStream) -> Option<Request> {
     Some(Request { method, path, close })
 }
 
-fn respond(
-    stream: &mut TcpStream,
-    code: u16,
-    reason: &str,
-    content_type: &str,
-    body: &str,
-    close: bool,
-) {
+fn respond(stream: &mut TcpStream, response: &Response, close: bool) {
     let connection = if close { "close" } else { "keep-alive" };
+    let allow = if response.allow_get { "Allow: GET\r\n" } else { "" };
     let header = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}Connection: {connection}\r\n\r\n",
+        response.code,
+        response.reason,
+        response.content_type,
+        response.body.len()
     );
     let _ = stream.write_all(header.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
     let _ = stream.flush();
+}
+
+/// A successful `/query` answer plus the accounting fields the access
+/// log wants alongside the body.
+struct QueryOutcome {
+    body: String,
+    trace_id: u64,
+    cached: bool,
+    truncation: String,
 }
 
 /// Answers `GET /query?tin=..&tout=..` with ranked-jungloid JSON.
@@ -372,38 +886,31 @@ fn respond(
 /// queries then share the exact accounting (`engine.batch.*`, preallocated
 /// trace ids) that `query --batch` lines get, so a dashboard scraping
 /// `/metrics` sees one coherent story regardless of how queries arrived.
-fn run_query(engine: &Prospector, max: usize, query: &str) -> Result<String, String> {
-    let mut tin: Option<String> = None;
-    let mut tout: Option<String> = None;
-    for pair in query.split('&') {
-        let Some((key, value)) = pair.split_once('=') else { continue };
-        match key {
-            "tin" => tin = Some(percent_decode(value)),
-            "tout" => tout = Some(percent_decode(value)),
-            _ => {}
-        }
-    }
-    let tin = tin.ok_or("missing query parameter `tin`")?;
-    let tout = tout.ok_or("missing query parameter `tout`")?;
+fn run_query(engine: &Prospector, max: usize, query: &str) -> Result<QueryOutcome, String> {
+    let tin = query_param(query, "tin").ok_or("missing query parameter `tin`")?;
+    let tout = query_param(query, "tout").ok_or("missing query parameter `tout`")?;
     let tin_ty = engine.api().types().resolve(&tin).map_err(|e| e.to_string())?;
     let tout_ty = engine.api().types().resolve(&tout).map_err(|e| e.to_string())?;
 
     let batch = engine.query_batch(&[(tin_ty, tout_ty)]);
     let entry = batch.into_iter().next().ok_or("empty batch result")?;
+    let trace_id = entry.trace_id.0;
     let result = entry.result.map_err(|e| e.to_string())?;
+    let cached = result.stats.result_cache_hits > 0;
+    let truncation = result.truncation.label().to_owned();
 
     let mut pairs = vec![
         ("ok", Json::Bool(true)),
         ("tin", Json::Str(tin)),
         ("tout", Json::Str(tout)),
-        ("trace_id", Json::num_u(entry.trace_id.0)),
-        ("trace_id_hex", Json::Str(TraceId(entry.trace_id.0).to_string())),
+        ("trace_id", Json::num_u(trace_id)),
+        ("trace_id_hex", Json::Str(TraceId(trace_id).to_string())),
         (
             "shortest",
             result.shortest.map_or(Json::Null, |m| Json::num_u(u64::from(m))),
         ),
-        ("truncation", Json::Str(result.truncation.label().to_owned())),
-        ("cached", Json::Bool(result.stats.result_cache_hits > 0)),
+        ("truncation", Json::Str(truncation.clone())),
+        ("cached", Json::Bool(cached)),
         ("found", Json::num_u(result.suggestions.len() as u64)),
         (
             "suggestions",
@@ -429,7 +936,7 @@ fn run_query(engine: &Prospector, max: usize, query: &str) -> Result<String, Str
         ),
     ];
     pairs.push(("time_us", Json::num_u(entry.time.as_micros() as u64)));
-    Ok(Json::obj(pairs).to_text())
+    Ok(QueryOutcome { body: Json::obj(pairs).to_text(), trace_id, cached, truncation })
 }
 
 /// Minimal percent-decoding for query values (`%2E`, `+` → space). Type
@@ -470,7 +977,7 @@ fn percent_decode(value: &str) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::percent_decode;
+    use super::{endpoint_index, percent_decode, query_param, ENDPOINTS};
 
     #[test]
     fn percent_decode_handles_escapes_and_passthrough() {
@@ -479,5 +986,25 @@ mod tests {
         assert_eq!(percent_decode("a+b"), "a b");
         assert_eq!(percent_decode("bad%zz"), "bad%zz");
         assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+
+    #[test]
+    fn query_param_finds_decodes_and_misses() {
+        assert_eq!(query_param("tin=IFile&tout=a%2Eb", "tout").as_deref(), Some("a.b"));
+        assert_eq!(query_param("tin=IFile", "tout"), None);
+        assert_eq!(query_param("", "n"), None);
+        assert_eq!(query_param("clear=1", "clear").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn every_route_maps_into_the_endpoint_table() {
+        for route in
+            ["/healthz", "/readyz", "/metrics", "/status", "/query", "/slow", "/trace.json", "/logs"]
+        {
+            let ei = endpoint_index(route);
+            assert_ne!(ENDPOINTS[ei], "other", "{route} should have its own label");
+        }
+        assert_eq!(ENDPOINTS[endpoint_index("/nope")], "other");
+        assert_eq!(ENDPOINTS[endpoint_index("/")], "other");
     }
 }

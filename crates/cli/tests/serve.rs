@@ -7,9 +7,14 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use prospector_cli::serve::Server;
+use prospector_cli::serve::{ServeOptions, Server};
 use prospector_corpora::{build, BuildOptions};
 use prospector_obs::Json;
+
+/// The default in-process options every test serves with.
+fn opts() -> ServeOptions {
+    ServeOptions { max: 5, snapshot_source: None }
+}
 
 /// Issues one `GET` and returns `(status_line, body)`.
 fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
@@ -111,7 +116,7 @@ fn serve_smoke() {
     let shutdown = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        let worker = scope.spawn(|| server.run(&engine, 5, &shutdown));
+        let worker = scope.spawn(|| server.run(&engine, &opts(), &shutdown));
 
         let (status, body) = http_get(addr, "/healthz");
         assert!(status.contains("200"), "{status}");
@@ -250,7 +255,7 @@ fn serve_worker_pool_keepalive_and_concurrent_clients() {
     let shutdown = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        let serving = scope.spawn(|| server.run(&engine, 5, &shutdown));
+        let serving = scope.spawn(|| server.run(&engine, &opts(), &shutdown));
 
         // Keep-alive: three requests over ONE connection. The first two
         // responses advertise keep-alive; the last asks to close.
@@ -294,5 +299,206 @@ fn serve_worker_pool_keepalive_and_concurrent_clients() {
         shutdown.store(true, Ordering::Relaxed);
         let outcome = serving.join().expect("serve thread joins");
         assert_eq!(outcome, Ok(()));
+    });
+}
+
+/// Issues one `GET` and returns the full response head plus body, so
+/// callers can assert on headers beyond the status line.
+fn http_get_full(addr: std::net::SocketAddr, raw: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_owned(), body.to_owned())
+}
+
+/// The value of one flat series in a Prometheus exposition body.
+fn prom_value(body: &str, series: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| l.starts_with(series) && l[series.len()..].starts_with(' '))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// The SLO observability surface end to end: generated `/query` load
+/// moves the rolling windows, `/status` reports it as strict JSON,
+/// `/metrics` grows labeled request counters and window gauges, every
+/// request leaves exactly one access-log line whose `trace_id` joins
+/// against `/trace.json`, `/readyz` reports provenance, `/slow?clear=1`
+/// resets the slow log, 404s land on `endpoint="other"`, and 405s carry
+/// `Allow: GET`.
+#[test]
+fn serve_status_logs_and_introspection() {
+    let engine = build(&BuildOptions::default()).expect("corpus builds").prospector;
+    let server = Server::bind("127.0.0.1:0").expect("bind port 0");
+    let addr = server.local_addr().expect("bound address");
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.run(&engine, &opts(), &shutdown));
+
+        // A failed assertion must still flip the shutdown flag, or the
+        // scope would join the serving thread forever.
+        let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+
+        // Generated load: 60+ queries (the first per pair runs the
+        // pipeline, repeats hit the result cache — both count).
+        let pairs = ["IFile&tout=ASTNode", "IWorkspace&tout=IFile", "Shell&tout=Button"];
+        for i in 0..63 {
+            let (status, body) =
+                http_get(addr, &format!("/query?tin={}", pairs[i % pairs.len()]));
+            assert!(status.contains("200"), "{status}: {body}");
+        }
+
+        // One more query whose trace_id we follow through /logs and
+        // /trace.json.
+        let (_, body) = http_get(addr, "/query?tin=IFile&tout=ASTNode");
+        let followed = Json::parse(&body).expect("valid query JSON");
+        let trace_id = followed.get("trace_id").unwrap().as_u64().expect("trace id");
+
+        // An unknown path and a non-GET, for the counter assertions.
+        let (status, _) = http_get(addr, "/definitely-not-an-endpoint");
+        assert!(status.contains("404"), "{status}");
+        let (head, _) = http_get_full(
+            addr,
+            "POST /query HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.contains("405"), "{head}");
+        assert!(
+            head.lines().any(|l| l.eq_ignore_ascii_case("allow: GET")),
+            "405 must name the allowed method: {head}"
+        );
+
+        // /readyz: strict JSON, built in-process (no snapshot).
+        let (status, body) = http_get(addr, "/readyz");
+        assert!(status.contains("200"), "{status}");
+        let ready = Json::parse(&body).expect("readyz is strict JSON");
+        assert_eq!(ready.get("ready").unwrap().as_bool(), Some(true));
+        assert_eq!(ready.get("warm_start").unwrap().as_bool(), Some(false));
+        assert!(ready.get("graph_epoch").unwrap().as_u64().is_some());
+
+        // /status: the windows saw the load — nonzero 1m count and p99
+        // for the query endpoint, queue waits recorded, pool and cache
+        // sections populated.
+        let (status, body) = http_get(addr, "/status");
+        assert!(status.contains("200"), "{status}");
+        let doc = Json::parse(&body).expect("status is strict JSON");
+        assert_eq!(doc.get("ready").unwrap().as_bool(), Some(true));
+        assert!(doc.get("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
+        let query_ep = doc.get("endpoints").unwrap().get("query").expect("query endpoint");
+        assert!(query_ep.get("requests_total").unwrap().as_u64().unwrap() >= 64);
+        let one_min = query_ep.get("1m").expect("1m window");
+        assert!(
+            one_min.get("count").unwrap().as_u64().unwrap() >= 60,
+            "the generated load lands in the 1m window: {body}"
+        );
+        assert!(
+            one_min.get("p99_ns").unwrap().as_u64().unwrap() > 0,
+            "p99 must be nonzero after 60+ queries"
+        );
+        assert!(one_min.get("rate").unwrap().as_f64().unwrap() > 0.0);
+        // The error rings are process-global and another test in this
+        // binary deliberately 400s a /query, so only bound the rate.
+        let error_rate = one_min.get("error_rate").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&error_rate), "error rate in [0,1]: {error_rate}");
+        let other_ep = doc.get("endpoints").unwrap().get("other").expect("other endpoint");
+        assert!(other_ep.get("errors_total").unwrap().as_u64().unwrap() >= 1, "the 404 counted");
+        let queue_1m = doc.get("queue_wait").unwrap().get("1m").expect("queue_wait window");
+        assert!(
+            queue_1m.get("count").unwrap().as_u64().unwrap() >= 60,
+            "every popped connection records its queue wait: {body}"
+        );
+        let pool = doc.get("pool").unwrap();
+        assert!(pool.get("workers").unwrap().as_u64().unwrap() >= 1);
+        assert!(pool.get("queue_depth").unwrap().as_u64().is_some());
+        let cache = doc.get("cache").unwrap().get("result").unwrap();
+        assert!(cache.get("hits").unwrap().as_u64().unwrap() >= 1, "repeat queries hit");
+        let ratio = cache.get("hit_ratio").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&ratio), "hit ratio in [0,1]: {ratio}");
+        assert!(doc.get("process").unwrap().get("rss_bytes").unwrap().as_u64().is_some());
+
+        // /metrics: still strictly valid with the labeled request block
+        // and window gauges present; the query row saw our load.
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        validate_prometheus(&body);
+        validate_histogram_buckets(&body);
+        let query_200 = prom_value(
+            &body,
+            "prospector_serve_http_requests_total{endpoint=\"query\",code=\"200\"}",
+        )
+        .expect("labeled query counter rendered");
+        assert!(query_200 >= 64.0, "query counter saw the load: {query_200}");
+        let other_404 = prom_value(
+            &body,
+            "prospector_serve_http_requests_total{endpoint=\"other\",code=\"404\"}",
+        )
+        .expect("labeled other counter rendered");
+        assert!(other_404 >= 1.0, "unknown paths count under other: {other_404}");
+        let p99 = prom_value(
+            &body,
+            "prospector_serve_http_latency_ns_query_window{win=\"1m\",q=\"p99\"}",
+        )
+        .expect("window gauge rendered");
+        assert!(p99 > 0.0, "windowed p99 moved under load");
+        assert!(
+            body.contains("prospector_serve_queue_wait_ns_window{win=\"1m\",q=\"p50\"}"),
+            "queue-wait window gauges rendered"
+        );
+
+        // /logs: exactly one strict-JSON record per request; the followed
+        // query's record carries its flight-recorder trace_id, which
+        // joins against a /trace.json event on the same tid.
+        let (status, body) = http_get(addr, "/logs?n=500");
+        assert!(status.contains("200"), "{status}");
+        let logs = Json::parse(&body).expect("logs are strict JSON");
+        let records = logs.as_arr().expect("logs is an array");
+        assert!(records.len() >= 60, "the load left records: {}", records.len());
+        for rec in records {
+            for key in
+                ["ts_ms", "trace_id", "endpoint", "code", "bytes", "queue_wait_us", "handle_us", "cached", "truncation"]
+            {
+                assert!(rec.get(key).is_some(), "access record missing {key}");
+            }
+        }
+        let matching: Vec<_> = records
+            .iter()
+            .filter(|r| r.get("trace_id").unwrap().as_u64() == Some(trace_id))
+            .collect();
+        assert_eq!(matching.len(), 1, "exactly one access-log line per request");
+        assert_eq!(matching[0].get("endpoint").unwrap().as_str(), Some("query"));
+        assert_eq!(matching[0].get("code").unwrap().as_u64(), Some(200));
+        let (_, body) = http_get(addr, "/trace.json");
+        let chrome = Json::parse(&body).expect("valid chrome trace");
+        assert!(
+            chrome
+                .as_arr()
+                .unwrap()
+                .iter()
+                .any(|e| e.get("tid").unwrap().as_u64() == Some(trace_id)),
+            "the access-log trace_id joins against a flight-recorder track"
+        );
+
+        // /slow?clear=1 resets the slow log and reports what it dropped.
+        let (status, body) = http_get(addr, "/slow?clear=1");
+        assert!(status.contains("200"), "{status}");
+        let cleared = Json::parse(&body).expect("clear response is strict JSON");
+        assert!(cleared.get("cleared").unwrap().as_u64().is_some());
+        let (_, body) = http_get(addr, "/slow");
+        assert_eq!(
+            Json::parse(&body).unwrap().as_arr().map(<[Json]>::len),
+            Some(0),
+            "the slow log is empty after clearing"
+        );
+
+        }));
+
+        shutdown.store(true, Ordering::Relaxed);
+        let outcome = serving.join().expect("serve thread joins");
+        assert_eq!(outcome, Ok(()));
+        if let Err(panic) = verdict {
+            std::panic::resume_unwind(panic);
+        }
     });
 }

@@ -166,6 +166,18 @@ impl QueryResult {
     }
 }
 
+/// Point-in-time engine introspection for the serve layer's `/status`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStatus {
+    /// The graph epoch every cached result is stamped against; advances
+    /// on each successful mutation (splice, param mining, reload).
+    pub graph_epoch: u64,
+    /// Entries currently held by the full-result cache.
+    pub result_cache_entries: u64,
+    /// Entries currently held by the distance-field cache.
+    pub dist_cache_entries: u64,
+}
+
 /// One slot of a [`Prospector::query_batch`] result.
 #[derive(Clone, Debug)]
 pub struct BatchEntry {
@@ -247,6 +259,20 @@ impl Prospector {
     #[must_use]
     pub fn graph(&self) -> &JungloidGraph {
         &self.graph
+    }
+
+    /// Point-in-time engine facts for serving introspection (`/status`):
+    /// the graph epoch the caches are stamped against and current cache
+    /// occupancy. Hit/miss *counters* live in the global metric registry
+    /// (`engine.result_cache.hits` etc.); this surfaces the state only
+    /// the engine can see.
+    #[must_use]
+    pub fn status(&self) -> EngineStatus {
+        EngineStatus {
+            graph_epoch: self.graph.epoch(),
+            result_cache_entries: self.result_cache.len() as u64,
+            dist_cache_entries: self.dist_cache.len() as u64,
+        }
     }
 
     /// Splices mined example jungloids into the graph, optionally

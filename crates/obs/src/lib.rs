@@ -23,6 +23,13 @@
 //! * [`prom`] — Prometheus text exposition rendering of a metric
 //!   snapshot (counters, gauges, stages, and histograms as cumulative
 //!   `_bucket{le=...}` series), backing the `serve` mode's `/metrics`.
+//! * [`window`] — rolling-window histograms: lock-light rings of
+//!   per-second delta histograms aggregated into 1m/5m views
+//!   (p50/p90/p99 + rate), so the serve layer can answer "what was p99
+//!   in the last minute", not just "since boot".
+//! * [`log`] — the structured access log: one strict-JSON line per
+//!   served request (trace id, endpoint, code, queue wait, handle time)
+//!   to stderr or a file, plus a bounded in-memory tail for `GET /logs`.
 //!
 //! [`rng`] is a bonus tenant: a tiny deterministic PRNG
 //! ([`rng::SmallRng`]) for the seeded generators and simulations, living
@@ -43,12 +50,14 @@
 
 pub mod hist;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod prom;
 pub mod report;
 pub mod rng;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use json::Json;
 pub use metrics::{add, gauge_set, set_enabled, snapshot, Snapshot};

@@ -26,6 +26,7 @@ use std::fmt::Write as _;
 
 use crate::hist::{HistSnapshot, Histogram};
 use crate::metrics::Snapshot;
+use crate::window::RingViews;
 
 /// Mangles a registry name into a Prometheus metric name: `prospector_`
 /// prefix, every non-alphanumeric byte to `_`.
@@ -41,6 +42,29 @@ pub fn metric_name(registry_name: &str) -> String {
         }
     }
     out
+}
+
+/// Escapes a label *value* per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside the quotes.
+#[must_use]
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Writes one gauge sample with an f64 value, coercing non-finite
+/// values to 0 so a scrape never sees `NaN`/`inf` from an empty window.
+fn sample_f64(out: &mut String, name: &str, labels: &str, value: f64) {
+    let value = if value.is_finite() { value } else { 0.0 };
+    let _ = writeln!(out, "{name}{labels} {value}");
 }
 
 fn sample(out: &mut String, name: &str, labels: &str, value: u64) {
@@ -92,7 +116,7 @@ pub fn render(snap: &Snapshot) -> String {
             "Completed spans per pipeline stage.",
         );
         for (name, stat) in &snap.stages {
-            sample(&mut out, "prospector_stage_count", &format!("{{stage=\"{name}\"}}"), stat.count);
+            sample(&mut out, "prospector_stage_count", &format!("{{stage=\"{}\"}}", escape_label(name)), stat.count);
         }
         header(
             &mut out,
@@ -104,7 +128,7 @@ pub fn render(snap: &Snapshot) -> String {
             sample(
                 &mut out,
                 "prospector_stage_total_ns",
-                &format!("{{stage=\"{name}\"}}"),
+                &format!("{{stage=\"{}\"}}", escape_label(name)),
                 stat.total_ns,
             );
         }
@@ -118,13 +142,49 @@ pub fn render(snap: &Snapshot) -> String {
             sample(
                 &mut out,
                 "prospector_stage_max_ns",
-                &format!("{{stage=\"{name}\"}}"),
+                &format!("{{stage=\"{}\"}}", escape_label(name)),
                 stat.max_ns,
             );
         }
     }
     for (name, h) in &snap.hists {
         render_histogram(&mut out, &metric_name(name), h);
+    }
+    out
+}
+
+/// Renders rolling-window views ([`crate::window::views`]) as gauges:
+/// for each ring, `<name>_window{win,q}` quantile gauges (value units
+/// match what was recorded), `<name>_window_rate{win}` (events/second,
+/// always finite — 0 for an empty window, never NaN), and
+/// `<name>_window_count{win}`.
+#[must_use]
+pub fn render_windows(views: &[RingViews]) -> String {
+    let mut out = String::new();
+    for rv in views {
+        let base = format!("{}_window", metric_name(&rv.name));
+        header(
+            &mut out,
+            &base,
+            "gauge",
+            &format!("Rolling-window quantiles of `{}`.", rv.name),
+        );
+        for (label, stats) in &rv.windows {
+            let win = escape_label(label);
+            for (q, v) in [("p50", stats.p50), ("p90", stats.p90), ("p99", stats.p99)] {
+                sample(&mut out, &base, &format!("{{win=\"{win}\",q=\"{q}\"}}"), v);
+            }
+        }
+        let rate = format!("{base}_rate");
+        header(&mut out, &rate, "gauge", &format!("Rolling-window event rate of `{}` (per second).", rv.name));
+        for (label, stats) in &rv.windows {
+            sample_f64(&mut out, &rate, &format!("{{win=\"{}\"}}", escape_label(label)), stats.rate);
+        }
+        let count = format!("{base}_count");
+        header(&mut out, &count, "gauge", &format!("Rolling-window event count of `{}`.", rv.name));
+        for (label, stats) in &rv.windows {
+            sample(&mut out, &count, &format!("{{win=\"{}\"}}", escape_label(label)), stats.count);
+        }
     }
     out
 }
@@ -180,6 +240,67 @@ mod tests {
             assert!(v >= last, "{line}");
             last = v;
         }
+    }
+
+    #[test]
+    fn zero_count_histogram_renders_valid_cumulative_buckets() {
+        let r = Registry::new();
+        let _ = r.histogram("never.recorded");
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE prospector_never_recorded histogram"), "{text}");
+        // A zero-count histogram still emits a well-formed cumulative
+        // series ending with the mandatory +Inf bucket equal to _count.
+        assert!(text.contains("prospector_never_recorded_bucket{le=\"0\"} 0"), "{text}");
+        assert!(text.contains("prospector_never_recorded_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("prospector_never_recorded_sum 0"), "{text}");
+        assert!(text.contains("prospector_never_recorded_count 0"), "{text}");
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=") && !l.contains("+Inf")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "not cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn empty_window_gauges_are_finite_f64() {
+        use crate::window::{WindowRing, RingViews};
+        let ring = WindowRing::new();
+        let views = vec![RingViews {
+            name: "serve.http.latency_ns.query".to_owned(),
+            windows: vec![("1m", ring.view(60)), ("5m", ring.view(300))],
+        }];
+        let text = render_windows(&views);
+        assert!(
+            text.contains("prospector_serve_http_latency_ns_query_window{win=\"1m\",q=\"p99\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("_window_rate{win=\"1m\"} 0"), "{text}");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            let parsed: f64 = value.parse().unwrap_or_else(|_| panic!("bad value: {line}"));
+            assert!(parsed.is_finite(), "non-finite window gauge: {line}");
+        }
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escape_safe() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        // A hostile stage name renders with its quote and newline escaped
+        // so the sample stays one well-formed line.
+        let r = Registry::new();
+        r.record_stage("evil\"stage\nname", 5);
+        let text = render(&r.snapshot());
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("prospector_stage_count"))
+            .expect("stage series rendered");
+        assert!(line.contains("{stage=\"evil\\\"stage\\nname\"}"), "{line}");
+        assert_eq!(line.matches('\n').count(), 0);
     }
 
     #[test]

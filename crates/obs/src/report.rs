@@ -42,6 +42,10 @@ pub fn to_json(snap: &Snapshot) -> Json {
     }
     Json::obj(vec![
         ("stages", Json::Obj(stages)),
+        // Rolling-window views (empty object outside serve mode, where
+        // no rings are registered) ride along so one report carries both
+        // the since-boot aggregates and the recent-window story.
+        ("windows", windows_to_json()),
         (
             "counters",
             Json::Obj(snap.counters.iter().map(|(k, &v)| (k.clone(), Json::num_u(v))).collect()),
@@ -71,6 +75,38 @@ pub fn to_json(snap: &Snapshot) -> Json {
             ),
         ),
     ])
+}
+
+/// The global rolling-window rings as a JSON object: ring name →
+/// window label → `{count, rate, p50, p90, p99}`. Values carry the
+/// units the ring was recorded in (the serve layer records nanoseconds).
+#[must_use]
+pub fn windows_to_json() -> Json {
+    let views = crate::window::views(&crate::window::STANDARD_WINDOWS);
+    Json::Obj(
+        views
+            .into_iter()
+            .map(|rv| {
+                (
+                    rv.name,
+                    Json::Obj(
+                        rv.windows
+                            .iter()
+                            .map(|(label, s)| {
+                                ((*label).to_owned(), Json::obj(vec![
+                                    ("count", Json::num_u(s.count)),
+                                    ("rate", Json::Num(if s.rate.is_finite() { s.rate } else { 0.0 })),
+                                    ("p50", Json::num_u(s.p50)),
+                                    ("p90", Json::num_u(s.p90)),
+                                    ("p99", Json::num_u(s.p99)),
+                                ]))
+                            })
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    )
 }
 
 fn fmt_ns(ns: u64) -> String {

@@ -42,8 +42,10 @@ const RING_SHARDS: usize = 8;
 /// Events retained per shard before the oldest are overwritten.
 const RING_SHARD_CAP: usize = 1024;
 
-/// Slow queries retained; older entries are dropped first.
-const SLOW_LOG_CAP: usize = 32;
+/// Default slow-query retention; configurable per recorder
+/// ([`Recorder::set_slow_log_cap`], the CLI's `--slow-log-cap N`).
+/// Older entries are dropped first.
+const DEFAULT_SLOW_LOG_CAP: usize = 32;
 
 /// What one [`TraceEvent`] measures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,6 +165,8 @@ pub struct Recorder {
     recorded: AtomicU64,
     /// Slow-query latency threshold in nanoseconds; 0 disables the log.
     slow_threshold_ns: AtomicU64,
+    /// Slow queries retained before the oldest are dropped.
+    slow_cap: AtomicU64,
     epoch: Instant,
     shards: Vec<Mutex<RingShard>>,
     slow: Mutex<Vec<SlowQuery>>,
@@ -184,6 +188,7 @@ impl Recorder {
             next_id: AtomicU64::new(0),
             recorded: AtomicU64::new(0),
             slow_threshold_ns: AtomicU64::new(0),
+            slow_cap: AtomicU64::new(DEFAULT_SLOW_LOG_CAP as u64),
             epoch: Instant::now(),
             shards: (0..RING_SHARDS).map(|_| Mutex::new(RingShard::default())).collect(),
             slow: Mutex::new(Vec::new()),
@@ -220,6 +225,28 @@ impl Recorder {
     #[must_use]
     pub fn slow_threshold_ns(&self) -> u64 {
         self.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Sets how many slow queries are retained (clamped to at least 1).
+    /// Shrinking below the current retention drops the oldest entries on
+    /// the next insert.
+    pub fn set_slow_log_cap(&self, cap: usize) {
+        self.slow_cap.store(cap.max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// How many slow queries are retained before the oldest is dropped.
+    #[must_use]
+    pub fn slow_log_cap(&self) -> usize {
+        usize::try_from(self.slow_cap.load(Ordering::Relaxed)).unwrap_or(usize::MAX)
+    }
+
+    /// Drops every retained slow query (the ring, threshold, and cap are
+    /// left alone). Returns how many entries were dropped.
+    pub fn clear_slow(&self) -> usize {
+        let mut slow = self.slow.lock().expect("slow log poisoned");
+        let dropped = slow.len();
+        slow.clear();
+        dropped
     }
 
     /// Allocates the next trace id (see [`TraceId`] for the layout).
@@ -282,8 +309,9 @@ impl Recorder {
     }
 
     fn retain_slow(&self, entry: SlowQuery) {
+        let cap = self.slow_log_cap();
         let mut slow = self.slow.lock().expect("slow log poisoned");
-        if slow.len() >= SLOW_LOG_CAP {
+        while slow.len() >= cap {
             slow.remove(0);
         }
         slow.push(entry);
@@ -472,6 +500,17 @@ pub fn set_seed(seed: u64) {
 /// Sets the global slow-query threshold in milliseconds (0 = off).
 pub fn set_slow_threshold_ms(ms: u64) {
     global().set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+}
+
+/// Sets the global slow-query retention cap (clamped to at least 1).
+pub fn set_slow_log_cap(cap: usize) {
+    global().set_slow_log_cap(cap);
+}
+
+/// Drops every globally retained slow query; returns how many were
+/// dropped.
+pub fn clear_slow() -> usize {
+    global().clear_slow()
 }
 
 /// Opens a query span on the global recorder.
@@ -754,12 +793,40 @@ mod tests {
         r.set_slow_threshold_ns(1);
         let first = r.next_id();
         r.span(first).finish();
-        for _ in 0..SLOW_LOG_CAP {
+        for _ in 0..DEFAULT_SLOW_LOG_CAP {
             r.span(r.next_id()).finish();
         }
         let slow = r.slow_queries();
-        assert_eq!(slow.len(), SLOW_LOG_CAP);
+        assert_eq!(slow.len(), DEFAULT_SLOW_LOG_CAP);
         assert!(slow.iter().all(|q| q.trace_id != first.0), "oldest dropped");
+    }
+
+    #[test]
+    fn slow_log_cap_is_configurable_and_clearable() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.set_slow_threshold_ns(1);
+        r.set_slow_log_cap(3);
+        assert_eq!(r.slow_log_cap(), 3);
+        let ids: Vec<TraceId> = (0..5).map(|_| r.next_id()).collect();
+        for &id in &ids {
+            r.span(id).finish();
+        }
+        let slow = r.slow_queries();
+        assert_eq!(slow.len(), 3, "cap 3 retains the newest 3");
+        assert_eq!(slow[0].trace_id, ids[2].0);
+        // Shrinking the cap evicts down on the next insert.
+        r.set_slow_log_cap(1);
+        r.span(r.next_id()).finish();
+        assert_eq!(r.slow_queries().len(), 1);
+        // Zero clamps to one: the log cannot be silently disabled by cap.
+        r.set_slow_log_cap(0);
+        assert_eq!(r.slow_log_cap(), 1);
+        // clear_slow drops everything but keeps threshold and cap.
+        assert_eq!(r.clear_slow(), 1);
+        assert!(r.slow_queries().is_empty());
+        r.span(r.next_id()).finish();
+        assert_eq!(r.slow_queries().len(), 1, "retention continues after clear");
     }
 
     #[test]
