@@ -33,8 +33,11 @@ impl MethodId {
     }
 
     /// Rebuilds an id from an index previously obtained via
-    /// [`MethodId::index`] against the same [`Api`].
-    pub(crate) fn from_index(index: usize) -> Self {
+    /// [`MethodId::index`] against the same [`Api`]. The caller is
+    /// responsible for range-checking `index` against
+    /// [`Api::method_count`] (the snapshot loaders do).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
         MethodId(u32::try_from(index).expect("method arena exceeds u32 range"))
     }
 }
@@ -57,8 +60,11 @@ impl FieldId {
     }
 
     /// Rebuilds an id from an index previously obtained via
-    /// [`FieldId::index`] against the same [`Api`].
-    pub(crate) fn from_index(index: usize) -> Self {
+    /// [`FieldId::index`] against the same [`Api`]. The caller is
+    /// responsible for range-checking `index` against
+    /// [`Api::field_count`] (the snapshot loaders do).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
         FieldId(u32::try_from(index).expect("field arena exceeds u32 range"))
     }
 }

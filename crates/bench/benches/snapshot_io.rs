@@ -1,11 +1,13 @@
 //! Snapshot I/O — how fast the engine's on-disk formats save and load,
 //! and what warm-starting buys over rebuilding.
 //!
-//! Three columns per format (JSON debug vs `.pspk` binary): save time,
-//! load time, and bytes on disk; plus the cold-build baseline the binary
-//! load replaces. The run writes a machine-readable baseline to
-//! `BENCH_snapshot.json` at the repository root (override with
-//! `BENCH_SNAPSHOT_OUT`).
+//! Columns: the JSON debug format, the v1 `.pspk` (decode-everything)
+//! baseline, the v2 `.pspk` zero-copy load (owned read and mmap), and
+//! the first query answered after each warm start; plus the cold-build
+//! baseline every load replaces. The run writes a machine-readable
+//! baseline to `BENCH_snapshot.json` at the repository root (override
+//! with `BENCH_SNAPSHOT_OUT`), including `zero_copy_speedup` — v1 load
+//! time over v2 load time.
 //!
 //! Run with `cargo bench -p bench --bench snapshot_io`; set
 //! `PROSPECTOR_BENCH_QUICK=1` (or pass `--quick`) for a CI-sized smoke
@@ -13,6 +15,7 @@
 
 use std::time::Instant;
 
+use prospector_core::Prospector;
 use prospector_corpora::{build, BuildOptions};
 use prospector_obs::Json;
 
@@ -34,6 +37,16 @@ fn best_us<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("rounds >= 1"))
 }
 
+/// Warm-start an engine from a just-loaded snapshot and answer one
+/// flagship query (`IFile -> ASTNode`). Returns the suggestion count so
+/// the work cannot be optimized away.
+fn first_query(snap: prospector_store::Snapshot) -> usize {
+    let engine = Prospector::from_parts(snap.api, snap.graph);
+    let tin = engine.api().types().resolve("IFile").expect("IFile resolves");
+    let tout = engine.api().types().resolve("ASTNode").expect("ASTNode resolves");
+    engine.query(tin, tout).expect("query answers").suggestions.len()
+}
+
 fn main() {
     let quick = quick_mode();
     let rounds = if quick { 2 } else { 5 };
@@ -51,6 +64,7 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let json_path = dir.join("engine.json");
     let bin_path = dir.join("engine.pspk");
+    let v1_path = dir.join("engine-v1.pspk");
 
     let (json_save_us, ()) = best_us(rounds, || {
         prospector_core::persist::save_file(&json_path, engine.api(), engine.graph())
@@ -64,6 +78,17 @@ fn main() {
         "JSON debug:  save {json_save_us:10.0} us   load {json_load_us:10.0} us   {json_bytes:>9} bytes"
     );
 
+    // v1: the decode-everything baseline the zero-copy loader replaces.
+    std::fs::write(&v1_path, prospector_store::to_bytes_v1(engine.api(), engine.graph(), &mined))
+        .expect("v1 snapshot writes");
+    let v1_bytes = std::fs::metadata(&v1_path).expect("saved").len();
+    let (v1_load_us, v1_loaded) = best_us(rounds, || {
+        prospector_store::load_file(&v1_path).expect("v1 loads").0
+    });
+    println!(
+        "binary v1:   {:>16} load {v1_load_us:10.0} us   {v1_bytes:>9} bytes", ""
+    );
+
     let (bin_save_us, _) = best_us(rounds, || {
         prospector_store::save_file(&bin_path, engine.api(), engine.graph(), &mined)
             .expect("binary saves")
@@ -73,24 +98,66 @@ fn main() {
         prospector_store::load_file(&bin_path).expect("binary loads").0
     });
     println!(
-        "binary .pspk: save {bin_save_us:10.0} us   load {bin_load_us:10.0} us   {bin_bytes:>9} bytes"
+        "binary v2:   save {bin_save_us:10.0} us   load {bin_load_us:10.0} us   {bin_bytes:>9} bytes"
     );
 
-    // Both loaders must agree with the live engine before their times
-    // mean anything.
+    // The zero-copy load: validate header + section CRCs once and hand
+    // out borrowed views — O(sections checksummed), no per-element work.
+    let (map_us, mapped) = best_us(rounds, || {
+        let m = prospector_store::MappedSnapshot::map(&bin_path).expect("binary maps");
+        assert_eq!(m.manifest().sections.len(), 7);
+        m.is_mapped()
+    });
+    println!(
+        "binary v2 zero-copy (validate + mmap): {map_us:7.0} us   (mapped: {mapped})"
+    );
+
+    // Warm start to first answer: load + engine assembly + one query.
+    let (first_query_v1_us, n1) = best_us(rounds, || {
+        first_query(prospector_store::load_file(&v1_path).expect("v1 loads").0)
+    });
+    let (first_query_v2_us, n2) = best_us(rounds, || {
+        let m = prospector_store::MappedSnapshot::map(&bin_path).expect("binary maps");
+        first_query(m.thaw().expect("binary thaws"))
+    });
+    assert_eq!(n1, n2, "warm-started engines must answer identically");
+    println!(
+        "first query:  v1 {first_query_v1_us:9.0} us   v2+mmap {first_query_v2_us:7.0} us"
+    );
+
+    // Every loader must agree with the live engine before its time
+    // means anything.
     assert_eq!(json_loaded.graph.edge_count(), engine.graph().edge_count());
+    assert_eq!(v1_loaded.graph.csr().out_to(), engine.graph().csr().out_to());
     assert_eq!(bin_loaded.graph.edge_count(), engine.graph().edge_count());
     assert_eq!(bin_loaded.graph.csr().out_to(), engine.graph().csr().out_to());
 
     let load_speedup = json_load_us / bin_load_us;
     let vs_build = build_us / bin_load_us;
+    // The headline number: the v2 zero-copy (validate-only) load against
+    // the v1 decode-everything load it replaces. The deferred owned-API
+    // cost is not hidden — it shows up in `first_query.v2_mmap_us`.
+    let zero_copy_speedup = v1_load_us / map_us;
     println!(
-        "\nbinary load: {load_speedup:.2}x faster than JSON load, {vs_build:.2}x faster than a cold build\n"
+        "\nv2 full load: {load_speedup:.2}x faster than JSON load, {vs_build:.2}x faster than a cold build"
+    );
+    println!(
+        "v2 zero-copy (validate-only) load: {zero_copy_speedup:.2}x faster than the v1 decode\n"
     );
     assert!(
         bin_load_us < json_load_us,
         "binary load must beat the JSON debug path ({bin_load_us:.0} us vs {json_load_us:.0} us)"
     );
+    assert!(
+        map_us < v1_load_us,
+        "zero-copy v2 load must beat the v1 decode ({map_us:.0} us vs {v1_load_us:.0} us)"
+    );
+    if !quick {
+        assert!(
+            zero_copy_speedup >= 5.0,
+            "zero-copy v2 load must be >= 5x the v1 decode (got {zero_copy_speedup:.2}x)"
+        );
+    }
 
     let round1 = |x: f64| (x * 10.0).round() / 10.0;
     let doc = Json::obj(vec![
@@ -106,6 +173,13 @@ fn main() {
             ]),
         ),
         (
+            "binary_v1",
+            Json::obj(vec![
+                ("load_us", Json::Num(round1(v1_load_us))),
+                ("bytes", Json::num_u(v1_bytes)),
+            ]),
+        ),
+        (
             "binary",
             Json::obj(vec![
                 ("save_us", Json::Num(round1(bin_save_us))),
@@ -113,7 +187,22 @@ fn main() {
                 ("bytes", Json::num_u(bin_bytes)),
             ]),
         ),
+        (
+            "zero_copy",
+            Json::obj(vec![
+                ("map_us", Json::Num(round1(map_us))),
+                ("mapped", Json::Bool(mapped)),
+            ]),
+        ),
+        (
+            "first_query",
+            Json::obj(vec![
+                ("v1_us", Json::Num(round1(first_query_v1_us))),
+                ("v2_mmap_us", Json::Num(round1(first_query_v2_us))),
+            ]),
+        ),
         ("load_speedup", Json::Num((load_speedup * 100.0).round() / 100.0)),
+        ("zero_copy_speedup", Json::Num((zero_copy_speedup * 100.0).round() / 100.0)),
         ("load_vs_build", Json::Num((vs_build * 100.0).round() / 100.0)),
         ("quick", Json::Bool(quick)),
     ]);
@@ -125,4 +214,5 @@ fn main() {
 
     std::fs::remove_file(&json_path).ok();
     std::fs::remove_file(&bin_path).ok();
+    std::fs::remove_file(&v1_path).ok();
 }

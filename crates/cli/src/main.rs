@@ -438,17 +438,28 @@ fn run_command(flags: &Flags) -> Result<(), String> {
         "index" => match flags.rest.get(1).map(String::as_str) {
             Some("build") => index_build(flags, &flags.rest[2..]),
             Some("inspect") => {
-                let [path] = &flags.rest[2..] else {
-                    return Err("usage: prospector index inspect <path>".to_owned());
+                let mut layout = false;
+                let mut path: Option<&str> = None;
+                for a in &flags.rest[2..] {
+                    match a.as_str() {
+                        "--layout" => layout = true,
+                        p if path.is_none() => path = Some(p),
+                        _ => return Err(
+                            "usage: prospector index inspect <path> [--layout]".to_owned()
+                        ),
+                    }
+                }
+                let Some(path) = path else {
+                    return Err("usage: prospector index inspect <path> [--layout]".to_owned());
                 };
-                index_inspect(path)
+                index_inspect(path, layout)
             }
             Some(path) if flags.rest.len() == 2 => {
                 index_build(flags, &["-o".to_owned(), path.to_owned()])
             }
             _ => Err(
                 "usage: prospector index build [<stub.api>...] [--corpus <dir>] [-o <path>] \
-                 | index inspect <path> | index <path>"
+                 | index inspect <path> [--layout] | index <path>"
                     .to_owned(),
             ),
         },
@@ -456,6 +467,7 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             let mut addr = "127.0.0.1:7878".to_owned();
             let mut workers: Option<usize> = None;
             let mut access_log: Option<String> = None;
+            let mut mmap = false;
             let mut it = flags.rest[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -472,8 +484,12 @@ fn run_command(flags: &Flags) -> Result<(), String> {
                         access_log =
                             Some(it.next().ok_or("--access-log needs a path")?.clone());
                     }
+                    "--mmap" => mmap = true,
                     other => return Err(format!("serve: unknown argument `{other}`")),
                 }
+            }
+            if mmap && flags.index.is_none() {
+                return Err("serve: --mmap requires --index <snapshot.pspk>".to_owned());
             }
             // Bind before constructing the engine: binding enables the
             // metric registry, flight recorder, and access log, so the
@@ -487,7 +503,12 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             if let Some(path) = &access_log {
                 prospector_obs::log::set_file(path)?;
             }
-            let engine = engine(flags)?;
+            let (engine, snapshot_mode) = if let Some(path) = &flags.index {
+                let (engine, mode) = load_index_with(path, mmap)?;
+                (engine, Some(mode))
+            } else {
+                (build(&flags.options).map_err(|e| e.to_string())?.prospector, None)
+            };
             let bound = server.local_addr()?;
             println!("serving on http://{bound}");
             println!("  GET /healthz     liveness");
@@ -505,6 +526,7 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             let opts = prospector_cli::serve::ServeOptions {
                 max: flags.max,
                 snapshot_source: flags.index.clone(),
+                snapshot_mode: snapshot_mode.map(str::to_owned),
             };
             server.run(&engine, &opts, &shutdown)
         }
@@ -561,6 +583,14 @@ fn engine(flags: &Flags) -> Result<Prospector, String> {
 /// binary warm-start path (CSR restored verbatim, no graph rebuild),
 /// anything else the JSON debug loader.
 fn load_index(path: &str) -> Result<Prospector, String> {
+    load_index_with(path, false).map(|(engine, _)| engine)
+}
+
+/// [`load_index`] plus the storage mode actually achieved: `"mmap"` when
+/// the engine serves borrowed views out of a memory-mapped v2 snapshot,
+/// `"owned"` everywhere else (owned read, v1 decode, JSON debug index,
+/// or an mmap request the platform/format could not honor).
+fn load_index_with(path: &str, use_mmap: bool) -> Result<(Prospector, &'static str), String> {
     use std::io::Read as _;
     let p = std::path::Path::new(path);
     let mut head = [0u8; 4];
@@ -570,12 +600,17 @@ fn load_index(path: &str) -> Result<Prospector, String> {
         .is_ok()
         && prospector_store::is_snapshot(&head);
     if binary {
+        if use_mmap {
+            let (snap, _, mapped) = prospector_store::map_file(p).map_err(|e| e.to_string())?;
+            let mode = if mapped { "mmap" } else { "owned" };
+            return Ok((Prospector::from_parts(snap.api, snap.graph), mode));
+        }
         let (snap, _) = prospector_store::load_file(p).map_err(|e| e.to_string())?;
-        return Ok(Prospector::from_parts(snap.api, snap.graph));
+        return Ok((Prospector::from_parts(snap.api, snap.graph), "owned"));
     }
     let loaded =
         prospector_core::persist::load_file(p).map_err(|e| e.to_string())?;
-    Ok(Prospector::from_parts(loaded.api, loaded.graph))
+    Ok((Prospector::from_parts(loaded.api, loaded.graph), "owned"))
 }
 
 /// `index build [<stub.api>...] [--corpus <dir>] [-o <path>] [--json]`.
@@ -588,12 +623,20 @@ fn index_build(flags: &Flags, args: &[String]) -> Result<(), String> {
     let mut corpus: Option<String> = None;
     let mut out = "idx.pspk".to_owned();
     let mut json = false;
+    let mut v1 = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--corpus" => corpus = Some(it.next().ok_or("--corpus needs a directory")?.clone()),
             "-o" | "--out" => out = it.next().ok_or("-o needs a path")?.clone(),
             "--json" => json = true,
+            "--format" => {
+                v1 = match it.next().ok_or("--format needs v1 or v2")?.as_str() {
+                    "v1" => true,
+                    "v2" => false,
+                    other => return Err(format!("--format: unknown version `{other}`")),
+                };
+            }
             other => stubs.push(other.to_owned()),
         }
     }
@@ -617,8 +660,14 @@ fn index_build(flags: &Flags, args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
-    let manifest = prospector_store::save_file(path, engine.api(), engine.graph(), &mined)
-        .map_err(|e| e.to_string())?;
+    let manifest = if v1 {
+        let bytes = prospector_store::to_bytes_v1(engine.api(), engine.graph(), &mined);
+        std::fs::write(path, &bytes).map_err(|e| format!("{out}: {e}"))?;
+        prospector_store::manifest(&bytes).expect("freshly encoded snapshot is well-formed")
+    } else {
+        prospector_store::save_file(path, engine.api(), engine.graph(), &mined)
+            .map_err(|e| e.to_string())?
+    };
     println!(
         "wrote {out}: {:.1} MB, snapshot format v{}, {} nodes, {} edges",
         manifest.total_bytes as f64 / (1024.0 * 1024.0),
@@ -626,9 +675,18 @@ fn index_build(flags: &Flags, args: &[String]) -> Result<(), String> {
         engine.graph().node_count(),
         engine.graph().edge_count()
     );
+    let mut pad_total: u64 = 0;
     for s in &manifest.sections {
-        println!("  {:<9} {:>9} bytes  crc32 {:#010x}", s.name, s.bytes, s.crc32);
+        pad_total += u64::from(s.pad_bytes);
+        println!(
+            "  {:<9} {:>9} bytes  pad {}  crc32 {:#010x}",
+            s.name, s.bytes, s.pad_bytes, s.crc32
+        );
     }
+    println!(
+        "  padding overhead: {pad_total} bytes ({:.3}% of file)",
+        pad_total as f64 * 100.0 / manifest.total_bytes as f64
+    );
     Ok(())
 }
 
@@ -688,8 +746,11 @@ fn build_custom(
     Ok((engine, mined))
 }
 
-/// `index inspect <path>`: the validated manifest plus decoded counts.
-fn index_inspect(path: &str) -> Result<(), String> {
+/// `index inspect <path> [--layout]`: the validated manifest plus
+/// decoded counts; `--layout` adds the per-section byte map (frame and
+/// payload offsets, padding) that documents where the zero-copy loader
+/// borrows its views from.
+fn index_inspect(path: &str, layout: bool) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     if !prospector_store::is_snapshot(&bytes) {
         let loaded = prospector_core::persist::load_file(std::path::Path::new(path))
@@ -710,7 +771,27 @@ fn index_inspect(path: &str) -> Result<(), String> {
     let snap = prospector_store::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
     println!("{path}: prospector snapshot, format v{}, {} bytes", m.version, m.total_bytes);
     for s in &m.sections {
-        println!("  section {:<9} {:>9} bytes  crc32 {:#010x}", s.name, s.bytes, s.crc32);
+        // An unaligned payload is legal (v1 always is) but means the
+        // loader must fall back to copying instead of borrowing views.
+        let aligned = if s.offset % 8 == 0 { "" } else { "  UNALIGNED" };
+        println!(
+            "  section {:<9} {:>9} bytes  offset {:>9}  pad {}  crc32 {:#010x}{aligned}",
+            s.name, s.bytes, s.offset, s.pad_bytes, s.crc32
+        );
+    }
+    if layout {
+        let header = if m.version >= 2 { 16u64 } else { 12u64 };
+        let frame = if m.version >= 2 { 24u64 } else { 16u64 };
+        println!("  layout:");
+        println!("    {:>9}  {:>9}  region", "offset", "size");
+        println!("    {:>9}  {:>9}  header", 0, header);
+        for s in &m.sections {
+            println!("    {:>9}  {:>9}  {} frame", s.offset - frame, frame, s.name);
+            println!("    {:>9}  {:>9}  {} payload", s.offset, s.bytes, s.name);
+            if s.pad_bytes > 0 {
+                println!("    {:>9}  {:>9}  {} padding", s.offset + s.bytes, s.pad_bytes, s.name);
+            }
+        }
     }
     println!("  types:   {}", snap.api.types().len());
     println!("  methods: {}", snap.api.method_count());
@@ -931,9 +1012,9 @@ usage:
   prospector [flags] study [--seed N]
   prospector [flags] mine
   prospector [flags] stats
-  prospector [flags] index build [<stub.api>...] [--corpus <dir>] [-o <path>] [--json]
-  prospector [flags] index inspect <path>
-  prospector [flags] serve [--addr host:port] [--workers N] [--access-log <path>]
+  prospector [flags] index build [<stub.api>...] [--corpus <dir>] [-o <path>] [--json] [--format v1|v2]
+  prospector [flags] index inspect <path> [--layout]
+  prospector [flags] serve [--addr host:port] [--workers N] [--access-log <path>] [--mmap]
 
 flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle
        --max N --seed N --index <path> --metrics --metrics-json <path>

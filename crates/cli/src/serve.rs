@@ -106,6 +106,12 @@ pub struct ServeOptions {
     /// `--index` snapshot, `None` when built in-process. Reported by
     /// `/readyz` and `/status` as provenance.
     pub snapshot_source: Option<String>,
+    /// How the snapshot is held: `"mmap"` when the engine serves
+    /// borrowed views out of a memory-mapped v2 file, `"owned"` for an
+    /// owned read/decode, `None` for an in-process build. Reported
+    /// alongside `snapshot_source` so dashboards can tell the two
+    /// warm-start regimes apart.
+    pub snapshot_mode: Option<String>,
 }
 
 /// Per-endpoint × status-code request counters — the label support the
@@ -235,6 +241,7 @@ struct Ctx<'a> {
     max: usize,
     workers: usize,
     snapshot_source: Option<&'a str>,
+    snapshot_mode: Option<&'a str>,
     started: Instant,
     /// Workers currently inside `handle_connection`.
     busy: AtomicU64,
@@ -313,6 +320,7 @@ impl Server {
             max: opts.max,
             workers: self.workers,
             snapshot_source: opts.snapshot_source.as_deref(),
+            snapshot_mode: opts.snapshot_mode.as_deref(),
             started: Instant::now(),
             busy: AtomicU64::new(0),
             conns: AtomicU64::new(0),
@@ -699,6 +707,10 @@ fn readyz_json(ctx: &Ctx<'_>) -> Json {
             "snapshot_source",
             ctx.snapshot_source.map_or(Json::Null, |p| Json::Str(p.to_owned())),
         ),
+        (
+            "snapshot_mode",
+            ctx.snapshot_mode.map_or(Json::Null, |m| Json::Str(m.to_owned())),
+        ),
         ("graph_epoch", Json::num_u(status.graph_epoch)),
     ])
 }
@@ -770,6 +782,10 @@ fn status_json(ctx: &Ctx<'_>) -> Json {
         (
             "snapshot_source",
             ctx.snapshot_source.map_or(Json::Null, |p| Json::Str(p.to_owned())),
+        ),
+        (
+            "snapshot_mode",
+            ctx.snapshot_mode.map_or(Json::Null, |m| Json::Str(m.to_owned())),
         ),
         ("graph_epoch", Json::num_u(engine_status.graph_epoch)),
         (

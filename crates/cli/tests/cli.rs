@@ -353,7 +353,8 @@ fn binary_index_build_inspect_and_query() {
     let (stdout, stderr, ok) = prospector(&["index", "build", "-o", path_str]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("wrote"), "{stdout}");
-    assert!(stdout.contains("snapshot format v1"), "{stdout}");
+    assert!(stdout.contains("snapshot format v2"), "{stdout}");
+    assert!(stdout.contains("padding overhead:"), "{stdout}");
     for section in ["strings", "types", "members", "graph", "csr", "examples", "suffixes"] {
         assert!(stdout.contains(section), "section `{section}` missing from:\n{stdout}");
     }
@@ -363,11 +364,45 @@ fn binary_index_build_inspect_and_query() {
 
     let (stdout, stderr, ok) = prospector(&["index", "inspect", path_str]);
     assert!(ok, "stderr: {stderr}");
-    assert!(stdout.contains("prospector snapshot, format v1"), "{stdout}");
+    assert!(stdout.contains("prospector snapshot, format v2"), "{stdout}");
     assert!(stdout.contains("crc32"), "{stdout}");
     assert!(stdout.contains("mined examples:"), "{stdout}");
+    // Every v2 payload is 8-byte aligned, so nothing is flagged.
+    assert!(!stdout.contains("UNALIGNED"), "{stdout}");
+
+    let (stdout, stderr, ok) = prospector(&["index", "inspect", path_str, "--layout"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("layout:"), "{stdout}");
+    assert!(stdout.contains("csr payload"), "{stdout}");
 
     // Warm-started answers are identical to a fresh build's.
+    let (loaded, stderr, ok) = prospector(&["--index", path_str, "query", "IFile", "ASTNode"]);
+    assert!(ok, "stderr: {stderr}");
+    let (fresh, _, _) = prospector(&["query", "IFile", "ASTNode"]);
+    assert_eq!(loaded, fresh);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn index_build_can_downgrade_to_v1() {
+    let dir = std::env::temp_dir().join("prospector-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine-v1.pspk");
+    let path_str = path.to_str().unwrap();
+
+    let (stdout, stderr, ok) =
+        prospector(&["index", "build", "--format", "v1", "-o", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("snapshot format v1"), "{stdout}");
+
+    // v1 payloads are unpadded, so most land off the 8-byte grid and
+    // inspect flags them — the report that motivates upgrading to v2.
+    let (stdout, stderr, ok) = prospector(&["index", "inspect", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("prospector snapshot, format v1"), "{stdout}");
+    assert!(stdout.contains("UNALIGNED"), "{stdout}");
+
+    // The v1 file still warm-starts an identical engine.
     let (loaded, stderr, ok) = prospector(&["--index", path_str, "query", "IFile", "ASTNode"]);
     assert!(ok, "stderr: {stderr}");
     let (fresh, _, _) = prospector(&["query", "IFile", "ASTNode"]);

@@ -13,7 +13,7 @@ use prospector_obs::Json;
 
 /// The default in-process options every test serves with.
 fn opts() -> ServeOptions {
-    ServeOptions { max: 5, snapshot_source: None }
+    ServeOptions { max: 5, snapshot_source: None, snapshot_mode: None }
 }
 
 /// Issues one `GET` and returns `(status_line, body)`.
@@ -376,6 +376,10 @@ fn serve_status_logs_and_introspection() {
         let ready = Json::parse(&body).expect("readyz is strict JSON");
         assert_eq!(ready.get("ready").unwrap().as_bool(), Some(true));
         assert_eq!(ready.get("warm_start").unwrap().as_bool(), Some(false));
+        assert!(
+            matches!(ready.get("snapshot_mode"), Some(Json::Null)),
+            "in-process build has no snapshot mode: {body}"
+        );
         assert!(ready.get("graph_epoch").unwrap().as_u64().is_some());
 
         // /status: the windows saw the load — nonzero 1m count and p99

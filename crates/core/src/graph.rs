@@ -22,6 +22,8 @@ use jungloid_apidef::{Api, ElemJungloid, Visibility};
 use jungloid_typesys::TyId;
 use prospector_obs::json::{decode_err, Json, JsonError};
 
+use crate::slab::{ElemSeq, Slab};
+
 /// Process-global epoch source. Every graph *state* — a freshly built
 /// graph, a loaded snapshot, or the state after any mutation — gets a
 /// distinct epoch, so an epoch-stamped cache entry from one state can
@@ -126,55 +128,67 @@ impl GraphStats {
 /// [`JungloidGraph::with_naive_downcasts`]), so it always reflects the
 /// list adjacency, with per-node edge order preserved. The engine relies
 /// on this when `add_examples` / `add_param_examples` grow the graph.
+///
+/// Each array is a [`Slab`]: either owned (built in memory) or borrowed
+/// straight out of a format-v2 snapshot buffer ([`SnapshotBuf`]), in
+/// which case loading the graph copies no edge data at all. The
+/// elementary jungloids are an [`ElemSeq`]: owned structs when built,
+/// or the snapshot's packed 4×`u32` quads decoded on access.
 #[derive(Clone, Debug, Default)]
 pub struct CsrAdjacency {
     /// Forward offsets; `len = node_count + 1`.
-    fwd_off: Vec<u32>,
+    fwd_off: Slab<u32>,
     /// Destination dense index per forward edge.
-    fwd_to: Vec<u32>,
+    fwd_to: Slab<u32>,
     /// Elementary jungloid per forward edge.
-    fwd_elem: Vec<ElemJungloid>,
+    fwd_elem: ElemSeq,
     /// Step cost per forward edge (0 for widening).
-    fwd_cost: Vec<u8>,
+    fwd_cost: Slab<u8>,
     /// Reverse offsets; `len = node_count + 1`.
-    rev_off: Vec<u32>,
+    rev_off: Slab<u32>,
     /// Source dense index per reverse edge.
-    rev_from: Vec<u32>,
+    rev_from: Slab<u32>,
     /// Step cost per reverse edge.
-    rev_cost: Vec<u8>,
+    rev_cost: Slab<u8>,
 }
 
 impl CsrAdjacency {
     fn build(graph: &JungloidGraph) -> Self {
         let n = graph.node_count();
         let edges = u32::try_from(graph.edge_count).expect("edge arena fits u32");
-        let mut csr = CsrAdjacency {
-            fwd_off: Vec::with_capacity(n + 1),
-            fwd_to: Vec::with_capacity(edges as usize),
-            fwd_elem: Vec::with_capacity(edges as usize),
-            fwd_cost: Vec::with_capacity(edges as usize),
-            rev_off: Vec::with_capacity(n + 1),
-            rev_from: Vec::with_capacity(edges as usize),
-            rev_cost: Vec::with_capacity(edges as usize),
-        };
-        csr.fwd_off.push(0);
+        let mut fwd_off = Vec::with_capacity(n + 1);
+        let mut fwd_to = Vec::with_capacity(edges as usize);
+        let mut fwd_elem = Vec::with_capacity(edges as usize);
+        let mut fwd_cost = Vec::with_capacity(edges as usize);
+        let mut rev_off = Vec::with_capacity(n + 1);
+        let mut rev_from = Vec::with_capacity(edges as usize);
+        let mut rev_cost = Vec::with_capacity(edges as usize);
+        fwd_off.push(0);
         for row in &graph.out {
             for e in row {
-                csr.fwd_to.push(u32::try_from(graph.index_of(e.to)).expect("node fits u32"));
-                csr.fwd_elem.push(e.elem);
-                csr.fwd_cost.push(u8::from(!e.elem.is_widen()));
+                fwd_to.push(u32::try_from(graph.index_of(e.to)).expect("node fits u32"));
+                fwd_elem.push(e.elem);
+                fwd_cost.push(u8::from(!e.elem.is_widen()));
             }
-            csr.fwd_off.push(u32::try_from(csr.fwd_to.len()).expect("edge arena fits u32"));
+            fwd_off.push(u32::try_from(fwd_to.len()).expect("edge arena fits u32"));
         }
-        csr.rev_off.push(0);
+        rev_off.push(0);
         for row in &graph.rev {
             for &(from, cost) in row {
-                csr.rev_from.push(u32::try_from(graph.index_of(from)).expect("node fits u32"));
-                csr.rev_cost.push(cost);
+                rev_from.push(u32::try_from(graph.index_of(from)).expect("node fits u32"));
+                rev_cost.push(cost);
             }
-            csr.rev_off.push(u32::try_from(csr.rev_from.len()).expect("edge arena fits u32"));
+            rev_off.push(u32::try_from(rev_from.len()).expect("edge arena fits u32"));
         }
-        csr
+        CsrAdjacency {
+            fwd_off: Slab::from_vec(fwd_off),
+            fwd_to: Slab::from_vec(fwd_to),
+            fwd_elem: ElemSeq::Owned(fwd_elem),
+            fwd_cost: Slab::from_vec(fwd_cost),
+            rev_off: Slab::from_vec(rev_off),
+            rev_from: Slab::from_vec(rev_from),
+            rev_cost: Slab::from_vec(rev_cost),
+        }
     }
 
     /// Node count covered by this layout.
@@ -230,6 +244,37 @@ impl CsrAdjacency {
         rev_from: Vec<u32>,
         rev_cost: Vec<u8>,
     ) -> Result<CsrAdjacency, SnapshotError> {
+        CsrAdjacency::from_slabs(
+            Slab::from_vec(fwd_off),
+            Slab::from_vec(fwd_to),
+            ElemSeq::Owned(fwd_elem),
+            Slab::from_vec(fwd_cost),
+            Slab::from_vec(rev_off),
+            Slab::from_vec(rev_from),
+            Slab::from_vec(rev_cost),
+        )
+    }
+
+    /// [`CsrAdjacency::from_arrays`] over slab-backed storage: the arrays
+    /// may borrow directly from a snapshot buffer (the format-v2 zero-copy
+    /// load) or be owned, and the same structural validation runs either
+    /// way. Elementary jungloids are consulted through the [`ElemSeq`]
+    /// accessor, so packed quads are decoded exactly once here and then
+    /// again lazily on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] naming the violated invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_slabs(
+        fwd_off: Slab<u32>,
+        fwd_to: Slab<u32>,
+        fwd_elem: ElemSeq,
+        fwd_cost: Slab<u8>,
+        rev_off: Slab<u32>,
+        rev_from: Slab<u32>,
+        rev_cost: Slab<u8>,
+    ) -> Result<CsrAdjacency, SnapshotError> {
         let fail = |detail: String| Err(SnapshotError { detail });
         if fwd_off.is_empty() || rev_off.len() != fwd_off.len() {
             return fail(format!(
@@ -271,7 +316,7 @@ impl CsrAdjacency {
         }
         let bound = u32::try_from(node_count)
             .map_err(|_| SnapshotError { detail: "node count exceeds u32".to_owned() })?;
-        if let Some(&bad) = fwd_to.iter().chain(&rev_from).find(|&&n| n >= bound) {
+        if let Some(&bad) = fwd_to.iter().chain(rev_from.iter()).find(|&&n| n >= bound) {
             return fail(format!("edge endpoint {bad} out of range ({node_count} nodes)"));
         }
         for (i, elem) in fwd_elem.iter().enumerate() {
@@ -291,10 +336,25 @@ impl CsrAdjacency {
         &self.fwd_to
     }
 
-    /// Elementary jungloids, parallel to [`CsrAdjacency::out_to`].
+    /// Elementary jungloids, parallel to [`CsrAdjacency::out_to`]. An
+    /// [`ElemSeq`]: owned structs or packed snapshot quads decoded per
+    /// access — index with [`ElemSeq::get`].
     #[must_use]
-    pub fn out_elem(&self) -> &[ElemJungloid] {
+    pub fn out_elem(&self) -> &ElemSeq {
         &self.fwd_elem
+    }
+
+    /// True if any array borrows from a snapshot buffer rather than
+    /// owning its storage (the format-v2 zero-copy load path).
+    #[must_use]
+    pub fn is_borrowed(&self) -> bool {
+        self.fwd_off.is_borrowed()
+            || self.fwd_to.is_borrowed()
+            || self.fwd_cost.is_borrowed()
+            || self.rev_off.is_borrowed()
+            || self.rev_from.is_borrowed()
+            || self.rev_cost.is_borrowed()
+            || self.fwd_elem.is_packed()
     }
 
     /// Step costs, parallel to [`CsrAdjacency::out_to`].
@@ -321,11 +381,15 @@ impl CsrAdjacency {
         &self.rev_cost
     }
 
-    /// In-memory footprint of the flat arrays in bytes.
+    /// In-memory footprint of the flat arrays in bytes. Packed jungloid
+    /// quads occupy 16 bytes each in the snapshot buffer; owned ones the
+    /// in-memory struct size.
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
+        let elem = if self.fwd_elem.is_packed() { 16 } else { std::mem::size_of::<ElemJungloid>() };
         (self.fwd_off.len() + self.rev_off.len()) * 4
-            + self.fwd_to.len() * (4 + 1 + std::mem::size_of::<ElemJungloid>())
+            + self.fwd_to.len() * (4 + 1)
+            + self.fwd_elem.len() * elem
             + self.rev_from.len() * (4 + 1)
     }
 }
@@ -371,10 +435,17 @@ pub struct JungloidGraph {
     /// point; used for display and ranking).
     mined_base: Vec<TyId>,
     /// Out-edges, indexed by dense node index (types first, then mined).
+    /// Empty while the graph is *frozen* (snapshot-loaded and unmutated);
+    /// see [`JungloidGraph::thaw`].
     out: Vec<Vec<Edge>>,
     /// Reverse adjacency for distance-to-target pruning:
-    /// `(from, step_cost)` per in-edge.
+    /// `(from, step_cost)` per in-edge. Empty while frozen.
     rev: Vec<Vec<(NodeId, u8)>>,
+    /// Whether `out`/`rev` are materialized. Construction from an API or
+    /// JSON builds them eagerly; a snapshot load leaves the graph frozen
+    /// on the CSR alone and [`JungloidGraph::thaw`] materializes them on
+    /// the first mutation.
+    lists_ready: bool,
     /// Example step-sequences already added (dedup).
     examples: Vec<Vec<ElemJungloid>>,
     edge_count: usize,
@@ -397,6 +468,7 @@ impl JungloidGraph {
             mined_base: Vec::new(),
             out: vec![Vec::new(); ty_count as usize],
             rev: vec![Vec::new(); ty_count as usize],
+            lists_ready: true,
             examples: Vec::new(),
             edge_count: 0,
             csr: CsrAdjacency::default(),
@@ -458,11 +530,13 @@ impl JungloidGraph {
     }
 
     /// Restores a graph from a stored snapshot: the CSR arrays verbatim
-    /// (already validated by [`CsrAdjacency::from_arrays`]) plus the mined
-    /// node bases and example step-sequences. The list adjacency is
-    /// *derived from* the CSR — per-node edge order is the CSR's flat
-    /// order, which [`CsrAdjacency::build`] preserves from the lists — so
-    /// no rebuild happens and a warm start records no `graph.csr.rebuilds`.
+    /// (already validated by [`CsrAdjacency::from_arrays`] /
+    /// [`CsrAdjacency::from_slabs`]) plus the mined node bases and example
+    /// step-sequences. The graph comes back *frozen*: queries run on the
+    /// CSR alone (which may borrow directly from the snapshot buffer) and
+    /// the builder list adjacency stays empty until the first mutation
+    /// [`thaw`](JungloidGraph::thaw)s it. No rebuild happens, so a warm
+    /// start records no `graph.csr.rebuilds`.
     ///
     /// # Errors
     ///
@@ -507,34 +581,13 @@ impl JungloidGraph {
                 });
             }
         }
-        let node_at = |index: usize| {
-            if index < ty_count as usize {
-                NodeId::Ty(TyId::from_index(index))
-            } else {
-                NodeId::Mined(u32::try_from(index - ty_count as usize).expect("mined fits u32"))
-            }
-        };
-        let mut out = vec![Vec::new(); node_count];
-        let mut rev = vec![Vec::new(); node_count];
-        for (node, row) in out.iter_mut().enumerate() {
-            for flat in csr.out_range(node) {
-                row.push(Edge {
-                    elem: csr.out_elem()[flat],
-                    to: node_at(csr.out_to()[flat] as usize),
-                });
-            }
-        }
-        for (node, row) in rev.iter_mut().enumerate() {
-            for flat in csr.in_range(node) {
-                row.push((node_at(csr.in_from()[flat] as usize), csr.in_cost()[flat]));
-            }
-        }
         let graph = JungloidGraph {
             config,
             ty_count,
             mined_base,
-            out,
-            rev,
+            out: Vec::new(),
+            rev: Vec::new(),
+            lists_ready: false,
             examples,
             edge_count: csr.edge_count(),
             csr,
@@ -634,19 +687,67 @@ impl JungloidGraph {
         }
     }
 
-    /// Out-edges of a node.
+    /// Out-edges of a node, derived from the CSR (which is always in sync
+    /// with the graph state — rebuilt after every mutation, verbatim after
+    /// a snapshot load). Returned by value so frozen (zero-copy loaded)
+    /// and thawed graphs answer identically.
     #[must_use]
-    pub fn out_edges(&self, node: NodeId) -> &[Edge] {
-        &self.out[self.index_of(node)]
+    pub fn out_edges(&self, node: NodeId) -> Vec<Edge> {
+        let idx = self.index_of(node);
+        self.csr
+            .out_range(idx)
+            .map(|flat| Edge {
+                elem: self.csr.out_elem().get(flat),
+                to: self.node_at(self.csr.out_to()[flat] as usize),
+            })
+            .collect()
     }
 
-    /// In-edges of a node as `(from, step_cost)` pairs.
+    /// In-edges of a node as `(from, step_cost)` pairs, derived from the
+    /// CSR like [`JungloidGraph::out_edges`].
     #[must_use]
-    pub fn in_edges(&self, node: NodeId) -> &[(NodeId, u8)] {
-        &self.rev[self.index_of(node)]
+    pub fn in_edges(&self, node: NodeId) -> Vec<(NodeId, u8)> {
+        let idx = self.index_of(node);
+        self.csr
+            .in_range(idx)
+            .map(|flat| (self.node_at(self.csr.in_from()[flat] as usize), self.csr.in_cost()[flat]))
+            .collect()
+    }
+
+    /// Materializes the builder list adjacency from the CSR if the graph
+    /// is frozen (snapshot-loaded). Mutation paths call this before
+    /// appending edges; queries never need it. Idempotent; does not
+    /// advance the epoch (the graph state is unchanged).
+    fn thaw(&mut self) {
+        if self.lists_ready {
+            return;
+        }
+        let node_count = self.node_count();
+        let mut out = vec![Vec::new(); node_count];
+        let mut rev = vec![Vec::new(); node_count];
+        for (node, row) in out.iter_mut().enumerate() {
+            for flat in self.csr.out_range(node) {
+                row.push(Edge {
+                    elem: self.csr.out_elem().get(flat),
+                    to: self.node_at(self.csr.out_to()[flat] as usize),
+                });
+            }
+        }
+        for (node, row) in rev.iter_mut().enumerate() {
+            for flat in self.csr.in_range(node) {
+                row.push((
+                    self.node_at(self.csr.in_from()[flat] as usize),
+                    self.csr.in_cost()[flat],
+                ));
+            }
+        }
+        self.out = out;
+        self.rev = rev;
+        self.lists_ready = true;
     }
 
     fn push_edge(&mut self, from: NodeId, elem: ElemJungloid, to: NodeId) {
+        debug_assert!(self.lists_ready, "push_edge on a frozen graph; thaw first");
         let cost = u8::from(!elem.is_widen());
         let fi = self.index_of(from);
         self.out[fi].push(Edge { elem, to });
@@ -656,6 +757,7 @@ impl JungloidGraph {
     }
 
     fn fresh_mined(&mut self, base: TyId) -> NodeId {
+        debug_assert!(self.lists_ready, "fresh_mined on a frozen graph; thaw first");
         let id = u32::try_from(self.mined_base.len()).expect("mined arena fits u32");
         self.mined_base.push(base);
         self.out.push(Vec::new());
@@ -726,6 +828,7 @@ impl JungloidGraph {
         if self.examples.iter().any(|e| e == steps) {
             return Ok(false);
         }
+        self.thaw();
         let mut from = NodeId::Ty(steps[0].input_ty(api));
         for (i, &elem) in steps.iter().enumerate() {
             let to = if i + 1 == steps.len() {
@@ -750,6 +853,7 @@ impl JungloidGraph {
     #[must_use]
     pub fn with_naive_downcasts(&self, api: &Api) -> JungloidGraph {
         let mut g = self.clone();
+        g.thaw();
         for t in api.types().ids() {
             if !api.types().is_reference(t) || t == api.types().null() {
                 continue;
@@ -795,17 +899,20 @@ impl JungloidGraph {
         stats
     }
 
-    /// Rough in-memory footprint in bytes (list adjacency plus the CSR
-    /// mirror), for the §5 size report.
+    /// Rough in-memory footprint in bytes (list adjacency, when
+    /// materialized, plus the CSR mirror), for the §5 size report. A
+    /// frozen graph carries no list adjacency at all.
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
-        let edge = std::mem::size_of::<Edge>();
-        let rev = std::mem::size_of::<(NodeId, u8)>();
-        let node = 2 * std::mem::size_of::<Vec<Edge>>();
-        self.edge_count * (edge + rev)
-            + self.node_count() * node
-            + self.mined_base.len() * 4
-            + self.csr.approx_bytes()
+        let lists = if self.lists_ready {
+            let edge = std::mem::size_of::<Edge>();
+            let rev = std::mem::size_of::<(NodeId, u8)>();
+            let node = 2 * std::mem::size_of::<Vec<Edge>>();
+            self.edge_count * (edge + rev) + self.node_count() * node
+        } else {
+            0
+        };
+        lists + self.mined_base.len() * 4 + self.csr.approx_bytes()
     }
 
     /// Serializes the graph — config, mined nodes, examples, and the full
@@ -815,17 +922,15 @@ impl JungloidGraph {
     /// load.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        let adjacency: Vec<Json> = self
-            .out
-            .iter()
-            .map(|edges| {
+        let adjacency: Vec<Json> = (0..self.node_count())
+            .map(|node| {
                 Json::Arr(
-                    edges
-                        .iter()
-                        .map(|e| {
+                    self.csr
+                        .out_range(node)
+                        .map(|flat| {
                             Json::obj(vec![
-                                ("e", e.elem.to_json()),
-                                ("to", Json::num_u(self.index_of(e.to) as u64)),
+                                ("e", self.csr.out_elem().get(flat).to_json()),
+                                ("to", Json::num_u(u64::from(self.csr.out_to()[flat]))),
                             ])
                         })
                         .collect(),
@@ -933,6 +1038,7 @@ impl JungloidGraph {
             mined_base,
             out: vec![Vec::new(); node_count],
             rev: vec![Vec::new(); node_count],
+            lists_ready: true,
             examples,
             edge_count: 0,
             csr: CsrAdjacency::default(),
@@ -1021,7 +1127,7 @@ mod tests {
         let b = ty(&api, "t.B");
         let obj = api.types().object().unwrap();
         let widens: Vec<_> =
-            g.out_edges(NodeId::Ty(b)).iter().filter(|e| e.elem.is_widen()).collect();
+            g.out_edges(NodeId::Ty(b)).into_iter().filter(|e| e.elem.is_widen()).collect();
         assert_eq!(widens.len(), 1);
         assert_eq!(widens[0].to, NodeId::Ty(a));
         assert!(g.out_edges(NodeId::Ty(a)).iter().any(|e| e.elem.is_widen() && e.to == NodeId::Ty(obj)));
@@ -1092,15 +1198,15 @@ mod tests {
         // The path enters at A and its last edge lands on the real B node.
         let first: Vec<_> = g
             .out_edges(NodeId::Ty(a))
-            .iter()
+            .into_iter()
             .filter(|e| matches!(e.to, NodeId::Mined(_)))
             .collect();
         assert_eq!(first.len(), 1);
         let mid = first[0].to;
         assert_eq!(g.base_ty(mid), b);
-        let second = &g.out_edges(mid)[0];
+        let second = g.out_edges(mid)[0];
         assert!(second.elem.is_widen());
-        let last = &g.out_edges(second.to)[0];
+        let last = g.out_edges(second.to)[0];
         assert!(last.elem.is_downcast());
         assert_eq!(last.to, NodeId::Ty(b));
     }
@@ -1196,8 +1302,8 @@ mod tests {
             assert_eq!(back.out_edges(n), g.out_edges(n));
             // The reverse adjacency is rebuilt node-by-node on load, so
             // only its per-node *contents* are preserved, not the order.
-            let mut rev1 = back.in_edges(n).to_vec();
-            let mut rev2 = g.in_edges(n).to_vec();
+            let mut rev1 = back.in_edges(n);
+            let mut rev2 = g.in_edges(n);
             rev1.sort_unstable();
             rev2.sort_unstable();
             assert_eq!(rev1, rev2);
@@ -1229,7 +1335,7 @@ mod tests {
             for (k, e) in out.iter().enumerate() {
                 let flat = range.start + k;
                 assert_eq!(csr.out_to()[flat] as usize, g.index_of(e.to));
-                assert_eq!(csr.out_elem()[flat], e.elem);
+                assert_eq!(csr.out_elem().get(flat), e.elem);
                 assert_eq!(csr.out_cost()[flat], u8::from(!e.elem.is_widen()));
             }
             let ins = g.in_edges(node);
@@ -1326,6 +1432,49 @@ mod tests {
         assert_ne!(back.epoch(), g.epoch());
         // The naive-downcast copy is a different graph too.
         assert_ne!(g.with_naive_downcasts(&api).epoch(), g.epoch());
+    }
+
+    #[test]
+    fn frozen_snapshot_graph_answers_like_the_original_and_thaws_on_mutation() {
+        let api = api();
+        let mut g = JungloidGraph::from_api(&api, GraphConfig::default());
+        let a = ty(&api, "t.A");
+        let b = ty(&api, "t.B");
+        let obj = api.types().object().unwrap();
+        let m = api.lookup_instance_method(a, "toB", 0)[0];
+        let steps = vec![
+            ElemJungloid::Call { method: m, input: Some(InputSlot::Receiver) },
+            ElemJungloid::Widen { from: b, to: obj },
+            ElemJungloid::Downcast { from: obj, to: b },
+        ];
+        g.add_example(&api, &steps).unwrap();
+
+        let mined_base: Vec<TyId> = (0..g.mined_node_count())
+            .map(|i| g.base_ty(NodeId::Mined(u32::try_from(i).unwrap())))
+            .collect();
+        let mut frozen = JungloidGraph::from_snapshot(
+            &api,
+            g.config(),
+            mined_base,
+            g.examples().to_vec(),
+            g.csr().clone(),
+        )
+        .unwrap();
+        assert!(!frozen.lists_ready, "snapshot loads stay frozen");
+        for idx in 0..g.node_count() {
+            let n = g.node_at(idx);
+            assert_eq!(frozen.out_edges(n), g.out_edges(n));
+            assert_eq!(frozen.in_edges(n), g.in_edges(n));
+        }
+        // Dedup consults the stored sequences; no thaw needed.
+        assert!(!frozen.add_example(&api, &steps).unwrap());
+        assert!(!frozen.lists_ready);
+        // A genuinely new example thaws the lists and splices as usual.
+        let more = vec![ElemJungloid::Widen { from: b, to: a }];
+        assert!(frozen.add_example(&api, &more).unwrap());
+        assert!(frozen.lists_ready);
+        assert_eq!(frozen.edge_count(), g.edge_count() + 1);
+        assert_csr_mirrors_lists(&frozen);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod path;
 pub mod persist;
 pub mod rank;
 pub mod search;
+pub mod slab;
 pub mod synth;
 pub mod viability;
 
@@ -80,5 +81,6 @@ pub use rank::{RankKey, RankOptions};
 pub use search::{
     DistanceField, SearchConfig, SearchOutcome, SearchScratch, TruncationReason,
 };
+pub use slab::{ElemSeq, Slab, SnapshotBuf};
 pub use synth::{synthesize, synthesize_statements, NamePool, Snippet};
 pub use viability::{Behavior, Outcome};

@@ -390,7 +390,7 @@ impl Dfs<'_> {
             if to == self.target_idx {
                 // Pure-widening paths contain no code ("you already have a
                 // tout"); the engine reports those separately.
-                self.scratch.elems.push(fwd_elem[ei]);
+                self.scratch.elems.push(fwd_elem.get(ei));
                 if self.scratch.elems.iter().any(|e| !e.is_widen()) {
                     self.out.push(Jungloid { source, elems: self.scratch.elems.clone() });
                     if self.out.len() >= self.config.max_results {
@@ -401,7 +401,7 @@ impl Dfs<'_> {
                 }
                 self.scratch.elems.pop();
             } else {
-                self.scratch.elems.push(fwd_elem[ei]);
+                self.scratch.elems.push(fwd_elem.get(ei));
                 self.scratch.on_path[to as usize] = true;
                 let range = self.csr.out_range(to as usize);
                 self.scratch.stack.push(Frame {

@@ -1,0 +1,671 @@
+//! Backing storage for zero-copy snapshots: aligned buffers, borrowed
+//! slab views, and packed jungloid-element sequences.
+//!
+//! The `.pspk` format v2 lays its hot sections out as 8-byte-aligned
+//! little-endian arrays so a loader can validate checksums once and then
+//! *borrow* `&[u32]`/`&[u8]` views straight out of one buffer — no
+//! per-element deserialization. Three pieces make that safe:
+//!
+//! * [`SnapshotBuf`] — the one buffer the whole snapshot lives in. Either
+//!   an owned allocation whose base address is 8-byte aligned (backed by
+//!   a `Vec<u64>`, so the alignment is a type-system fact, not a hope),
+//!   or a read-only memory mapping obtained through a raw `mmap(2)`
+//!   syscall (std-only, Linux/x86-64; everywhere else the owned read is
+//!   the portable fallback). Page alignment ≥ 8 covers the mapped case.
+//! * [`Slab<T>`] — a typed array that is either an owned `Vec<T>` or a
+//!   `(buffer, offset, length)` view into an [`Arc<SnapshotBuf>`].
+//!   Alignment and bounds are checked **once at construction**; after
+//!   that [`Slab::as_slice`] is a pointer cast. Only [`Plain`] element
+//!   types (`u8`, `u32` — every bit pattern valid, no padding) can be
+//!   viewed this way, and only on little-endian targets, where the
+//!   on-disk and in-memory representations coincide. Big-endian builds
+//!   get `None` from [`Slab::borrowed`] and decode into owned storage.
+//! * [`ElemSeq`] — the CSR's per-edge jungloid elements, either owned
+//!   `Vec<ElemJungloid>` or the on-disk packed form (one `[u32; 4]` quad
+//!   per element) decoded on access. Decoding a quad is a handful of
+//!   register ops; storing them packed is what lets the biggest CSR
+//!   array stay borrowed.
+
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::Arc;
+
+use jungloid_apidef::{ElemJungloid, FieldId, InputSlot, MethodId};
+use jungloid_typesys::TyId;
+
+/// The single allocation (or mapping) a zero-copy snapshot borrows from.
+///
+/// The base address is always at least 8-byte aligned: owned storage is a
+/// `Vec<u64>`, mappings are page-aligned. Section offsets inside the
+/// buffer therefore only need to be 8-byte multiples for every `u32`/`u64`
+/// view to be properly aligned.
+pub struct SnapshotBuf {
+    inner: BufInner,
+}
+
+enum BufInner {
+    /// `words` owns `len` meaningful bytes (the tail of the last word is
+    /// zero padding).
+    Owned { words: Vec<u64>, len: usize },
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped { ptr: *const u8, len: usize },
+}
+
+// SAFETY: the mapped variant is a private read-only mapping that nothing
+// mutates; the owned variant is a Vec. Shared references hand out `&[u8]`
+// only.
+unsafe impl Send for SnapshotBuf {}
+unsafe impl Sync for SnapshotBuf {}
+
+impl std::fmt::Debug for SnapshotBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotBuf")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl SnapshotBuf {
+    fn owned_with_len(len: usize) -> SnapshotBuf {
+        let words = vec![0u64; len.div_ceil(8)];
+        SnapshotBuf { inner: BufInner::Owned { words, len } }
+    }
+
+    /// Copies `bytes` into fresh 8-byte-aligned owned storage.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> SnapshotBuf {
+        let mut buf = Self::owned_with_len(bytes.len());
+        buf.as_mut_slice().copy_from_slice(bytes);
+        buf
+    }
+
+    /// Reads a whole file into 8-byte-aligned owned storage (the portable
+    /// loading path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    pub fn read_file(path: &Path) -> std::io::Result<SnapshotBuf> {
+        use std::io::Read as _;
+        let mut file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large for memory")
+        })?;
+        let mut buf = Self::owned_with_len(len);
+        file.read_exact(buf.as_mut_slice())?;
+        buf
+            .check_eof(&mut file)
+            .map_err(|_| std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "file grew while being read",
+            ))?;
+        Ok(buf)
+    }
+
+    fn check_eof(&self, file: &mut std::fs::File) -> Result<(), ()> {
+        use std::io::Read as _;
+        let mut probe = [0u8; 1];
+        match file.read(&mut probe) {
+            Ok(0) => Ok(()),
+            _ => Err(()),
+        }
+    }
+
+    /// Memory-maps a whole file read-only where the raw-syscall wrapper
+    /// is available, falling back to [`SnapshotBuf::read_file`] anywhere
+    /// else (or if the mapping fails). The returned flag says whether the
+    /// buffer is actually a mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure from the fallback read.
+    pub fn map_file(path: &Path) -> std::io::Result<(SnapshotBuf, bool)> {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            if let Some(buf) = Self::try_map(path) {
+                return Ok((buf, true));
+            }
+        }
+        Ok((Self::read_file(path)?, false))
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fn try_map(path: &Path) -> Option<SnapshotBuf> {
+        use std::os::fd::AsRawFd as _;
+        let file = std::fs::File::open(path).ok()?;
+        let len = usize::try_from(file.metadata().ok()?.len()).ok()?;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; the owned path
+            // represents an empty buffer fine.
+            return None;
+        }
+        // SAFETY: read-only private mapping of an open fd; the pointer is
+        // owned by the returned SnapshotBuf, which munmaps on drop. The
+        // fd can be closed immediately after — the mapping keeps the file
+        // alive.
+        let ptr = unsafe { sys::mmap_readonly(file.as_raw_fd(), len) }?;
+        Some(SnapshotBuf { inner: BufInner::Mapped { ptr, len } })
+    }
+
+    /// The buffer's bytes. The base pointer is at least 8-byte aligned.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            BufInner::Owned { words, len } => {
+                // SAFETY: the Vec owns at least `len` initialized bytes
+                // (constructors zero-fill, then overwrite).
+                unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), *len) }
+            }
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            BufInner::Mapped { ptr, len } => {
+                // SAFETY: the mapping is `len` bytes, read-only, and live
+                // until drop.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        match &mut self.inner {
+            BufInner::Owned { words, len } => {
+                // SAFETY: as in `as_slice`, plus exclusive access.
+                unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), *len) }
+            }
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            BufInner::Mapped { .. } => unreachable!("mapped buffers are never mutated"),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            BufInner::Owned { len, .. } => *len,
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            BufInner::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the buffer is an actual memory mapping (vs owned storage).
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            BufInner::Owned { .. } => false,
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            BufInner::Mapped { .. } => true,
+        }
+    }
+}
+
+impl Drop for SnapshotBuf {
+    fn drop(&mut self) {
+        match &self.inner {
+            BufInner::Owned { .. } => {}
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            BufInner::Mapped { ptr, len } => {
+                // SAFETY: exactly the region mmap returned, unmapped once.
+                unsafe { sys::munmap(*ptr, *len) };
+            }
+        }
+    }
+}
+
+/// Raw `mmap(2)` / `munmap(2)` syscall wrappers — std-only, no libc.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Maps `len` bytes of `fd` read-only/private. `None` on failure.
+    ///
+    /// # Safety
+    ///
+    /// `fd` must be an open, readable file descriptor and `len` no larger
+    /// than the file. The caller owns the returned mapping and must
+    /// `munmap` it exactly once.
+    pub unsafe fn mmap_readonly(fd: i32, len: usize) -> Option<*const u8> {
+        let ret: isize;
+        // SAFETY: plain syscall; the kernel validates every argument and
+        // reports failure through the return value.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MMAP as isize => ret,
+                in("rdi") 0usize,          // addr: let the kernel pick
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd as isize,
+                in("r9") 0usize,           // offset
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
+        // Errors come back as -errno in the top page of the address space.
+        if (-4095..0).contains(&ret) {
+            None
+        } else {
+            Some(ret as *const u8)
+        }
+    }
+
+    /// Unmaps a region previously returned by [`mmap_readonly`].
+    ///
+    /// # Safety
+    ///
+    /// `(ptr, len)` must be exactly one live mapping from
+    /// [`mmap_readonly`].
+    pub unsafe fn munmap(ptr: *const u8, len: usize) {
+        let ret: isize;
+        // SAFETY: as above.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MUNMAP as isize => ret,
+                in("rdi") ptr,
+                in("rsi") len,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
+        debug_assert_eq!(ret, 0, "munmap of a live mapping cannot fail");
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u32 {}
+}
+
+/// Element types a [`Slab`] may view directly out of a byte buffer:
+/// every bit pattern is a valid value and the type has no padding, so a
+/// pointer cast from checked-aligned bytes is sound.
+pub trait Plain: Copy + PartialEq + std::fmt::Debug + sealed::Sealed + 'static {}
+
+impl Plain for u8 {}
+impl Plain for u32 {}
+
+/// A typed array backed either by an owned `Vec<T>` or by a borrowed
+/// range of an [`Arc<SnapshotBuf>`] (zero-copy). Cloning a borrowed slab
+/// is an `Arc` bump.
+#[derive(Clone)]
+pub struct Slab<T: Plain> {
+    inner: SlabInner<T>,
+}
+
+#[derive(Clone)]
+enum SlabInner<T: Plain> {
+    Owned(Vec<T>),
+    Borrowed {
+        buf: Arc<SnapshotBuf>,
+        /// Byte offset of the first element; `align_of::<T>()`-aligned.
+        off: usize,
+        /// Element (not byte) count.
+        len: usize,
+        _marker: PhantomData<T>,
+    },
+}
+
+impl<T: Plain> Slab<T> {
+    /// Wraps an owned vector.
+    #[must_use]
+    pub fn from_vec(v: Vec<T>) -> Slab<T> {
+        Slab { inner: SlabInner::Owned(v) }
+    }
+
+    /// Borrows `len` elements starting `byte_off` bytes into `buf` —
+    /// the zero-copy constructor. Returns `None` (caller falls back to
+    /// owned decoding) when the range is out of bounds, the offset is
+    /// misaligned for `T`, or the target is big-endian (the on-disk
+    /// representation is little-endian).
+    #[must_use]
+    pub fn borrowed(buf: &Arc<SnapshotBuf>, byte_off: usize, len: usize) -> Option<Slab<T>> {
+        if cfg!(target_endian = "big") {
+            return None;
+        }
+        let byte_len = len.checked_mul(std::mem::size_of::<T>())?;
+        let end = byte_off.checked_add(byte_len)?;
+        if end > buf.len() || !byte_off.is_multiple_of(std::mem::align_of::<T>()) {
+            return None;
+        }
+        Some(Slab {
+            inner: SlabInner::Borrowed {
+                buf: Arc::clone(buf),
+                off: byte_off,
+                len,
+                _marker: PhantomData,
+            },
+        })
+    }
+
+    /// The elements, however they are stored.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.inner {
+            SlabInner::Owned(v) => v,
+            SlabInner::Borrowed { buf, off, len, .. } => {
+                // SAFETY: construction checked bounds and alignment; `T`
+                // is `Plain` (every bit pattern valid); the buffer lives
+                // as long as `self` via the Arc.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        buf.as_slice().as_ptr().add(*off).cast::<T>(),
+                        *len,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Whether this slab borrows from a snapshot buffer (vs owning).
+    #[must_use]
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.inner, SlabInner::Borrowed { .. })
+    }
+}
+
+impl<T: Plain> std::ops::Deref for Slab<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Plain> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::from_vec(Vec::new())
+    }
+}
+
+impl<T: Plain> PartialEq for Slab<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Plain> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Slab({} x {}", self.len(), std::any::type_name::<T>())?;
+        if self.is_borrowed() {
+            write!(f, ", borrowed")?;
+        }
+        write!(f, ")")
+    }
+}
+
+// --- Packed jungloid elements -------------------------------------------
+
+/// Quad tag: field access.
+const TAG_FIELD: u32 = 0;
+/// Quad tag: method call.
+const TAG_CALL: u32 = 1;
+/// Quad tag: widening conversion.
+const TAG_WIDEN: u32 = 2;
+/// Quad tag: downcast.
+const TAG_DOWNCAST: u32 = 3;
+
+/// Packs one element as the on-disk `[tag, a, b, c]` quad (format v2's
+/// CSR element encoding). Unused fields are zero.
+#[must_use]
+pub fn encode_quad(elem: ElemJungloid) -> [u32; 4] {
+    let idx = |i: usize| u32::try_from(i).expect("arena index fits u32");
+    match elem {
+        ElemJungloid::FieldAccess { field } => [TAG_FIELD, idx(field.index()), 0, 0],
+        ElemJungloid::Call { method, input } => {
+            let (kind, arg) = match input {
+                None => (0, 0),
+                Some(InputSlot::Receiver) => (1, 0),
+                Some(InputSlot::Arg(i)) => (2, idx(i)),
+            };
+            [TAG_CALL, idx(method.index()), kind, arg]
+        }
+        ElemJungloid::Widen { from, to } => [TAG_WIDEN, idx(from.index()), idx(to.index()), 0],
+        ElemJungloid::Downcast { from, to } => {
+            [TAG_DOWNCAST, idx(from.index()), idx(to.index()), 0]
+        }
+    }
+}
+
+/// Decodes one `[tag, a, b, c]` quad. `None` on a malformed quad (bad
+/// tag, bad input kind, or nonzero bits in an unused field) — the loader
+/// validates every quad once up front so access-path decoding
+/// ([`ElemSeq::get`]) can treat `None` as unreachable.
+#[must_use]
+pub fn decode_quad(quad: [u32; 4]) -> Option<ElemJungloid> {
+    let [tag, a, b, c] = quad;
+    match tag {
+        TAG_FIELD => {
+            if b != 0 || c != 0 {
+                return None;
+            }
+            Some(ElemJungloid::FieldAccess { field: FieldId::from_index(a as usize) })
+        }
+        TAG_CALL => {
+            let input = match b {
+                0 if c == 0 => None,
+                1 if c == 0 => Some(InputSlot::Receiver),
+                2 => Some(InputSlot::Arg(c as usize)),
+                _ => return None,
+            };
+            Some(ElemJungloid::Call { method: MethodId::from_index(a as usize), input })
+        }
+        TAG_WIDEN if c == 0 => Some(ElemJungloid::Widen {
+            from: TyId::from_index(a as usize),
+            to: TyId::from_index(b as usize),
+        }),
+        TAG_DOWNCAST if c == 0 => Some(ElemJungloid::Downcast {
+            from: TyId::from_index(a as usize),
+            to: TyId::from_index(b as usize),
+        }),
+        _ => None,
+    }
+}
+
+/// The CSR's per-edge jungloid elements: owned structs, or the on-disk
+/// packed quads decoded on access. [`ElemSeq::get`] returns by value
+/// (`ElemJungloid` is `Copy`) so search loops are storage-agnostic.
+#[derive(Clone)]
+pub enum ElemSeq {
+    /// Materialized elements (graphs built in-process, or big-endian
+    /// fallback decode).
+    Owned(Vec<ElemJungloid>),
+    /// Borrowed `[u32; 4]` quads, one per element, pre-validated by the
+    /// loader.
+    Packed(Slab<u32>),
+}
+
+impl ElemSeq {
+    /// Wraps pre-validated packed quads (`4 × count` words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count is not a multiple of 4. Quad *content*
+    /// validity is the loader's responsibility.
+    #[must_use]
+    pub fn packed(words: Slab<u32>) -> ElemSeq {
+        assert!(words.len().is_multiple_of(4), "packed elem storage must be whole quads");
+        ElemSeq::Packed(words)
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            ElemSeq::Owned(v) => v.len(),
+            ElemSeq::Packed(words) => words.len() / 4,
+        }
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The element at `i`, decoded if packed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds (like slice indexing would).
+    #[must_use]
+    pub fn get(&self, i: usize) -> ElemJungloid {
+        match self {
+            ElemSeq::Owned(v) => v[i],
+            ElemSeq::Packed(words) => {
+                let w = &words.as_slice()[i * 4..i * 4 + 4];
+                decode_quad([w[0], w[1], w[2], w[3]])
+                    .expect("packed quads are validated at load")
+            }
+        }
+    }
+
+    /// Iterates the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = ElemJungloid> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Whether the packed representation backs this sequence.
+    #[must_use]
+    pub fn is_packed(&self) -> bool {
+        matches!(self, ElemSeq::Packed(_))
+    }
+}
+
+impl Default for ElemSeq {
+    fn default() -> Self {
+        ElemSeq::Owned(Vec::new())
+    }
+}
+
+impl PartialEq for ElemSeq {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl std::fmt::Debug for ElemSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_buf_is_aligned_and_round_trips() {
+        let bytes: Vec<u8> = (0..=41).collect();
+        let buf = SnapshotBuf::from_bytes(&bytes);
+        assert_eq!(buf.as_slice(), &bytes[..]);
+        assert_eq!(buf.as_slice().as_ptr() as usize % 8, 0, "base must be 8-aligned");
+        assert!(!buf.is_mapped());
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn map_file_reads_back_identical_bytes() {
+        let dir = std::env::temp_dir().join("prospector-slab-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("map.bin");
+        let bytes: Vec<u8> = (0u16..3000).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &bytes).expect("write");
+        let (buf, mapped) = SnapshotBuf::map_file(&path).expect("map");
+        assert_eq!(buf.as_slice(), &bytes[..]);
+        assert_eq!(buf.is_mapped(), mapped);
+        assert_eq!(buf.as_slice().as_ptr() as usize % 8, 0);
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(mapped, "the raw mmap path must engage on linux/x86-64");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn borrowed_slab_views_the_buffer_without_copying() {
+        let words: Vec<u32> = vec![7, 11, 13, 17];
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let buf = Arc::new(SnapshotBuf::from_bytes(&bytes));
+        let slab = Slab::<u32>::borrowed(&buf, 0, 4).expect("aligned in-bounds view");
+        if cfg!(target_endian = "little") {
+            assert_eq!(slab.as_slice(), &words[..]);
+            assert!(slab.is_borrowed());
+            assert_eq!(
+                slab.as_slice().as_ptr().cast::<u8>(),
+                buf.as_slice().as_ptr(),
+                "a borrowed slab must point into the buffer itself"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_slab_rejects_misalignment_and_overflow() {
+        let buf = Arc::new(SnapshotBuf::from_bytes(&[0u8; 16]));
+        assert!(Slab::<u32>::borrowed(&buf, 2, 1).is_none(), "misaligned offset");
+        assert!(Slab::<u32>::borrowed(&buf, 8, 3).is_none(), "past the end");
+        assert!(Slab::<u32>::borrowed(&buf, 0, usize::MAX).is_none(), "length overflow");
+        assert!(Slab::<u8>::borrowed(&buf, 3, 13).is_some(), "u8 views need no alignment");
+    }
+
+    #[test]
+    fn quads_round_trip_every_element_shape() {
+        let elems = [
+            ElemJungloid::FieldAccess { field: FieldId::from_index(5) },
+            ElemJungloid::Call { method: MethodId::from_index(9), input: None },
+            ElemJungloid::Call {
+                method: MethodId::from_index(2),
+                input: Some(InputSlot::Receiver),
+            },
+            ElemJungloid::Call {
+                method: MethodId::from_index(3),
+                input: Some(InputSlot::Arg(1)),
+            },
+            ElemJungloid::Widen { from: TyId::from_index(4), to: TyId::from_index(7) },
+            ElemJungloid::Downcast { from: TyId::from_index(7), to: TyId::from_index(4) },
+        ];
+        for e in elems {
+            assert_eq!(decode_quad(encode_quad(e)), Some(e));
+        }
+    }
+
+    #[test]
+    fn malformed_quads_are_rejected_not_misread() {
+        assert_eq!(decode_quad([4, 0, 0, 0]), None, "unknown tag");
+        assert_eq!(decode_quad([0, 1, 2, 0]), None, "field with junk in b");
+        assert_eq!(decode_quad([1, 0, 3, 0]), None, "call with bad input kind");
+        assert_eq!(decode_quad([1, 0, 1, 5]), None, "receiver call with junk arg");
+        assert_eq!(decode_quad([2, 1, 2, 9]), None, "widen with junk in c");
+    }
+
+    #[test]
+    fn packed_and_owned_elem_seqs_compare_equal() {
+        let elems = vec![
+            ElemJungloid::Widen { from: TyId::from_index(1), to: TyId::from_index(2) },
+            ElemJungloid::Call { method: MethodId::from_index(0), input: Some(InputSlot::Receiver) },
+        ];
+        let mut words = Vec::new();
+        for &e in &elems {
+            words.extend_from_slice(&encode_quad(e));
+        }
+        let packed = ElemSeq::packed(Slab::from_vec(words));
+        let owned = ElemSeq::Owned(elems.clone());
+        assert_eq!(packed, owned);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed.get(1), elems[1]);
+        assert_eq!(packed.iter().collect::<Vec<_>>(), elems);
+    }
+}

@@ -1,20 +1,36 @@
 //! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
 //! guarding every `.pspk` section. Hand-rolled because the workspace is
-//! dependency-free; the lookup table is built once on first use.
+//! dependency-free; the tables are built once on first use.
+//!
+//! Uses the slicing-by-16 technique: sixteen derived lookup tables let
+//! the inner loop fold 16 input bytes per iteration instead of 1, which
+//! keeps the validate-only (zero-copy) load path dominated by I/O rather
+//! than checksumming.
 
 use std::sync::OnceLock;
 
-static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+const SLICES: usize = 16;
 
-fn table() -> &'static [u32; 256] {
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
+static TABLES: OnceLock<[[u32; 256]; SLICES]> = OnceLock::new();
+
+fn tables() -> &'static [[u32; 256]; SLICES] {
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; SLICES];
+        for (i, entry) in t[0].iter_mut().enumerate() {
             let mut c = u32::try_from(i).expect("byte range");
             for _ in 0..8 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             }
             *entry = c;
+        }
+        // Table k advances a byte through k additional zero bytes, so one
+        // round of sixteen lookups equals sixteen rounds of the classic
+        // byte-at-a-time loop.
+        for k in 1..SLICES {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
         }
         t
     })
@@ -36,9 +52,24 @@ impl Crc32 {
 
     /// Feeds bytes into the checksum.
     pub fn update(&mut self, bytes: &[u8]) {
-        let t = table();
-        for &b in bytes {
-            self.state = t[((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
+        let t = tables();
+        let word = |c: &[u8], i: usize| {
+            u32::from_le_bytes(c[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+        };
+        let mut chunks = bytes.chunks_exact(SLICES);
+        for chunk in &mut chunks {
+            let words =
+                [self.state ^ word(chunk, 0), word(chunk, 1), word(chunk, 2), word(chunk, 3)];
+            let mut next = 0u32;
+            for (w, word) in words.into_iter().enumerate() {
+                for b in 0..4 {
+                    next ^= t[SLICES - 1 - (w * 4 + b)][((word >> (8 * b)) & 0xFF) as usize];
+                }
+            }
+            self.state = next;
+        }
+        for &b in chunks.remainder() {
+            self.state = t[0][((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
         }
     }
 

@@ -3,28 +3,35 @@
 //! The JSON path in `prospector_core::persist` is the *debug* format —
 //! human-readable, but it re-parses every node and rebuilds the CSR
 //! adjacency on load. This crate is the *production* path: a
-//! little-endian binary layout that stores the frozen forward+reverse
-//! CSR arrays verbatim, so a server warm-starts by validating checksums
-//! and copying arrays instead of re-running graph construction, mining,
-//! or generalization.
+//! little-endian binary layout whose hot sections (forward+reverse CSR
+//! arrays, string pool, packed jungloid quads) are 8-byte-aligned slabs
+//! the loader *borrows directly* from one aligned read — or an mmap'd
+//! region via [`map_file`] — so a server warm-starts by validating
+//! checksums once and handing out views, with zero per-element copies
+//! and no graph construction, mining, or generalization.
 //!
 //! Format guarantees:
 //!
 //! - **Versioned.** Files open with the `PSPK` magic and a format
-//!   version; a build only reads the exact version it writes
-//!   ([`FORMAT_VERSION`]), and anything else is a typed
+//!   version; a build reads its own version ([`FORMAT_VERSION`]) and
+//!   every older one (v1 via the original full-decode path, still
+//!   writable with [`to_bytes_v1`]), and anything newer is a typed
 //!   [`StoreError::UnsupportedVersion`] — never a misparse.
 //! - **Checksummed.** Each of the seven sections carries a CRC32 over
 //!   its tag and payload; a single flipped bit anywhere surfaces as
-//!   [`StoreError::ChecksumMismatch`] naming the section.
+//!   [`StoreError::ChecksumMismatch`] naming the section (a flipped
+//!   byte in v2 alignment padding, which sits outside the CRC, is a
+//!   [`StoreError::Corrupt`] naming the section instead).
 //! - **Panic-free loading.** Every count is bounds-proved before
 //!   allocation and every cross-reference (string, type, method, field,
-//!   node) is validated against the tables decoded so far; all damage
-//!   maps to a [`StoreError`].
+//!   node) is validated against the tables decoded so far — including
+//!   one O(edges) scan over the packed quads before any of them can be
+//!   borrowed into the query hot path; all damage maps to a
+//!   [`StoreError`].
 //! - **Byte-identical warm start.** The loader rebuilds nothing: the
 //!   CSR arrays, mined nodes, and generalized suffixes round-trip
-//!   verbatim, so a reloaded engine answers queries identically to the
-//!   one that was saved.
+//!   verbatim, so a reloaded engine — owned or borrowed — answers
+//!   queries identically to the one that was saved.
 
 mod crc32;
 mod error;
@@ -34,8 +41,9 @@ mod snapshot;
 pub use crc32::{crc32, Crc32};
 pub use error::StoreError;
 pub use snapshot::{
-    from_bytes, is_snapshot, load_file, manifest, save_file, to_bytes, Manifest, SectionInfo,
-    Snapshot, FORMAT_VERSION, MAGIC,
+    from_buf, from_bytes, is_snapshot, load_file, manifest, map_file, pad_for, save_file, to_bytes,
+    to_bytes_v1, Manifest, MappedSnapshot, SectionInfo, Snapshot, FORMAT_VERSION, MAGIC,
+    V1_FORMAT_VERSION,
 };
 
 #[cfg(test)]

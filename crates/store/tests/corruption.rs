@@ -1,39 +1,66 @@
 //! Corruption fuzzing: a `.pspk` snapshot must survive any mutilation
-//! with a typed [`StoreError`] — never a panic, never a silent mis-load.
+//! with a typed [`StoreError`] — never a panic, never a silent mis-load,
+//! never an out-of-bounds read (the v2 loader hands out *borrowed* views
+//! into the file bytes, so framing validation is the only thing between
+//! a flipped bit and the query hot path).
 //!
-//! The mutations exercised here are the two classes the format is built
-//! to catch: truncation at (and around) every section boundary, and a
-//! single flipped byte in every section's header and payload.
+//! The mutations exercised here are the classes the format is built to
+//! catch: truncation at (and around) every section boundary, a single
+//! flipped byte in every header and payload, a flipped byte inside v2
+//! alignment padding (which sits *outside* the CRC), and a stored CRC
+//! that was wrongly computed over the padding.
 
 use prospector_corpora::{build, BuildOptions};
-use prospector_store::{from_bytes, manifest, StoreError};
+use prospector_store::{from_bytes, manifest, Crc32, Manifest, StoreError, V1_FORMAT_VERSION};
 
 /// Snapshot bytes for the full bundled engine — mined and generalized,
 /// so all seven sections carry real payloads.
-fn snapshot_bytes() -> Vec<u8> {
+fn snapshot_bytes() -> (Vec<u8>, Vec<u8>) {
     let built = build(&BuildOptions::default()).expect("bundled corpora assemble");
     let mined = built.mine_report.map(|r| r.examples).unwrap_or_default();
-    prospector_store::to_bytes(built.prospector.api(), built.prospector.graph(), &mined)
+    let api = built.prospector.api();
+    let graph = built.prospector.graph();
+    (
+        prospector_store::to_bytes(api, graph, &mined),
+        prospector_store::to_bytes_v1(api, graph, &mined),
+    )
 }
 
-/// Every interesting offset: the file-header bytes, each section's
-/// header start, payload start, payload midpoint, and payload end.
+fn header_bytes(m: &Manifest) -> usize {
+    if m.version == V1_FORMAT_VERSION {
+        12
+    } else {
+        16
+    }
+}
+
+fn frame_bytes(m: &Manifest) -> usize {
+    if m.version == V1_FORMAT_VERSION {
+        16
+    } else {
+        24
+    }
+}
+
+/// Every interesting offset, derived from the validated manifest: the
+/// file-header bytes, each section's frame start, payload start, payload
+/// midpoint, payload end, and (v2) the end of its padding.
 fn boundaries(bytes: &[u8]) -> Vec<usize> {
     let m = manifest(bytes).expect("pristine snapshot validates");
-    let mut offsets: Vec<usize> = (0..=12).collect();
-    let mut pos = 12usize;
+    let mut offsets: Vec<usize> = (0..=header_bytes(&m)).collect();
     for s in &m.sections {
-        let payload_start = pos + 16;
+        let payload_start = usize::try_from(s.offset).expect("fits");
         let payload_len = usize::try_from(s.bytes).expect("fits");
+        let frame_start = payload_start - frame_bytes(&m);
         offsets.extend([
-            pos,
-            pos + 4,
-            pos + 12,
+            frame_start,
+            frame_start + 4,
+            frame_start + 12,
             payload_start,
             payload_start + payload_len / 2,
             payload_start + payload_len,
+            payload_start + payload_len + s.pad_bytes as usize,
         ]);
-        pos = payload_start + payload_len;
     }
     offsets.retain(|&o| o <= bytes.len());
     offsets.sort_unstable();
@@ -41,10 +68,8 @@ fn boundaries(bytes: &[u8]) -> Vec<usize> {
     offsets
 }
 
-#[test]
-fn truncation_at_every_boundary_is_a_typed_error() {
-    let bytes = snapshot_bytes();
-    for cut in boundaries(&bytes) {
+fn assert_truncations_are_typed(bytes: &[u8]) {
+    for cut in boundaries(bytes) {
         if cut == bytes.len() {
             continue; // not a truncation
         }
@@ -67,17 +92,22 @@ fn truncation_at_every_boundary_is_a_typed_error() {
 }
 
 #[test]
-fn one_flipped_byte_per_section_is_detected() {
-    let bytes = snapshot_bytes();
-    let m = manifest(&bytes).expect("pristine snapshot validates");
-    let mut pos = 12usize;
+fn truncation_at_every_boundary_is_a_typed_error() {
+    let (v2, v1) = snapshot_bytes();
+    assert_truncations_are_typed(&v2);
+    assert_truncations_are_typed(&v1);
+}
+
+fn assert_flips_are_detected(bytes: &[u8]) {
+    let m = manifest(bytes).expect("pristine snapshot validates");
     for s in &m.sections {
+        let payload_start = usize::try_from(s.offset).expect("fits");
         let payload_len = usize::try_from(s.bytes).expect("fits");
-        // One flip in the section header (its tag byte) and one in the
+        // One flip in the section frame (its tag byte) and one in the
         // middle of its payload.
-        let targets = [pos, pos + 16 + payload_len / 2];
+        let targets = [payload_start - frame_bytes(&m), payload_start + payload_len / 2];
         for &at in &targets {
-            let mut mutated = bytes.clone();
+            let mut mutated = bytes.to_vec();
             mutated[at] ^= 0x40;
             match from_bytes(&mutated) {
                 Ok(_) => panic!("flip at byte {at} (section `{}`) loaded anyway", s.name),
@@ -91,14 +121,20 @@ fn one_flipped_byte_per_section_is_detected() {
                 }
             }
         }
-        pos += 16 + payload_len;
     }
 }
 
 #[test]
+fn one_flipped_byte_per_section_is_detected() {
+    let (v2, v1) = snapshot_bytes();
+    assert_flips_are_detected(&v2);
+    assert_flips_are_detected(&v1);
+}
+
+#[test]
 fn flips_in_the_file_header_are_detected() {
-    let bytes = snapshot_bytes();
-    for at in 0..12 {
+    let (bytes, _) = snapshot_bytes();
+    for at in 0..16 {
         let mut mutated = bytes.clone();
         mutated[at] ^= 0x01;
         assert!(
@@ -108,25 +144,100 @@ fn flips_in_the_file_header_are_detected() {
     }
 }
 
-#[test]
-fn payload_flips_are_checksum_mismatches_naming_the_section() {
+fn assert_payload_flips_blame_their_section(bytes: &[u8]) {
     // A flip strictly inside a payload (headers untouched) must be caught
     // by that section's CRC and blamed on it by name.
-    let bytes = snapshot_bytes();
-    let m = manifest(&bytes).expect("pristine snapshot validates");
-    let mut pos = 12usize;
+    let m = manifest(bytes).expect("pristine snapshot validates");
     for s in &m.sections {
+        let payload_start = usize::try_from(s.offset).expect("fits");
         let payload_len = usize::try_from(s.bytes).expect("fits");
         if payload_len > 0 {
-            let mut mutated = bytes.clone();
-            mutated[pos + 16 + payload_len / 2] ^= 0x10;
+            let mut mutated = bytes.to_vec();
+            mutated[payload_start + payload_len / 2] ^= 0x10;
             match from_bytes(&mutated) {
                 Err(StoreError::ChecksumMismatch { section, .. }) => {
                     assert_eq!(section, s.name);
                 }
-                other => panic!("payload flip in `{}`: expected checksum mismatch, got {other:?}", s.name),
+                other => panic!(
+                    "payload flip in `{}`: expected checksum mismatch, got {other:?}",
+                    s.name
+                ),
             }
         }
-        pos += 16 + payload_len;
     }
+}
+
+#[test]
+fn payload_flips_are_checksum_mismatches_naming_the_section() {
+    let (v2, v1) = snapshot_bytes();
+    assert_payload_flips_blame_their_section(&v2);
+    assert_payload_flips_blame_their_section(&v1);
+}
+
+#[test]
+fn flipped_padding_byte_is_corrupt_naming_the_section() {
+    // v2 alignment padding sits outside the CRC, so the loader checks it
+    // is all-zero explicitly — a flipped pad byte must be a Corrupt
+    // blaming the right section, not a silent load into borrowed views.
+    let (bytes, _) = snapshot_bytes();
+    let m = manifest(&bytes).expect("pristine snapshot validates");
+    let mut padded = 0;
+    for s in &m.sections {
+        if s.pad_bytes == 0 {
+            continue;
+        }
+        padded += 1;
+        for k in 0..s.pad_bytes as usize {
+            let at = usize::try_from(s.offset + s.bytes).expect("fits") + k;
+            let mut mutated = bytes.clone();
+            mutated[at] = 0xAB;
+            match from_bytes(&mutated) {
+                Err(StoreError::Corrupt { section, detail }) => {
+                    assert_eq!(section, s.name);
+                    assert!(detail.contains("padding"), "detail should mention padding: {detail}");
+                }
+                other => panic!(
+                    "pad flip in `{}` byte {k}: expected Corrupt, got {other:?}",
+                    s.name
+                ),
+            }
+        }
+    }
+    assert!(padded > 0, "fixture has no padded sections; the test proved nothing");
+}
+
+#[test]
+fn crc_computed_over_padding_is_a_checksum_mismatch() {
+    // Simulates a buggy writer that folded the zero padding into the
+    // CRC. The stored checksum then disagrees with the spec's
+    // tag+payload recipe and the loader must reject the section by name.
+    let (bytes, _) = snapshot_bytes();
+    let m = manifest(&bytes).expect("pristine snapshot validates");
+    let mut padded = 0;
+    for s in &m.sections {
+        if s.pad_bytes == 0 {
+            continue;
+        }
+        padded += 1;
+        let payload_start = usize::try_from(s.offset).expect("fits");
+        let payload_len = usize::try_from(s.bytes).expect("fits");
+        let frame_start = payload_start - 24;
+        let mut crc = Crc32::new();
+        crc.update(&bytes[frame_start..frame_start + 4]); // tag
+        crc.update(&bytes[payload_start..payload_start + payload_len + s.pad_bytes as usize]);
+        let wrong = crc.finish();
+        let mut mutated = bytes.clone();
+        mutated[frame_start + 16..frame_start + 20].copy_from_slice(&wrong.to_le_bytes());
+        match from_bytes(&mutated) {
+            Err(StoreError::ChecksumMismatch { section, expected, .. }) => {
+                assert_eq!(section, s.name);
+                assert_eq!(expected, wrong);
+            }
+            other => panic!(
+                "padded CRC in `{}`: expected checksum mismatch, got {other:?}",
+                s.name
+            ),
+        }
+    }
+    assert!(padded > 0, "fixture has no padded sections; the test proved nothing");
 }

@@ -42,5 +42,5 @@ mod table;
 mod ty;
 
 pub use error::TypeError;
-pub use table::{PackageId, RawSlot, TypeDecl, TypeTable};
+pub use table::{PackageId, RawSlot, RawSlotView, TypeDecl, TypeTable};
 pub use ty::{Prim, Ty, TyId, TypeKind};

@@ -28,6 +28,60 @@ impl PackageId {
     }
 }
 
+/// A symbol: an index into the table's [`NameArena`]. Hot paths (edge
+/// decoding, display, snapshot encode) carry these 4-byte handles instead
+/// of heap `String`s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Sym(u32);
+
+/// All the table's names — package names and simple type names — interned
+/// into one contiguous `String` with `(start, len)` spans. Interning
+/// dedups (same text → same [`Sym`]) via a hash-bucket index that stores
+/// only symbols, never a second copy of the text, so the arena is the
+/// single owner of every name byte in the table.
+#[derive(Clone, Debug, Default)]
+struct NameArena {
+    buf: String,
+    spans: Vec<(u32, u32)>,
+    /// `hash(text) -> candidate symbols`; collisions resolved by comparing
+    /// against the arena content itself.
+    index: HashMap<u64, Vec<Sym>>,
+}
+
+impl NameArena {
+    fn hash_text(s: &str) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
+
+    /// Interns `s`, returning the existing symbol when the exact text is
+    /// already present.
+    fn intern(&mut self, s: &str) -> Sym {
+        let h = Self::hash_text(s);
+        if let Some(cands) = self.index.get(&h) {
+            for &sym in cands {
+                if self.get(sym) == s {
+                    return sym;
+                }
+            }
+        }
+        let start = u32::try_from(self.buf.len()).expect("name arena exceeds u32 range");
+        let len = u32::try_from(s.len()).expect("name exceeds u32 range");
+        let sym = Sym(u32::try_from(self.spans.len()).expect("name arena exceeds u32 range"));
+        self.buf.push_str(s);
+        self.spans.push((start, len));
+        self.index.entry(h).or_default().push(sym);
+        sym
+    }
+
+    fn get(&self, sym: Sym) -> &str {
+        let (start, len) = self.spans[sym.0 as usize];
+        &self.buf[start as usize..(start + len) as usize]
+    }
+}
+
 /// Internal structure of one arena slot.
 #[derive(Clone, Debug)]
 enum TyData {
@@ -40,7 +94,7 @@ enum TyData {
 
 #[derive(Clone, Debug)]
 struct DeclData {
-    simple: String,
+    simple: Sym,
     package: PackageId,
     kind: TypeKind,
     superclass: Option<TyId>,
@@ -104,16 +158,33 @@ impl TypeDecl<'_> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct TypeTable {
-    packages: Vec<String>,
-    package_index: HashMap<String, PackageId>,
+    names: NameArena,
+    packages: Vec<Sym>,
+    package_ids: HashMap<Sym, PackageId>,
     types: Vec<TyData>,
-    by_qualified: HashMap<String, TyId>,
-    by_simple: HashMap<String, Vec<TyId>>,
+    /// Name-lookup maps, built lazily on first [`TypeTable::resolve`].
+    /// [`TypeTable::from_raw`] (the snapshot warm-start path) skips the
+    /// build entirely so loading stays O(slots), not O(name bytes hashed).
+    resolve_index: std::sync::OnceLock<ResolveIndex>,
     arrays: HashMap<TyId, TyId>,
     void_id: TyId,
     null_id: TyId,
     prim_ids: [TyId; 8],
     object: Option<TyId>,
+}
+
+/// Derived name-lookup maps behind [`TypeTable::resolve`].
+#[derive(Clone, Debug, Default)]
+struct ResolveIndex {
+    by_qualified: HashMap<String, TyId>,
+    by_simple: HashMap<String, Vec<TyId>>,
+}
+
+impl ResolveIndex {
+    fn insert(&mut self, qualified: String, simple: &str, id: TyId) {
+        self.by_qualified.insert(qualified, id);
+        self.by_simple.entry(simple.to_owned()).or_default().push(id);
+    }
 }
 
 impl TypeTable {
@@ -132,17 +203,51 @@ impl TypeTable {
             types.push(TyData::Prim(p));
         }
         TypeTable {
+            names: NameArena::default(),
             packages: Vec::new(),
-            package_index: HashMap::new(),
+            package_ids: HashMap::new(),
             types,
-            by_qualified: HashMap::new(),
-            by_simple: HashMap::new(),
+            resolve_index: std::sync::OnceLock::new(),
             arrays: HashMap::new(),
             void_id,
             null_id,
             prim_ids,
             object: None,
         }
+    }
+
+    /// Fully-qualified name of a declared slot, without going through
+    /// [`TypeTable::decl`].
+    fn qualified_of(&self, d: &DeclData) -> String {
+        let pkg = self.names.get(self.packages[d.package.index()]);
+        let simple = self.names.get(d.simple);
+        if pkg.is_empty() {
+            simple.to_owned()
+        } else {
+            format!("{pkg}.{simple}")
+        }
+    }
+
+    /// The resolve maps, building them on first use.
+    fn resolve_index(&self) -> &ResolveIndex {
+        self.resolve_index.get_or_init(|| {
+            let mut index = ResolveIndex::default();
+            for (i, slot) in self.types.iter().enumerate() {
+                if let TyData::Decl(d) = slot {
+                    index.insert(self.qualified_of(d), self.names.get(d.simple), TyId::from_index(i));
+                }
+            }
+            index
+        })
+    }
+
+    /// Mutable access to the resolve maps, building them first if a
+    /// warm-started table has not needed them yet.
+    fn resolve_index_mut(&mut self) -> &mut ResolveIndex {
+        if self.resolve_index.get().is_none() {
+            self.resolve_index();
+        }
+        self.resolve_index.get_mut().expect("initialized above")
     }
 
     /// The `void` pseudo-type.
@@ -171,19 +276,20 @@ impl TypeTable {
 
     /// Interns a package name, returning its id.
     pub fn intern_package(&mut self, name: &str) -> PackageId {
-        if let Some(&id) = self.package_index.get(name) {
+        let sym = self.names.intern(name);
+        if let Some(&id) = self.package_ids.get(&sym) {
             return id;
         }
         let id = PackageId(u32::try_from(self.packages.len()).expect("package arena overflow"));
-        self.packages.push(name.to_owned());
-        self.package_index.insert(name.to_owned(), id);
+        self.packages.push(sym);
+        self.package_ids.insert(sym, id);
         id
     }
 
     /// Name of an interned package.
     #[must_use]
     pub fn package_name(&self, id: PackageId) -> &str {
-        &self.packages[id.index()]
+        self.names.get(self.packages[id.index()])
     }
 
     /// Declares a new class or interface.
@@ -201,23 +307,23 @@ impl TypeTable {
         } else {
             format!("{package}.{simple}")
         };
-        if self.by_qualified.contains_key(&qualified) {
+        if self.resolve_index_mut().by_qualified.contains_key(&qualified) {
             return Err(TypeError::DuplicateType { qualified_name: qualified });
         }
         let package = self.intern_package(package);
+        let simple_sym = self.names.intern(simple);
         let id = TyId(u32::try_from(self.types.len()).expect("type arena overflow"));
         self.types.push(TyData::Decl(DeclData {
-            simple: simple.to_owned(),
+            simple: simple_sym,
             package,
             kind,
             superclass: None,
             interfaces: Vec::new(),
         }));
-        self.by_qualified.insert(qualified.clone(), id);
-        self.by_simple.entry(simple.to_owned()).or_default().push(id);
         if qualified == "java.lang.Object" {
             self.object = Some(id);
         }
+        self.resolve_index_mut().insert(qualified, simple, id);
         Ok(id)
     }
 
@@ -348,8 +454,8 @@ impl TypeTable {
         match &self.types[id.index()] {
             TyData::Decl(d) => Some(TypeDecl {
                 id,
-                simple_name: &d.simple,
-                package_name: &self.packages[d.package.index()],
+                simple_name: self.names.get(d.simple),
+                package_name: self.names.get(self.packages[d.package.index()]),
                 package: d.package,
                 kind: d.kind,
                 superclass: d.superclass,
@@ -402,14 +508,15 @@ impl TypeTable {
     /// [`TypeError::UnknownType`] if nothing matches,
     /// [`TypeError::AmbiguousName`] if a simple name has several matches.
     pub fn resolve(&self, name: &str) -> Result<TyId, TypeError> {
+        let index = self.resolve_index();
         if name.contains('.') {
-            return self
+            return index
                 .by_qualified
                 .get(name)
                 .copied()
                 .ok_or_else(|| TypeError::UnknownType { name: name.to_owned() });
         }
-        match self.by_simple.get(name).map(Vec::as_slice) {
+        match index.by_simple.get(name).map(Vec::as_slice) {
             None | Some([]) => Err(TypeError::UnknownType { name: name.to_owned() }),
             Some([one]) => Ok(*one),
             Some(many) => Err(TypeError::AmbiguousName {
@@ -530,11 +637,12 @@ impl TypeTable {
             TyData::Null => "<null>".to_owned(),
             TyData::Prim(p) => p.keyword().to_owned(),
             TyData::Decl(d) => {
-                let pkg = &self.packages[d.package.index()];
+                let pkg = self.names.get(self.packages[d.package.index()]);
+                let simple = self.names.get(d.simple);
                 if pkg.is_empty() {
-                    d.simple.clone()
+                    simple.to_owned()
                 } else {
-                    format!("{pkg}.{}", d.simple)
+                    format!("{pkg}.{simple}")
                 }
             }
             TyData::Array { elem } => format!("{}[]", self.display(*elem)),
@@ -545,7 +653,7 @@ impl TypeTable {
     #[must_use]
     pub fn display_simple(&self, id: TyId) -> String {
         match &self.types[id.index()] {
-            TyData::Decl(d) => d.simple.clone(),
+            TyData::Decl(d) => self.names.get(d.simple).to_owned(),
             TyData::Array { elem } => format!("{}[]", self.display_simple(*elem)),
             _ => self.display(id),
         }
@@ -600,34 +708,86 @@ pub enum RawSlot {
     },
 }
 
+/// A borrowed view of one type-arena slot: the allocation-free sibling of
+/// [`RawSlot`]. Save paths (the binary snapshot encoder, the JSON debug
+/// dump) iterate these instead of cloning every name `String` out of the
+/// interned arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RawSlotView<'a> {
+    /// The `void` pseudo-type (always slot 0).
+    Void,
+    /// The null type (always slot 1).
+    Null,
+    /// A primitive (slots 2..10, in [`Prim::ALL`] order).
+    Prim(Prim),
+    /// A declared class or interface.
+    Decl {
+        /// Simple (unqualified) name, borrowed from the name arena.
+        simple: &'a str,
+        /// Package reference.
+        package: PackageId,
+        /// Class or interface.
+        kind: TypeKind,
+        /// Declared superclass, if any.
+        superclass: Option<TyId>,
+        /// Implemented/extended interfaces.
+        interfaces: &'a [TyId],
+    },
+    /// An array type.
+    Array {
+        /// Element type.
+        elem: TyId,
+    },
+}
+
 impl TypeTable {
-    /// The interned package names, in arena order.
-    #[must_use]
-    pub fn raw_packages(&self) -> &[String] {
-        &self.packages
+    /// The interned package names, in arena order, borrowed from the name
+    /// arena.
+    pub fn package_names(&self) -> impl ExactSizeIterator<Item = &str> + '_ {
+        self.packages.iter().map(|&sym| self.names.get(sym))
     }
 
     /// The raw arena slots, in id order. Together with
-    /// [`TypeTable::raw_packages`] this is the table's complete persistent
-    /// state.
+    /// [`TypeTable::package_names`] this is the table's complete persistent
+    /// state. Clones names out of the arena; save paths that only need to
+    /// read should prefer [`TypeTable::raw_slot_views`].
     #[must_use]
     pub fn raw_slots(&self) -> Vec<RawSlot> {
-        self.types
-            .iter()
+        self.raw_slot_views()
             .map(|slot| match slot {
-                TyData::Void => RawSlot::Void,
-                TyData::Null => RawSlot::Null,
-                TyData::Prim(p) => RawSlot::Prim(*p),
-                TyData::Decl(d) => RawSlot::Decl {
-                    simple: d.simple.clone(),
-                    package: d.package,
-                    kind: d.kind,
-                    superclass: d.superclass,
-                    interfaces: d.interfaces.clone(),
-                },
-                TyData::Array { elem } => RawSlot::Array { elem: *elem },
+                RawSlotView::Void => RawSlot::Void,
+                RawSlotView::Null => RawSlot::Null,
+                RawSlotView::Prim(p) => RawSlot::Prim(p),
+                RawSlotView::Decl { simple, package, kind, superclass, interfaces } => {
+                    RawSlot::Decl {
+                        simple: simple.to_owned(),
+                        package,
+                        kind,
+                        superclass,
+                        interfaces: interfaces.to_vec(),
+                    }
+                }
+                RawSlotView::Array { elem } => RawSlot::Array { elem },
             })
             .collect()
+    }
+
+    /// Borrowed views of the raw arena slots, in id order — zero
+    /// allocations, names read straight from the interned arena.
+    pub fn raw_slot_views(&self) -> impl ExactSizeIterator<Item = RawSlotView<'_>> + '_ {
+        self.types.iter().map(|slot| match slot {
+            TyData::Void => RawSlotView::Void,
+            TyData::Null => RawSlotView::Null,
+            TyData::Prim(p) => RawSlotView::Prim(*p),
+            TyData::Decl(d) => RawSlotView::Decl {
+                simple: self.names.get(d.simple),
+                package: d.package,
+                kind: d.kind,
+                superclass: d.superclass,
+                interfaces: &d.interfaces,
+            },
+            TyData::Array { elem } => RawSlotView::Array { elem: *elem },
+        })
     }
 
     /// Rebuilds a table from raw parts, validating every reference and
@@ -649,6 +809,7 @@ impl TypeTable {
                 Err(invalid(format!("type reference {id:?} out of bounds ({arena_len} slots)")))
             }
         };
+        let mut names = NameArena::default();
         let mut types = Vec::with_capacity(arena_len);
         for slot in slots {
             types.push(match slot {
@@ -669,7 +830,13 @@ impl TypeTable {
                     for &i in &interfaces {
                         check_ty(i)?;
                     }
-                    TyData::Decl(DeclData { simple, package, kind, superclass, interfaces })
+                    TyData::Decl(DeclData {
+                        simple: names.intern(&simple),
+                        package,
+                        kind,
+                        superclass,
+                        interfaces,
+                    })
                 }
                 RawSlot::Array { elem } => {
                     check_ty(elem)?;
@@ -700,65 +867,55 @@ impl TypeTable {
             }
         }
 
-        // Rebuild derived indexes.
+        // Rebuild derived state. The name-lookup maps are NOT built here —
+        // they materialize lazily on the first `resolve` call — so the
+        // snapshot warm-start path pays only for the cheap id-keyed maps.
         let mut table = TypeTable {
-            packages,
-            package_index: HashMap::new(),
+            names,
+            packages: Vec::with_capacity(packages.len()),
+            package_ids: HashMap::new(),
             types,
-            by_qualified: HashMap::new(),
-            by_simple: HashMap::new(),
+            resolve_index: std::sync::OnceLock::new(),
             arrays: HashMap::new(),
             void_id: TyId(0),
             null_id: TyId(1),
             prim_ids,
             object: None,
         };
-        for (i, name) in table.packages.iter().enumerate() {
+        for (i, name) in packages.iter().enumerate() {
             let id = PackageId(u32::try_from(i).expect("small"));
-            if table.package_index.insert(name.clone(), id).is_some() {
+            // Interning dedups, so a repeated package name maps to the same
+            // symbol and trips the duplicate check here.
+            let sym = table.names.intern(name);
+            if table.package_ids.insert(sym, id).is_some() {
                 return Err(invalid(format!("duplicate package `{name}`")));
             }
+            table.packages.push(sym);
         }
-        enum Derived {
-            Decl { qualified: String, simple: String },
-            Array { elem: TyId },
-            Other,
-        }
-        let derived: Vec<Derived> = table
-            .types
-            .iter()
-            .map(|slot| match slot {
-                TyData::Decl(d) => {
-                    let pkg = &table.packages[d.package.index()];
-                    let qualified = if pkg.is_empty() {
-                        d.simple.clone()
-                    } else {
-                        format!("{pkg}.{}", d.simple)
-                    };
-                    Derived::Decl { qualified, simple: d.simple.clone() }
-                }
-                TyData::Array { elem } => Derived::Array { elem: *elem },
-                _ => Derived::Other,
-            })
-            .collect();
-        for (i, entry) in derived.into_iter().enumerate() {
+        // Interning also dedups simple names, so a duplicate declared type
+        // is exactly a repeated (package, simple-symbol) pair.
+        let mut seen_decls = std::collections::HashSet::with_capacity(table.types.len());
+        for (i, slot) in table.types.iter().enumerate() {
             let id = TyId::from_index(i);
-            match entry {
-                Derived::Decl { qualified, simple } => {
-                    if table.by_qualified.insert(qualified.clone(), id).is_some() {
-                        return Err(invalid(format!("duplicate declared type `{qualified}`")));
+            match slot {
+                TyData::Decl(d) => {
+                    if !seen_decls.insert((d.package, d.simple)) {
+                        return Err(invalid(format!(
+                            "duplicate declared type `{}`",
+                            table.qualified_of(d)
+                        )));
                     }
-                    if qualified == "java.lang.Object" {
+                    if table.object.is_none()
+                        && table.names.get(d.simple) == "Object"
+                        && table.names.get(table.packages[d.package.index()]) == "java.lang"
+                    {
                         table.object = Some(id);
                     }
-                    table.by_simple.entry(simple).or_default().push(id);
                 }
-                Derived::Array { elem } => {
-                    if table.arrays.insert(elem, id).is_some() {
-                        return Err(invalid("duplicate array interning".to_owned()));
-                    }
+                TyData::Array { elem } if table.arrays.insert(*elem, id).is_some() => {
+                    return Err(invalid("duplicate array interning".to_owned()));
                 }
-                Derived::Other => {}
+                _ => {}
             }
         }
         Ok(table)
@@ -779,9 +936,26 @@ fn want_ty(v: &Json, arena_len: usize) -> Result<TyId, JsonError> {
 }
 
 impl TypeTable {
-    /// Serializes the table to a JSON value.
+    /// Serializes the table to a JSON value. The interned name arena is
+    /// emitted once as `names` and decl slots reference it by symbol
+    /// index, so a simple name shared by many types costs one string in
+    /// the document (and one allocation on save) rather than one per
+    /// slot.
     #[must_use]
     pub fn to_json(&self) -> Json {
+        // Canonical first-use order (not raw arena order) keeps the
+        // document stable across a decode/re-encode round trip, where
+        // the rebuilt arena interns names in a different sequence.
+        let mut remap: HashMap<u32, u64> = HashMap::new();
+        let mut names: Vec<Json> = Vec::new();
+        for slot in &self.types {
+            if let TyData::Decl(d) = slot {
+                if let std::collections::hash_map::Entry::Vacant(e) = remap.entry(d.simple.0) {
+                    e.insert(names.len() as u64);
+                    names.push(Json::Str(self.names.get(d.simple).to_owned()));
+                }
+            }
+        }
         let types = self
             .types
             .iter()
@@ -794,7 +968,7 @@ impl TypeTable {
                 ]),
                 TyData::Decl(d) => Json::obj(vec![
                     ("k", Json::Str("decl".into())),
-                    ("simple", Json::Str(d.simple.clone())),
+                    ("simple", Json::num_u(remap[&d.simple.0])),
                     ("pkg", Json::num_u(u64::from(d.package.0))),
                     (
                         "kind",
@@ -816,7 +990,11 @@ impl TypeTable {
             })
             .collect();
         Json::obj(vec![
-            ("packages", Json::Arr(self.packages.iter().map(|p| Json::Str(p.clone())).collect())),
+            (
+                "packages",
+                Json::Arr(self.package_names().map(|p| Json::Str(p.to_owned())).collect()),
+            ),
+            ("names", Json::Arr(names)),
             ("types", Json::Arr(types)),
         ])
     }
@@ -837,6 +1015,13 @@ impl TypeTable {
             .map(|p| {
                 p.as_str().map(str::to_owned).ok_or_else(|| decode_err("package must be a string"))
             })
+            .collect::<Result<_, _>>()?;
+        let names: Vec<&str> = v
+            .want("names")?
+            .as_arr()
+            .ok_or_else(|| decode_err("`names` must be an array"))?
+            .iter()
+            .map(|n| n.as_str().ok_or_else(|| decode_err("name must be a string")))
             .collect::<Result<_, _>>()?;
         let slots = v
             .want("types")?
@@ -876,11 +1061,18 @@ impl TypeTable {
                         .iter()
                         .map(|i| want_ty(i, arena_len))
                         .collect::<Result<_, _>>()?;
+                    let simple_ref = slot
+                        .want("simple")?
+                        .as_u64()
+                        .and_then(|i| usize::try_from(i).ok())
+                        .ok_or_else(|| decode_err("`simple` must be a name index"))?;
                     RawSlot::Decl {
-                        simple: slot
-                            .want("simple")?
-                            .as_str()
-                            .ok_or_else(|| decode_err("`simple` must be a string"))?
+                        simple: names
+                            .get(simple_ref)
+                            .copied()
+                            .ok_or_else(|| {
+                                decode_err(format!("name index {simple_ref} out of range"))
+                            })?
                             .to_owned(),
                         package: PackageId(pkg),
                         kind: match slot.want("kind")?.as_str() {
