@@ -26,8 +26,11 @@
 //! | `GET /status`             | SLO introspection JSON (windowed latency, rates, pool, RSS) |
 //! | `GET /query?tin=..&tout=..` | ranked-jungloid JSON + the query's `trace_id` |
 //! | `GET /slow`               | the retained slow-query timelines as JSON (`?clear=1` resets) |
-//! | `GET /trace.json`         | the flight-recorder ring as Chrome trace    |
+//! | `GET /trace.json`         | the flight-recorder ring as Chrome trace (+ profiler counters) |
 //! | `GET /logs?n=`            | the newest access-log records as JSON       |
+//! | `GET /heat?k=`            | top-K hot types/members/edges from the graph heat table |
+//! | `GET /analytics?k=`       | workload sketches: popular / miss-heavy / truncation-heavy query keys |
+//! | `GET /profile.folded`     | sampled stage stacks, flamegraph.pl folded format |
 //!
 //! Every finished request is accounted three ways, whatever the
 //! endpoint: a `serve.http.requests{endpoint,code}` counter, a
@@ -49,9 +52,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use prospector_core::Prospector;
+use prospector_core::{heat, Prospector};
 use prospector_obs::hist::Histogram;
 use prospector_obs::log::{self as alog, AccessRecord};
+use prospector_obs::profile;
 use prospector_obs::trace::{self, TraceId};
 use prospector_obs::window::{self, CounterRing, WindowRing, STANDARD_WINDOWS};
 use prospector_obs::Json;
@@ -81,21 +85,45 @@ const QUEUE_SLOTS_PER_WORKER: usize = 16;
 /// worker forever.
 const MAX_KEEPALIVE_REQUESTS: usize = 1000;
 
-/// Sampler polls between process self-stat refreshes: 20 × [`WORKER_POLL`]
-/// ≈ one second between `/proc/self/status` reads.
-const SAMPLE_EVERY_POLLS: u32 = 20;
+/// The sampler thread's tick: each tick takes one cooperative profiler
+/// sample of every worker's stage stack, so 10ms ≈ 100 Hz profiling.
+const PROFILE_TICK: Duration = Duration::from_millis(10);
+
+/// Profiler ticks between process self-stat refreshes: 100 ×
+/// [`PROFILE_TICK`] ≈ one second between `/proc/self/status` reads.
+const SAMPLE_EVERY_TICKS: u32 = 100;
 
 /// Access-log records returned by `GET /logs` when `n` is not given.
 const DEFAULT_LOG_TAIL: usize = 100;
 
+/// Cap on `GET /logs?n=` — larger requests clamp here rather than asking
+/// the log ring for more than it could ever hold.
+const MAX_LOG_TAIL: usize = 10_000;
+
 /// Endpoint labels, in routing order. `other` absorbs every unknown
 /// path so scans and typos still show up in the request counters
 /// without minting unbounded label values.
-const ENDPOINTS: [&str; 9] =
-    ["healthz", "readyz", "metrics", "status", "query", "slow", "trace", "logs", "other"];
+const ENDPOINTS: [&str; 12] = [
+    "healthz",
+    "readyz",
+    "metrics",
+    "status",
+    "query",
+    "slow",
+    "trace",
+    "logs",
+    "heat",
+    "analytics",
+    "profile",
+    "other",
+];
 
 /// Status codes the server can emit, one counter column each.
 const CODES: [u16; 5] = [200, 400, 404, 405, 500];
+
+/// Truncation-reason labels, one per-endpoint counter column each
+/// (mirrors `TruncationReason::label`).
+const TRUNCATIONS: [&str; 3] = ["none", "path_cap", "expansion_cap"];
 
 /// Everything [`Server::run`] needs beyond the engine itself.
 #[derive(Clone, Debug, Default)]
@@ -119,6 +147,9 @@ pub struct ServeOptions {
 /// `/metrics` as `prospector_serve_http_requests_total{endpoint,code}`.
 struct HttpStats {
     counts: Vec<[AtomicU64; CODES.len()]>,
+    /// Per-endpoint truncation-reason counts (queries only in practice;
+    /// the data rides on every response's `truncation` label).
+    truncations: Vec<[AtomicU64; TRUNCATIONS.len()]>,
 }
 
 impl HttpStats {
@@ -127,12 +158,21 @@ impl HttpStats {
             counts: (0..ENDPOINTS.len())
                 .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
                 .collect(),
+            truncations: (0..ENDPOINTS.len())
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
         }
     }
 
     fn record(&self, endpoint: usize, code: u16) {
         let ci = CODES.iter().position(|&c| c == code).unwrap_or(CODES.len() - 1);
         self.counts[endpoint][ci].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_truncation(&self, endpoint: usize, label: &str) {
+        if let Some(ti) = TRUNCATIONS.iter().position(|&t| t == label) {
+            self.truncations[endpoint][ti].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// `(requests, errors)` totals for one endpoint row.
@@ -273,6 +313,11 @@ impl Server {
         prospector_obs::set_enabled(true);
         trace::set_enabled(true);
         alog::set_enabled(true);
+        // Workload analytics: graph heat + query sketches feed `/heat`
+        // and `/analytics`; the cooperative profiler feeds
+        // `/profile.folded` off the sampler thread.
+        heat::set_enabled(true);
+        profile::set_enabled(true);
         warm_registry();
         let workers = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
         Ok(Server { listener, workers })
@@ -383,21 +428,24 @@ impl Server {
     }
 }
 
-/// The background self-stats sampler: polls the stop flags at
-/// [`WORKER_POLL`] (the shutdown contract every pool thread shares) and
-/// about once a second publishes pool gauges plus `/proc/self/status`
-/// derived `process.*` gauges into the metric registry.
+/// The background sampler: ticks at [`PROFILE_TICK`] (~100 Hz), taking
+/// one cooperative profiler sample of every worker's published stage
+/// stack per tick, and about once a second publishes pool gauges plus
+/// `/proc/self/status` derived `process.*` gauges into the metric
+/// registry. The stop flags are re-checked every tick, so shutdown
+/// latency is bounded by one tick.
 fn sampler_loop(ctx: &Ctx<'_>, shutdown: &AtomicBool, stopping: &AtomicBool) {
-    let mut polls = 0u32;
+    let mut ticks = 0u32;
     loop {
         if shutdown.load(Ordering::Relaxed) || stopping.load(Ordering::Relaxed) {
             return;
         }
-        if polls.is_multiple_of(SAMPLE_EVERY_POLLS) {
+        profile::sample_all();
+        if ticks.is_multiple_of(SAMPLE_EVERY_TICKS) {
             sample_self_stats(ctx);
         }
-        polls = polls.wrapping_add(1);
-        std::thread::sleep(WORKER_POLL);
+        ticks = ticks.wrapping_add(1);
+        std::thread::sleep(PROFILE_TICK);
     }
 }
 
@@ -408,6 +456,8 @@ fn sample_self_stats(ctx: &Ctx<'_>) {
     prospector_obs::gauge_set("serve.queue.depth", ctx.depth.load(Ordering::Relaxed));
     prospector_obs::gauge_set("serve.workers.busy", ctx.busy.load(Ordering::Relaxed));
     prospector_obs::gauge_set("serve.conns.active", ctx.conns.load(Ordering::Relaxed));
+    prospector_obs::gauge_set("profile.samples", profile::samples());
+    prospector_obs::gauge_set("profile.dropped", profile::dropped());
     if let Some((rss, threads)) = read_proc_self_status() {
         prospector_obs::gauge_set("process.rss_bytes", rss);
         prospector_obs::gauge_set("process.threads", threads);
@@ -453,6 +503,11 @@ fn warm_registry() {
         "engine.batch.calls",
         "engine.batch.queries",
         "engine.batch.errors",
+        "engine.assist.calls",
+        "engine.assist.sources",
+        "engine.assist.reachable",
+        "engine.assist.unreachable",
+        "engine.assist.already_available",
         "engine.dedup_drops",
         "rank.comparisons",
         "synth.snippets",
@@ -472,6 +527,8 @@ fn warm_registry() {
     prospector_obs::gauge_set("serve.queue.depth", 0);
     prospector_obs::gauge_set("serve.workers.busy", 0);
     prospector_obs::gauge_set("serve.conns.active", 0);
+    prospector_obs::gauge_set("profile.samples", 0);
+    prospector_obs::gauge_set("profile.dropped", 0);
     // Resolving the serve ring handles registers every per-endpoint
     // window series and histogram, so they render from the first scrape.
     let _ = serve_rings();
@@ -549,6 +606,10 @@ fn serve_request(
     queue_wait_ns: u64,
 ) {
     let started = Instant::now();
+    // The profiler's root frame for worker threads: sampled stacks read
+    // `serve.request;batch;search` etc., so `/profile.folded` attributes
+    // wall-clock to request handling versus idle.
+    let _span = prospector_obs::stage("serve.request");
     let (route, query) = match request.path.split_once('?') {
         Some((r, q)) => (r, q),
         None => (request.path.as_str(), ""),
@@ -582,6 +643,9 @@ fn endpoint_index(route: &str) -> usize {
         "/slow" => "slow",
         "/trace.json" => "trace",
         "/logs" => "logs",
+        "/heat" => "heat",
+        "/analytics" => "analytics",
+        "/profile.folded" => "profile",
         _ => "other",
     };
     ENDPOINTS.iter().position(|&e| e == label).expect("label is in ENDPOINTS")
@@ -628,15 +692,42 @@ fn route_get(ctx: &Ctx<'_>, endpoint: usize, query: &str) -> Response {
                 Response::ok_json(trace::slow_to_json(&trace::slow_queries()).to_text())
             }
         }
-        "trace" => Response::ok_json(trace::to_chrome_json(&trace::events()).to_text()),
-        "logs" => {
-            let n = query_param(query, "n")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(DEFAULT_LOG_TAIL);
-            Response::ok_json(alog::to_json_array(&alog::tail(n)).to_text())
+        "trace" => {
+            let mut events = trace::to_chrome_json(&trace::events());
+            // Fold the profiler's counter events into the same document,
+            // so one Chrome-trace load shows spans and sampled stacks.
+            if let Json::Arr(arr) = &mut events {
+                arr.extend(profile::chrome_events());
+            }
+            Response::ok_json(events.to_text())
         }
+        "logs" => match query_param(query, "n") {
+            None => Response::ok_json(alog::to_json_array(&alog::tail(DEFAULT_LOG_TAIL)).to_text()),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) => {
+                    let n = n.min(MAX_LOG_TAIL);
+                    Response::ok_json(alog::to_json_array(&alog::tail(n)).to_text())
+                }
+                Err(_) => {
+                    let body = Json::obj(vec![
+                        ("ok", Json::Bool(false)),
+                        ("error", Json::Str(format!("invalid `n` parameter: {raw:?}"))),
+                    ])
+                    .to_text();
+                    Response::new(400, "Bad Request", "application/json", body)
+                }
+            },
+        },
+        "heat" => Response::ok_json(heat_json(ctx, top_k_param(query)).to_text()),
+        "analytics" => Response::ok_json(analytics_json(ctx, top_k_param(query)).to_text()),
+        "profile" => Response::new(200, "OK", "text/plain", profile::render_folded()),
         _ => Response::new(404, "Not Found", "text/plain", "no such endpoint\n".to_owned()),
     }
+}
+
+/// `?k=` with a sane default and cap for the top-K report endpoints.
+fn top_k_param(query: &str) -> usize {
+    query_param(query, "k").and_then(|v| v.parse().ok()).unwrap_or(10).clamp(1, 100)
 }
 
 /// The value of one query-string parameter, percent-decoded.
@@ -651,6 +742,9 @@ fn query_param(query: &str, name: &str) -> Option<String> {
 /// The per-request accounting fan-out (see [`serve_request`]).
 fn record_request(endpoint: usize, response: &Response, queue_wait_ns: u64, handle_ns: u64) {
     http_stats().record(endpoint, response.code);
+    if !response.truncation.is_empty() {
+        http_stats().record_truncation(endpoint, &response.truncation);
+    }
     let rings = serve_rings();
     rings.latency[endpoint].record(handle_ns);
     rings.latency_hist[endpoint].record(handle_ns);
@@ -753,6 +847,19 @@ fn status_json(ctx: &Ctx<'_>) -> Json {
         let mut fields = vec![
             ("requests_total".to_owned(), Json::num_u(requests)),
             ("errors_total".to_owned(), Json::num_u(errors)),
+            (
+                "truncation".to_owned(),
+                Json::Obj(
+                    TRUNCATIONS
+                        .iter()
+                        .enumerate()
+                        .map(|(ti, &label)| {
+                            let v = http_stats().truncations[ei][ti].load(Ordering::Relaxed);
+                            (label.to_owned(), Json::num_u(v))
+                        })
+                        .collect(),
+                ),
+            ),
         ];
         for &(label, secs) in &STANDARD_WINDOWS {
             let view = rings.latency[ei].view(secs);
@@ -829,6 +936,98 @@ fn status_json(ctx: &Ctx<'_>) -> Json {
         ),
         ("queue_wait", Json::Obj(queue_wait)),
         ("endpoints", Json::Obj(endpoints)),
+    ])
+}
+
+/// `GET /heat`: the graph heat table's top-K hot types, members, and
+/// edges with resolved names, plus the table's provenance (epoch, merged
+/// queries and field builds, coverage totals).
+fn heat_json(ctx: &Ctx<'_>, k: usize) -> Json {
+    let snap = ctx.engine.heat_snapshot(k);
+    let entries = |items: &[prospector_core::HeatEntry]| {
+        Json::Arr(
+            items
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("name", Json::Str(e.label.clone())),
+                        ("count", Json::num_u(e.count)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Json::obj(vec![
+        ("epoch", Json::num_u(snap.epoch)),
+        ("queries", Json::num_u(snap.queries)),
+        ("fields", Json::num_u(snap.fields)),
+        ("nodes_touched", Json::num_u(snap.nodes_touched as u64)),
+        ("edges_touched", Json::num_u(snap.edges_touched as u64)),
+        ("node_total", Json::num_u(snap.node_total)),
+        ("edge_total", Json::num_u(snap.edge_total)),
+        ("top_types", entries(&snap.top_types)),
+        ("top_members", entries(&snap.top_members)),
+        (
+            "top_edges",
+            Json::Arr(
+                snap.top_edges
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("from", Json::Str(e.from.clone())),
+                            ("elem", Json::Str(e.elem.clone())),
+                            ("to", Json::Str(e.to.clone())),
+                            ("count", Json::num_u(e.count)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `GET /analytics`: the workload sketches — top-K popular, miss-heavy,
+/// and truncation-heavy `(tin, tout)` keys with resolved names — plus
+/// profiler sample totals.
+fn analytics_json(ctx: &Ctx<'_>, k: usize) -> Json {
+    let snap = ctx.engine.workload_snapshot(k);
+    let entries = |items: &[prospector_core::WorkloadEntry]| {
+        Json::Arr(
+            items
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("tin", Json::Str(e.tin.clone())),
+                        ("tout", Json::Str(e.tout.clone())),
+                        ("count", Json::num_u(e.count)),
+                        ("err", Json::num_u(e.err)),
+                        ("estimate", Json::num_u(e.estimate)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Json::obj(vec![
+        ("queries", Json::num_u(snap.queries)),
+        ("cache_misses", Json::num_u(snap.cache_misses)),
+        ("truncations", Json::num_u(snap.truncations)),
+        (
+            "sketch",
+            Json::obj(vec![
+                ("width", Json::num_u(snap.sketch_width as u64)),
+                ("depth", Json::num_u(snap.sketch_depth as u64)),
+            ]),
+        ),
+        ("popularity", entries(&snap.popularity)),
+        ("misses", entries(&snap.misses)),
+        ("truncated", entries(&snap.truncated)),
+        (
+            "profiler",
+            Json::obj(vec![
+                ("samples", Json::num_u(profile::samples())),
+                ("dropped", Json::num_u(profile::dropped())),
+            ]),
+        ),
     ])
 }
 
@@ -1014,13 +1213,33 @@ mod tests {
 
     #[test]
     fn every_route_maps_into_the_endpoint_table() {
-        for route in
-            ["/healthz", "/readyz", "/metrics", "/status", "/query", "/slow", "/trace.json", "/logs"]
-        {
+        for route in [
+            "/healthz",
+            "/readyz",
+            "/metrics",
+            "/status",
+            "/query",
+            "/slow",
+            "/trace.json",
+            "/logs",
+            "/heat",
+            "/analytics",
+            "/profile.folded",
+        ] {
             let ei = endpoint_index(route);
             assert_ne!(ENDPOINTS[ei], "other", "{route} should have its own label");
         }
         assert_eq!(ENDPOINTS[endpoint_index("/nope")], "other");
         assert_eq!(ENDPOINTS[endpoint_index("/")], "other");
+    }
+
+    #[test]
+    fn top_k_param_defaults_clamps_and_parses() {
+        use super::top_k_param;
+        assert_eq!(top_k_param(""), 10);
+        assert_eq!(top_k_param("k=5"), 5);
+        assert_eq!(top_k_param("k=0"), 1);
+        assert_eq!(top_k_param("k=9999"), 100);
+        assert_eq!(top_k_param("k=abc"), 10);
     }
 }

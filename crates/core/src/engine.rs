@@ -20,7 +20,7 @@ use prospector_obs::trace::{self, TraceId};
 
 use crate::cache::{Lookup, ShardedLru, SingleflightCache};
 use crate::generalize::generalize;
-use crate::graph::{ExampleError, GraphConfig, JungloidGraph};
+use crate::graph::{ExampleError, GraphConfig, JungloidGraph, NodeId};
 use crate::path::Jungloid;
 use crate::rank::{rank_key, RankKey, RankOptions};
 use crate::search::{
@@ -376,9 +376,20 @@ impl Prospector {
     /// The cached (or freshly built) distance field for `target`, plus
     /// whether this lookup was a cache hit.
     fn distances(&self, target: TyId) -> (Arc<DistanceField>, bool) {
-        let (field, outcome) = self
-            .dist_cache
-            .get_or_insert_with(target, || Arc::new(DistanceField::towards(&self.graph, target)));
+        let (field, outcome) = self.dist_cache.get_or_insert_with(target, || {
+            let field = DistanceField::towards(&self.graph, target);
+            // Heat accounting folds the reached set in once per *build*
+            // (cache hits re-use the same settled nodes), keeping the 0-1
+            // BFS relaxation loop itself untouched.
+            if crate::heat::enabled() {
+                crate::heat::record_field(
+                    self.graph.epoch(),
+                    field.raw(),
+                    self.graph.edge_count(),
+                );
+            }
+            Arc::new(field)
+        });
         if outcome.hit {
             prospector_obs::add("engine.dist_cache.hits", 1);
         } else {
@@ -422,7 +433,9 @@ impl Prospector {
             });
         }
         if !self.cache_results {
-            return Ok(self.run(&[(None, tin)], tout, id));
+            let result = self.run(&[(None, tin)], tout, id);
+            crate::heat::record_query(tin, tout, true, result.truncation.truncated());
+            return Ok(result);
         }
         // The key is the full query intent; the graph's state is carried
         // by the epoch stamp instead, so entries invalidate lazily when a
@@ -434,8 +447,16 @@ impl Prospector {
             prospector_obs::add("engine.result_cache.invalidations", 1);
         }
         let lease = match lookup {
-            Lookup::Hit(cached) => return Ok(self.replay_cached(&cached, id, false)),
-            Lookup::Shared(cached) => return Ok(self.replay_cached(&cached, id, true)),
+            Lookup::Hit(cached) => {
+                let result = self.replay_cached(&cached, id, false);
+                crate::heat::record_query(tin, tout, false, result.truncation.truncated());
+                return Ok(result);
+            }
+            Lookup::Shared(cached) => {
+                let result = self.replay_cached(&cached, id, true);
+                crate::heat::record_query(tin, tout, false, result.truncation.truncated());
+                return Ok(result);
+            }
             Lookup::Miss(lease) => lease,
         };
         // This caller leads: run the pipeline once; waiters collapsed
@@ -445,6 +466,7 @@ impl Prospector {
         prospector_obs::add("engine.result_cache.misses", 1);
         let mut result = self.run(&[(None, tin)], tout, id);
         result.stats.result_cache_misses = 1;
+        crate::heat::record_query(tin, tout, true, result.truncation.truncated());
         let evicted = lease.complete(Arc::new(result.clone()));
         if evicted > 0 {
             prospector_obs::add("engine.result_cache.evictions", evicted as u64);
@@ -555,6 +577,8 @@ impl Prospector {
     /// Rejects primitive/`void` outputs.
     pub fn assist(&self, visible: &[(&str, TyId)], tout: TyId) -> Result<QueryResult, QueryError> {
         self.check_out(tout)?;
+        let _span = prospector_obs::stage("assist");
+        prospector_obs::add("engine.assist.calls", 1);
         let mut sources: Vec<(Option<String>, TyId)> = Vec::new();
         for (name, ty) in visible {
             if self.api.types().is_reference(*ty) {
@@ -562,13 +586,49 @@ impl Prospector {
             }
         }
         sources.push((None, self.api.types().void()));
+        prospector_obs::add("engine.assist.sources", sources.len() as u64);
+        // Attribute the fan-out before the single fused search: one
+        // cached distance-field lookup answers, per sub-query source,
+        // whether it can reach `tout` at all. The field this warms is the
+        // one `run` uses, so the extra lookup is a guaranteed cache hit.
+        {
+            let (field, _) = self.distances(tout);
+            let mut reachable: u64 = 0;
+            for (_, ty) in &sources {
+                let _sub = prospector_obs::stage("assist.source");
+                if field.from(&self.graph, NodeId::Ty(*ty)) != u32::MAX {
+                    reachable += 1;
+                }
+            }
+            prospector_obs::add("engine.assist.reachable", reachable);
+            prospector_obs::add("engine.assist.unreachable", sources.len() as u64 - reachable);
+        }
         let mut result = self.run(&sources, tout, TraceId::next());
         for (name, ty) in visible {
             if self.api.types().is_subtype(*ty, tout) {
                 result.already_available.push((*name).to_owned());
             }
         }
+        prospector_obs::add(
+            "engine.assist.already_available",
+            result.already_available.len() as u64,
+        );
         Ok(result)
+    }
+
+    /// Top-K view of the global heat table resolved against this
+    /// engine's graph and API (empty if the table belongs to another
+    /// graph epoch).
+    #[must_use]
+    pub fn heat_snapshot(&self, k: usize) -> crate::heat::HeatSnapshot {
+        crate::heat::snapshot(&self.graph, &self.api, k)
+    }
+
+    /// Top-K view of the workload sketches with `(tin, tout)` names
+    /// resolved against this engine's API.
+    #[must_use]
+    pub fn workload_snapshot(&self, k: usize) -> crate::heat::WorkloadSnapshot {
+        crate::heat::workload_snapshot(&self.api, k)
     }
 
     fn check_out(&self, tout: TyId) -> Result<(), QueryError> {

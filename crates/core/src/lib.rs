@@ -61,6 +61,7 @@ pub mod engine;
 pub mod explain;
 pub mod generalize;
 pub mod graph;
+pub mod heat;
 pub mod path;
 pub mod persist;
 pub mod rank;
@@ -75,6 +76,7 @@ pub use engine::{BatchEntry, Prospector, QueryError, QueryResult, QueryStats, Su
 pub use graph::{
     CsrAdjacency, Edge, ExampleError, GraphConfig, GraphStats, JungloidGraph, NodeId, SnapshotError,
 };
+pub use heat::{HeatEdge, HeatEntry, HeatSnapshot, WorkloadEntry, WorkloadSnapshot};
 pub use persist::PersistError;
 pub use path::Jungloid;
 pub use rank::{RankKey, RankOptions};

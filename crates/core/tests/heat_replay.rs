@@ -1,0 +1,162 @@
+//! Heat-map replay determinism.
+//!
+//! The heat table and workload sketches are process-global, so this file
+//! holds exactly ONE `#[test]`: integration-test files are separate
+//! binaries and binaries run sequentially, which keeps other tests'
+//! queries from bleeding into the counters asserted here. (The sketch
+//! and profiler unit tests use local instances; the serve tests tolerate
+//! cross-test noise with retries. This is the one place the global
+//! tables are pinned exactly.)
+//!
+//! Pins, for a fixed query batch over a fixed fixture:
+//!
+//! 1. replaying the batch on a fresh engine reproduces the identical
+//!    top-K heat and workload reports (counts AND ordering);
+//! 2. enabling heat accounting does not perturb query results — same
+//!    suggestions, same pinned DFS expansion counts as a heat-off run.
+
+use jungloid_apidef::{Api, ApiLoader};
+use jungloid_typesys::TyId;
+use prospector_core::{heat, HeatSnapshot, Prospector, WorkloadSnapshot};
+
+fn api() -> Api {
+    let mut loader = ApiLoader::with_prelude();
+    loader
+        .add_source(
+            "t.api",
+            r"
+            package t;
+            public class A { B toB(); C toC(); }
+            public class B { C toC(); D toD(); }
+            public class C { D toD(); }
+            public class D {}
+            public class DSub extends D {}
+            ",
+        )
+        .unwrap();
+    loader.finish().unwrap()
+}
+
+fn fresh_engine() -> Prospector {
+    let mut engine = Prospector::new(api());
+    // Replay must exercise the full pipeline every time: a result-cache
+    // hit replays stored suggestions without touching the graph, and a
+    // distance-cache hit skips the BFS contribution — both would make
+    // the second replay's heat differ from the first.
+    engine.cache_results = false;
+    engine
+}
+
+fn batch(engine: &Prospector) -> Vec<(TyId, TyId)> {
+    let t = |name: &str| engine.api().types().resolve(name).unwrap();
+    // Repeats included: popularity counts must reflect them.
+    vec![
+        (t("t.A"), t("t.D")),
+        (t("t.A"), t("t.C")),
+        (t("t.B"), t("t.D")),
+        (t("t.A"), t("t.D")),
+        (t("t.C"), t("t.D")),
+        (t("t.A"), t("t.D")),
+    ]
+}
+
+/// Run the batch sequentially, returning per-query `(codes, expansions)`.
+fn replay(engine: &Prospector) -> Vec<(Vec<String>, u64)> {
+    batch(engine)
+        .into_iter()
+        .map(|(tin, tout)| {
+            let r = engine.query(tin, tout).unwrap();
+            (
+                r.suggestions.iter().map(|s| s.code.clone()).collect(),
+                r.stats.dfs_expansions,
+            )
+        })
+        .collect()
+}
+
+/// Everything in a [`HeatSnapshot`] except the epoch, which legitimately
+/// differs between engine instances.
+fn heat_key(s: &HeatSnapshot) -> String {
+    format!(
+        "q={} f={} nt={} et={} ntot={} etot={} types={:?} members={:?} edges={:?}",
+        s.queries,
+        s.fields,
+        s.nodes_touched,
+        s.edges_touched,
+        s.node_total,
+        s.edge_total,
+        s.top_types,
+        s.top_members,
+        s.top_edges,
+    )
+}
+
+fn workload_key(s: &WorkloadSnapshot) -> String {
+    format!(
+        "q={} m={} t={} pop={:?} miss={:?} trunc={:?}",
+        s.queries, s.cache_misses, s.truncations, s.popularity, s.misses, s.truncated,
+    )
+}
+
+#[test]
+fn fixed_batch_replay_is_deterministic_and_non_perturbing() {
+    // Baseline arm: heat OFF. Captures the ground-truth suggestions and
+    // the DFS expansion counts the heat arms must reproduce exactly.
+    heat::set_enabled(false);
+    heat::reset();
+    let baseline = replay(&fresh_engine());
+    assert!(
+        baseline.iter().any(|(codes, _)| !codes.is_empty()),
+        "fixture batch must produce suggestions"
+    );
+
+    // First heat arm.
+    heat::set_enabled(true);
+    heat::reset();
+    let engine = fresh_engine();
+    let first_results = replay(&engine);
+    let first_heat = heat_key(&engine.heat_snapshot(10));
+    let first_workload = workload_key(&engine.workload_snapshot(10));
+
+    // Heat accounting must be invisible to callers: identical
+    // suggestions and identical pinned expansion budgets.
+    assert_eq!(first_results, baseline, "heat accounting perturbed query results");
+
+    // Second heat arm: fresh engine, fresh tables, same batch.
+    heat::reset();
+    let engine = fresh_engine();
+    let second_results = replay(&engine);
+    let second_heat = heat_key(&engine.heat_snapshot(10));
+    let second_workload = workload_key(&engine.workload_snapshot(10));
+
+    assert_eq!(second_results, baseline);
+    assert_eq!(second_heat, first_heat, "top-K heat must replay deterministically");
+    assert_eq!(
+        second_workload, first_workload,
+        "workload sketches must replay deterministically"
+    );
+
+    // The report is non-empty and accounts for the whole batch: 6
+    // queries recorded, every one a pipeline run (cache off).
+    let snap = engine.heat_snapshot(10);
+    assert_eq!(snap.queries, 6);
+    assert!(snap.fields > 0, "BFS field builds must contribute");
+    assert!(!snap.top_types.is_empty());
+    assert!(!snap.top_edges.is_empty());
+    let wl = engine.workload_snapshot(10);
+    assert_eq!(wl.queries, 6);
+    assert_eq!(wl.cache_misses, 6);
+    // (A, D) ran three times and must lead the popularity report.
+    let a_to_d = wl
+        .popularity
+        .first()
+        .expect("popularity top-K is non-empty");
+    assert_eq!((a_to_d.tin.as_str(), a_to_d.tout.as_str()), ("A", "D"));
+    assert_eq!(a_to_d.count, 3);
+    assert_eq!(a_to_d.err, 0, "no evictions at this cardinality");
+    assert_eq!(a_to_d.estimate, 3, "count-min is exact at this cardinality");
+
+    // Leave the globals quiet for any later process reuse.
+    heat::set_enabled(false);
+    heat::reset();
+}

@@ -30,6 +30,12 @@
 //! * [`log`] — the structured access log: one strict-JSON line per
 //!   served request (trace id, endpoint, code, queue wait, handle time)
 //!   to stderr or a file, plus a bounded in-memory tail for `GET /logs`.
+//! * [`sketch`] — mergeable frequency sketches (count-min + space-saving
+//!   top-K), allocation-free on record, for workload analytics: which
+//!   query keys dominate, which miss, which truncate.
+//! * [`profile`] — a cooperative sampling profiler: spans publish the
+//!   thread's stage stack into a per-thread atomic word; a sampler folds
+//!   all stacks at ~100 Hz into flamegraph.pl-compatible folded counts.
 //!
 //! [`rng`] is a bonus tenant: a tiny deterministic PRNG
 //! ([`rng::SmallRng`]) for the seeded generators and simulations, living
@@ -52,9 +58,11 @@ pub mod hist;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod prom;
 pub mod report;
 pub mod rng;
+pub mod sketch;
 pub mod span;
 pub mod trace;
 pub mod window;
@@ -62,5 +70,6 @@ pub mod window;
 pub use json::Json;
 pub use metrics::{add, gauge_set, set_enabled, snapshot, Snapshot};
 pub use rng::SmallRng;
+pub use sketch::{CountMinSketch, SpaceSaving};
 pub use span::stage;
 pub use trace::{QuerySpan, TraceId};

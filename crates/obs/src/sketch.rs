@@ -1,0 +1,416 @@
+//! Mergeable frequency sketches for workload analytics.
+//!
+//! Two std-only summaries over streams of `u64` keys:
+//!
+//! - [`CountMinSketch`] — a fixed-size counter matrix giving frequency
+//!   estimates that never underestimate and overestimate by at most
+//!   `e/width * N` with probability `1 - (1/2)^depth`.
+//! - [`SpaceSaving`] — the Metwally et al. top-K heavy-hitter tracker:
+//!   at most `cap` tracked keys, each with a count and an error bound
+//!   (`count - err` is a guaranteed lower bound on the true frequency).
+//!
+//! Both are allocation-free on [`record`](CountMinSketch::record) (all
+//! storage is reserved at construction) and mergeable across threads or
+//! processes, so per-worker sketches can be folded into a global one.
+//! Determinism: for a fixed seed, identical record sequences produce
+//! identical sketches, and merges are order-insensitive for `CountMinSketch`
+//! and deterministic (input-order-defined) for `SpaceSaving`.
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+///
+/// Used to derive per-row count-min hash functions and table probes.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Error returned when merging sketches with incompatible shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchMismatch;
+
+impl std::fmt::Display for SketchMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sketch dimensions or seed differ; cannot merge")
+    }
+}
+
+/// A count-min sketch: `depth` rows of `width` saturating counters.
+///
+/// `estimate` never underestimates the true count; the overestimate is
+/// bounded by the collision mass `N / width` per row, minimized over rows.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    /// `depth * width` counters, row-major. Saturating on add.
+    rows: Vec<u64>,
+    /// Total weight recorded (saturating).
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Create a sketch. `width` is rounded up to a power of two (min 16);
+    /// `depth` is clamped to `1..=8`. The seed fixes the hash family, so
+    /// two sketches are mergeable iff `width`, `depth`, and `seed` match.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        let width = width.max(16).next_power_of_two();
+        let depth = depth.clamp(1, 8);
+        CountMinSketch { width, depth, seed, rows: vec![0; width * depth], total: 0 }
+    }
+
+    /// Counter index for `key` in `row`.
+    #[inline]
+    fn slot(&self, row: usize, key: u64) -> usize {
+        // Each row gets an independent hash by folding the row index into
+        // the seed before mixing.
+        let h = mix64(key ^ mix64(self.seed ^ row as u64));
+        row * self.width + (h as usize & (self.width - 1))
+    }
+
+    /// Add `weight` occurrences of `key`. Never allocates; saturates
+    /// instead of wrapping.
+    #[inline]
+    pub fn record(&mut self, key: u64, weight: u64) {
+        for row in 0..self.depth {
+            let slot = self.slot(row, key);
+            let c = &mut self.rows[slot];
+            *c = c.saturating_add(weight);
+        }
+        self.total = self.total.saturating_add(weight);
+    }
+
+    /// Estimated count for `key`: the minimum over rows. Never less than
+    /// the true count recorded (absent saturation).
+    pub fn estimate(&self, key: u64) -> u64 {
+        let mut best = u64::MAX;
+        for row in 0..self.depth {
+            best = best.min(self.rows[self.slot(row, key)]);
+        }
+        best
+    }
+
+    /// Total weight recorded into the sketch.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Row width (always a power of two).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Fold `other` into `self` counter-wise. Requires identical shape and
+    /// seed: row hashes differ otherwise and the merged estimates would be
+    /// meaningless.
+    pub fn merge(&mut self, other: &CountMinSketch) -> Result<(), SketchMismatch> {
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
+            return Err(SketchMismatch);
+        }
+        for (c, o) in self.rows.iter_mut().zip(other.rows.iter()) {
+            *c = c.saturating_add(*o);
+        }
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+
+    /// Zero all counters, keeping the shape and seed.
+    pub fn reset(&mut self) {
+        self.rows.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+/// One tracked heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopEntry {
+    /// The tracked key.
+    pub key: u64,
+    /// Upper-bound count (true count ≤ `count`).
+    pub count: u64,
+    /// Error inherited from evictions (true count ≥ `count - err`).
+    pub err: u64,
+}
+
+/// Space-saving top-K tracker (Metwally et al., "Efficient computation of
+/// frequent and top-k elements in data streams").
+///
+/// Tracks at most `cap` keys. A new key evicts the current minimum-count
+/// entry and inherits its count as error. `record` is a linear scan over
+/// at most `cap` entries — O(K) with K small (≤ a few hundred) — and never
+/// allocates after construction.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    cap: usize,
+    entries: Vec<TopEntry>,
+}
+
+impl SpaceSaving {
+    /// Create a tracker holding at most `cap` keys (min 1). All storage is
+    /// reserved up front so `record` never allocates.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SpaceSaving { cap, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Add `weight` occurrences of `key`.
+    ///
+    /// Deterministic: ties on the minimum are broken by the lowest slot
+    /// index, and slot order is a pure function of the record sequence.
+    #[inline]
+    pub fn record(&mut self, key: u64, weight: u64) {
+        let mut min_at = 0usize;
+        let mut min_count = u64::MAX;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.key == key {
+                e.count = e.count.saturating_add(weight);
+                return;
+            }
+            if e.count < min_count {
+                min_count = e.count;
+                min_at = i;
+            }
+        }
+        if self.entries.len() < self.cap {
+            // Capacity was reserved in `new`; this push never reallocates.
+            self.entries.push(TopEntry { key, count: weight, err: 0 });
+            return;
+        }
+        // Evict the minimum: the newcomer inherits its count as error.
+        let e = &mut self.entries[min_at];
+        e.key = key;
+        e.err = e.count;
+        e.count = e.count.saturating_add(weight);
+    }
+
+    /// Tracked entries, highest count first (ties: lower key first).
+    pub fn top(&self) -> Vec<TopEntry> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Number of keys currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of tracked keys.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Fold `other` into `self` (the SMED merge): shared keys add counts
+    /// and errors; new keys are inserted with their counts, evicting
+    /// minima as in `record`. Deterministic given both inputs: `other`'s
+    /// entries are folded in descending-count order.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        for o in other.top() {
+            let mut min_at = 0usize;
+            let mut min_count = u64::MAX;
+            let mut found = false;
+            for (i, e) in self.entries.iter_mut().enumerate() {
+                if e.key == o.key {
+                    e.count = e.count.saturating_add(o.count);
+                    e.err = e.err.saturating_add(o.err);
+                    found = true;
+                    break;
+                }
+                if e.count < min_count {
+                    min_count = e.count;
+                    min_at = i;
+                }
+            }
+            if found {
+                continue;
+            }
+            if self.entries.len() < self.cap {
+                self.entries.push(o);
+                continue;
+            }
+            let evicted = self.entries[min_at].count;
+            self.entries[min_at] = TopEntry {
+                key: o.key,
+                count: o.count.saturating_add(evicted),
+                err: o.err.saturating_add(evicted),
+            };
+        }
+    }
+
+    /// Forget all tracked keys, keeping the capacity.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random key stream (splitmix64 sequence).
+    fn stream(seed: u64, len: usize, domain: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                mix64(state) % domain
+            })
+            .collect()
+    }
+
+    #[test]
+    fn count_min_never_underestimates_and_bounds_overestimate() {
+        let keys = stream(7, 20_000, 512);
+        let mut cm = CountMinSketch::new(1024, 4, 42);
+        let mut exact = std::collections::HashMap::new();
+        for &k in &keys {
+            cm.record(k, 1);
+            *exact.entry(k).or_insert(0u64) += 1;
+        }
+        assert_eq!(cm.total(), keys.len() as u64);
+        let mut worst = 0u64;
+        for (&k, &true_count) in &exact {
+            let est = cm.estimate(k);
+            assert!(est >= true_count, "underestimate for {k}: {est} < {true_count}");
+            worst = worst.max(est - true_count);
+        }
+        // Expected collision mass per row is N/width ≈ 19.5; with four
+        // independent rows the min is far below the single-row bound.
+        // Allow 4x headroom so the test is not seed-sensitive.
+        let bound = 4 * (keys.len() as u64) / cm.width() as u64;
+        assert!(worst <= bound.max(8), "overestimate {worst} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn count_min_merge_equals_single_sketch_and_requires_matching_shape() {
+        let keys = stream(11, 10_000, 256);
+        let (a_keys, b_keys) = keys.split_at(keys.len() / 2);
+        let mut whole = CountMinSketch::new(512, 4, 9);
+        let mut a = CountMinSketch::new(512, 4, 9);
+        let mut b = CountMinSketch::new(512, 4, 9);
+        for &k in &keys {
+            whole.record(k, 1);
+        }
+        for &k in a_keys {
+            a.record(k, 1);
+        }
+        for &k in b_keys {
+            b.record(k, 1);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), whole.total());
+        for k in 0..256u64 {
+            assert_eq!(a.estimate(k), whole.estimate(k), "merge diverged for key {k}");
+        }
+        // Shape or seed mismatches must refuse to merge.
+        assert_eq!(a.merge(&CountMinSketch::new(1024, 4, 9)), Err(SketchMismatch));
+        assert_eq!(a.merge(&CountMinSketch::new(512, 3, 9)), Err(SketchMismatch));
+        assert_eq!(a.merge(&CountMinSketch::new(512, 4, 10)), Err(SketchMismatch));
+    }
+
+    #[test]
+    fn space_saving_tracks_exact_counts_below_capacity() {
+        let mut ss = SpaceSaving::new(8);
+        for (key, n) in [(1u64, 5u64), (2, 3), (3, 9)] {
+            for _ in 0..n {
+                ss.record(key, 1);
+            }
+        }
+        let top = ss.top();
+        assert_eq!(top.len(), 3);
+        assert_eq!((top[0].key, top[0].count, top[0].err), (3, 9, 0));
+        assert_eq!((top[1].key, top[1].count, top[1].err), (1, 5, 0));
+        assert_eq!((top[2].key, top[2].count, top[2].err), (2, 3, 0));
+    }
+
+    #[test]
+    fn space_saving_eviction_order_and_error_accounting() {
+        let mut ss = SpaceSaving::new(2);
+        ss.record(10, 5);
+        ss.record(20, 2);
+        // Capacity reached: key 30 must evict the minimum (20, count 2),
+        // inheriting its count as error.
+        ss.record(30, 1);
+        let top = ss.top();
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].key, top[0].count, top[0].err), (10, 5, 0));
+        assert_eq!((top[1].key, top[1].count, top[1].err), (30, 3, 2));
+        // Guaranteed lower bound: count - err ≤ true count.
+        assert!(top[1].count - top[1].err <= 1);
+        // A further eviction replaces the new minimum (30, count 3) and
+        // stacks its count into the newcomer's error.
+        ss.record(40, 1);
+        let top = ss.top();
+        assert_eq!((top[1].key, top[1].count, top[1].err), (40, 4, 3));
+    }
+
+    #[test]
+    fn space_saving_saturates_at_capacity_and_ties_break_low_slot() {
+        let mut ss = SpaceSaving::new(4);
+        for k in 0..4u64 {
+            ss.record(k, 1);
+        }
+        assert_eq!(ss.len(), ss.capacity());
+        // All counts tie at 1: the eviction must hit slot 0 (key 0).
+        ss.record(99, 1);
+        assert_eq!(ss.len(), 4, "capacity must not grow");
+        let keys: Vec<u64> = ss.top().iter().map(|e| e.key).collect();
+        assert!(keys.contains(&99));
+        assert!(!keys.contains(&0), "lowest slot should have been evicted");
+        assert!(keys.contains(&1) && keys.contains(&2) && keys.contains(&3));
+    }
+
+    #[test]
+    fn space_saving_merge_is_deterministic_and_finds_heavy_hitters() {
+        // A skewed stream: keys 0..8 are heavy, the rest are noise.
+        let mut keys = Vec::new();
+        for hot in 0..8u64 {
+            for _ in 0..(200 - 10 * hot) {
+                keys.push(hot);
+            }
+        }
+        keys.extend(stream(3, 2_000, 4_096).into_iter().map(|k| k + 100));
+        // Deterministic interleave of heavy and noise keys.
+        let order = stream(5, keys.len(), keys.len() as u64);
+        let shuffled: Vec<u64> = order.iter().map(|&i| keys[i as usize]).collect();
+
+        let (left, right) = shuffled.split_at(shuffled.len() / 2);
+        let run = |part: &[u64]| {
+            let mut ss = SpaceSaving::new(64);
+            for &k in part {
+                ss.record(k, 1);
+            }
+            ss
+        };
+        let mut merged_a = run(left);
+        merged_a.merge(&run(right));
+        let mut merged_b = run(left);
+        merged_b.merge(&run(right));
+        // Same inputs, same merge order: identical results.
+        assert_eq!(merged_a.top(), merged_b.top());
+        // Every heavy hitter survives the merge in the top 8 (inherited
+        // eviction error can perturb relative order, not membership).
+        let mut top_keys: Vec<u64> = merged_a.top().iter().take(8).map(|e| e.key).collect();
+        top_keys.sort_unstable();
+        assert_eq!(top_keys, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Counts remain upper bounds on the true frequency.
+        for e in merged_a.top().iter().take(8) {
+            let true_count = shuffled.iter().filter(|&&k| k == e.key).count() as u64;
+            assert!(e.count >= true_count);
+            assert!(e.count - e.err <= true_count);
+        }
+    }
+}

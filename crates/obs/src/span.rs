@@ -8,23 +8,31 @@
 //!
 //! When the global [`crate::metrics::enabled`] flag is off, creating a
 //! span costs one relaxed atomic load and records nothing.
+//!
+//! Spans double as the cooperative profiler's stack frames: when
+//! [`crate::profile::enabled`] is on, creating a span pushes its name
+//! onto the thread's published stage stack and dropping it pops, so the
+//! sampler attributes wall-clock to whatever spans are live.
 
 use std::time::Instant;
 
-use crate::metrics;
+use crate::{metrics, profile};
 
 /// A live stage timer; drop it to record.
 #[derive(Debug)]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    /// Whether this span pushed a profiler frame it must pop on drop.
+    pushed: bool,
 }
 
 /// Starts a span for the named stage (no-op unless metrics are enabled).
 #[must_use]
 pub fn stage(name: &'static str) -> Span {
     let start = if metrics::enabled() { Some(Instant::now()) } else { None };
-    Span { name, start }
+    let pushed = profile::push(name);
+    Span { name, start, pushed }
 }
 
 impl Span {
@@ -34,6 +42,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.pushed {
+            profile::pop();
+        }
         if let Some(start) = self.start {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             metrics::global().record_stage(self.name, ns);
