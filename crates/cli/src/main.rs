@@ -42,12 +42,18 @@
 //! recorder on and writes the recorded ring as Chrome-trace JSON after
 //! the command.
 //!
-//! `serve [--addr host:port] [--workers N] [--access-log <path>]` runs
-//! the std-only observability HTTP server (`/metrics`, `/healthz`,
-//! `/readyz`, `/status`, `/query`, `/slow`, `/trace.json`, `/logs`) on a
-//! fixed worker pool (default: available parallelism) — see the `serve`
-//! module in the library half of this crate. The structured access log
-//! goes to stderr unless `--access-log` redirects it to a file.
+//! `serve [--addr host:port] [--workers N] [--access-log <path>]
+//! [--tenant name=path.pspk]... [--tenants-dir <dir>]` runs the std-only
+//! observability HTTP server (`/metrics`, `/healthz`, `/readyz`,
+//! `/status`, `/query`, `/assist`, `/slow`, `/trace.json`, `/logs`,
+//! `/tenants`, `/reload`) on a fixed worker pool (default: available
+//! parallelism) — see the `serve` module in the library half of this
+//! crate. The structured access log goes to stderr unless `--access-log`
+//! redirects it to a file. The server is multi-tenant: `--index` (or an
+//! in-process build) becomes the `default` tenant, each `--tenant
+//! name=path.pspk` adds a named tenant, `--tenants-dir` registers one
+//! tenant per `.pspk` in a directory (named by file stem), and `POST
+//! /reload?tenant=` hot-swaps a tenant's engine with zero downtime.
 
 use std::process::ExitCode;
 
@@ -470,6 +476,8 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             let mut workers: Option<usize> = None;
             let mut access_log: Option<String> = None;
             let mut mmap = false;
+            let mut tenants: Vec<(String, String)> = Vec::new();
+            let mut tenants_dir: Option<String> = None;
             let mut it = flags.rest[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -487,13 +495,24 @@ fn run_command(flags: &Flags) -> Result<(), String> {
                             Some(it.next().ok_or("--access-log needs a path")?.clone());
                     }
                     "--mmap" => mmap = true,
+                    "--tenant" => {
+                        let spec = it.next().ok_or("--tenant needs name=path.pspk")?;
+                        let (name, path) = spec
+                            .split_once('=')
+                            .ok_or("--tenant needs name=path.pspk")?;
+                        tenants.push((name.to_owned(), path.to_owned()));
+                    }
+                    "--tenants-dir" => {
+                        tenants_dir =
+                            Some(it.next().ok_or("--tenants-dir needs a directory")?.clone());
+                    }
                     other => return Err(format!("serve: unknown argument `{other}`")),
                 }
             }
-            if mmap && flags.index.is_none() {
+            if mmap && flags.index.is_none() && tenants.is_empty() && tenants_dir.is_none() {
                 return Err("serve: --mmap requires --index <snapshot.pspk>".to_owned());
             }
-            // Bind before constructing the engine: binding enables the
+            // Bind before constructing the engines: binding enables the
             // metric registry, flight recorder, and access log, so the
             // very first scrape shows how this process started — a
             // `store` span for a warm start, the build/mine pipeline for
@@ -505,35 +524,53 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             if let Some(path) = &access_log {
                 prospector_obs::log::set_file(path)?;
             }
-            let (engine, snapshot_mode) = if let Some(path) = &flags.index {
-                let (engine, mode) = load_index_with(path, mmap)?;
-                (engine, Some(mode))
+            // The default tenant preserves every single-tenant URL: it is
+            // warm-started from `--index` when given, built in-process
+            // otherwise. Further tenants load from their own snapshots.
+            let registry = if let Some(path) = &flags.index {
+                let (engine, provenance) = prospector_registry::load_engine(path, mmap)?;
+                prospector_registry::Registry::with_default(engine, provenance)
             } else {
-                (build(&flags.options).map_err(|e| e.to_string())?.prospector, None)
+                let engine = build(&flags.options).map_err(|e| e.to_string())?.prospector;
+                prospector_registry::Registry::with_default(
+                    engine,
+                    prospector_registry::Provenance::built(),
+                )
             };
+            for (name, path) in &tenants {
+                registry
+                    .add_from_path(name, path, mmap)
+                    .map_err(|e| e.to_string())?;
+            }
+            if let Some(dir) = &tenants_dir {
+                prospector_registry::add_tenants_dir(&registry, dir, mmap)?;
+            }
             let bound = server.local_addr()?;
+            // Keep the address line bare: tooling (and the warm-start
+            // test) parses everything after the scheme as the address.
             println!("serving on http://{bound}");
+            println!("  {} tenant(s): {}", registry.len(), registry.names().join(", "));
             println!("  GET /healthz     liveness");
             println!("  GET /readyz      readiness + warm-start provenance (JSON)");
-            println!("  GET /metrics     Prometheus text exposition");
-            println!("  GET /status      SLO introspection: windowed latency, rates, pool, RSS (JSON)");
-            println!("  GET /query?tin=..&tout=..  ranked jungloids + trace_id");
+            println!("  GET /metrics     Prometheus text exposition (per-tenant labeled series)");
+            println!("  GET /status      SLO introspection: windowed latency, rates, pool, RSS, tenants (JSON)");
+            println!("  GET /query?tin=..&tout=..[&tenant=]  ranked jungloids + trace_id");
+            println!("  GET /assist?var=n:T&tout=..[&tenant=]  content-assist fan-out (JSON)");
             println!("  GET /slow        retained slow-query timelines (JSON; ?clear=1 resets)");
             println!("  GET /trace.json  flight-recorder ring as Chrome trace");
             println!("  GET /logs?n=     newest structured access-log records (JSON)");
             println!("  GET /heat        graph heat map: hottest types/members/edges (JSON; ?k=N)");
             println!("  GET /analytics   workload sketches: popular/miss/truncation keys (JSON; ?k=N)");
             println!("  GET /profile.folded  sampled stage stacks, flamegraph.pl folded format");
+            println!("  GET /tenants     tenant manifest: state, provenance, epoch, sizes (JSON)");
+            println!("  POST /tenants?name=&path=  register a tenant from a snapshot");
+            println!("  POST /reload?tenant=  hot-reload a tenant's engine (zero downtime)");
             // The CLI has no signal handling (std-only), so the flag is
             // never flipped here: the process serves until killed. Tests
             // drive `Server::run` in-process and flip it for a clean join.
             let shutdown = std::sync::atomic::AtomicBool::new(false);
-            let opts = prospector_cli::serve::ServeOptions {
-                max: flags.max,
-                snapshot_source: flags.index.clone(),
-                snapshot_mode: snapshot_mode.map(str::to_owned),
-            };
-            server.run(&engine, &opts, &shutdown)
+            let opts = prospector_cli::serve::ServeOptions { max: flags.max, mmap };
+            server.run(&registry, &opts, &shutdown)
         }
         "stats" => {
             // `stats` always times the pipeline so the §5 size report
@@ -799,6 +836,8 @@ fn index_inspect(path: &str, layout: bool) -> Result<(), String> {
         let loaded = prospector_core::persist::load_file(std::path::Path::new(path))
             .map_err(|e| e.to_string())?;
         println!("{path}: JSON debug index, {} bytes", bytes.len());
+        println!("  graph epoch:   {}", loaded.graph.epoch());
+        println!("  snapshot mode: owned (JSON debug format)");
         println!("  types:   {}", loaded.api.types().len());
         println!("  methods: {}", loaded.api.method_count());
         println!("  fields:  {}", loaded.api.field_count());
@@ -813,6 +852,14 @@ fn index_inspect(path: &str, layout: bool) -> Result<(), String> {
     let m = prospector_store::manifest(&bytes).map_err(|e| format!("{path}: {e}"))?;
     let snap = prospector_store::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
     println!("{path}: prospector snapshot, format v{}, {} bytes", m.version, m.total_bytes);
+    // The mode a loader would achieve: borrowing (mmap or zero-copy
+    // buffer views) needs the v2 layout with every section 8-aligned.
+    let mappable = m.version >= 2 && m.sections.iter().all(|s| s.offset % 8 == 0);
+    println!("  graph epoch:   {}", snap.graph.epoch());
+    println!(
+        "  snapshot mode: {}",
+        if mappable { "mmap-capable (v2, 8-aligned sections)" } else { "owned-only" }
+    );
     for s in &m.sections {
         // An unaligned payload is legal (v1 always is) but means the
         // loader must fall back to copying instead of borrowing views.
@@ -1167,6 +1214,7 @@ usage:
   prospector [flags] index inspect <path> [--layout]
   prospector [flags] index heat <batch-file> [-k N]
   prospector [flags] serve [--addr host:port] [--workers N] [--access-log <path>] [--mmap]
+                           [--tenant name=path.pspk]... [--tenants-dir <dir>]
 
 flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle
        --max N --seed N --index <path> --metrics --metrics-json <path>

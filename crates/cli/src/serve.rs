@@ -23,14 +23,26 @@
 //! | `GET /healthz`            | `ok` (liveness)                             |
 //! | `GET /readyz`             | readiness JSON (warm-start provenance)      |
 //! | `GET /metrics`            | Prometheus text exposition of the registry  |
-//! | `GET /status`             | SLO introspection JSON (windowed latency, rates, pool, RSS) |
+//! | `GET /status`             | SLO introspection JSON (windowed latency, rates, pool, RSS, tenants) |
 //! | `GET /query?tin=..&tout=..` | ranked-jungloid JSON + the query's `trace_id` |
+//! | `GET /assist?var=n:T&tout=..` | assist fan-out JSON: suggestions from every visible variable |
 //! | `GET /slow`               | the retained slow-query timelines as JSON (`?clear=1` resets) |
 //! | `GET /trace.json`         | the flight-recorder ring as Chrome trace (+ profiler counters) |
 //! | `GET /logs?n=`            | the newest access-log records as JSON       |
 //! | `GET /heat?k=`            | top-K hot types/members/edges from the graph heat table |
 //! | `GET /analytics?k=`       | workload sketches: popular / miss-heavy / truncation-heavy query keys |
 //! | `GET /profile.folded`     | sampled stage stacks, flamegraph.pl folded format |
+//! | `GET /tenants`            | the tenant manifest (state, provenance, epoch, sizes) |
+//! | `POST /tenants?name=&path=` | registers a new tenant from a snapshot path |
+//! | `POST /reload?tenant=`    | rebuilds a tenant's engine off-lock and atomically swaps it in |
+//!
+//! The server is **multi-tenant**: every engine endpoint (`/query`,
+//! `/assist`, `/heat`, `/analytics`) accepts a `?tenant=` key routed
+//! through the [`prospector_registry::Registry`]. Without the key a
+//! request goes to the [`DEFAULT_TENANT`], so every single-tenant URL
+//! keeps working unchanged; an unknown key is a strict-JSON 400, never
+//! a silent fallback. `POST /reload` swaps a tenant's engine with zero
+//! downtime — in-flight queries finish on the `Arc` they cloned.
 //!
 //! Every finished request is accounted three ways, whatever the
 //! endpoint: a `serve.http.requests{endpoint,code}` counter, a
@@ -54,6 +66,7 @@ use std::time::{Duration, Instant};
 
 use prospector_core::{heat, Prospector};
 use prospector_obs::hist::Histogram;
+use prospector_registry::{Registry, Tenant, TenantInfo, TenantState, DEFAULT_TENANT};
 use prospector_obs::log::{self as alog, AccessRecord};
 use prospector_obs::profile;
 use prospector_obs::trace::{self, TraceId};
@@ -103,18 +116,21 @@ const MAX_LOG_TAIL: usize = 10_000;
 /// Endpoint labels, in routing order. `other` absorbs every unknown
 /// path so scans and typos still show up in the request counters
 /// without minting unbounded label values.
-const ENDPOINTS: [&str; 12] = [
+const ENDPOINTS: [&str; 15] = [
     "healthz",
     "readyz",
     "metrics",
     "status",
     "query",
+    "assist",
     "slow",
     "trace",
     "logs",
     "heat",
     "analytics",
     "profile",
+    "tenants",
+    "reload",
     "other",
 ];
 
@@ -125,21 +141,18 @@ const CODES: [u16; 5] = [200, 400, 404, 405, 500];
 /// (mirrors `TruncationReason::label`).
 const TRUNCATIONS: [&str; 3] = ["none", "path_cap", "expansion_cap"];
 
-/// Everything [`Server::run`] needs beyond the engine itself.
+/// Everything [`Server::run`] needs beyond the registry itself.
+/// Provenance (snapshot source/mode, graph epoch) now lives on each
+/// tenant in the registry; `/readyz` and `/status` report the default
+/// tenant's.
 #[derive(Clone, Debug, Default)]
 pub struct ServeOptions {
     /// Suggestions returned per `/query` (the CLI's `--max`).
     pub max: usize,
-    /// Where the engine came from: `Some(path)` when warm-started from a
-    /// `--index` snapshot, `None` when built in-process. Reported by
-    /// `/readyz` and `/status` as provenance.
-    pub snapshot_source: Option<String>,
-    /// How the snapshot is held: `"mmap"` when the engine serves
-    /// borrowed views out of a memory-mapped v2 file, `"owned"` for an
-    /// owned read/decode, `None` for an in-process build. Reported
-    /// alongside `snapshot_source` so dashboards can tell the two
-    /// warm-start regimes apart.
-    pub snapshot_mode: Option<String>,
+    /// Serve snapshots mmap'd when tenants are added at runtime
+    /// (`POST /tenants` without an explicit `mmap` parameter inherits
+    /// this, mirroring the CLI's `--mmap`).
+    pub mmap: bool,
 }
 
 /// Per-endpoint × status-code request counters — the label support the
@@ -274,14 +287,13 @@ impl JobQueue {
     }
 }
 
-/// Shared per-run state: the engine, the options, and the live pool
-/// gauges every worker updates and `/status` reads.
+/// Shared per-run state: the tenant registry, the options, and the live
+/// pool gauges every worker updates and `/status` reads.
 struct Ctx<'a> {
-    engine: &'a Prospector,
+    registry: &'a Registry,
     max: usize,
+    mmap: bool,
     workers: usize,
-    snapshot_source: Option<&'a str>,
-    snapshot_mode: Option<&'a str>,
     started: Instant,
     /// Workers currently inside `handle_connection`.
     busy: AtomicU64,
@@ -350,7 +362,7 @@ impl Server {
     /// Returns accept-loop failures other than `WouldBlock`.
     pub fn run(
         self,
-        engine: &Prospector,
+        registry: &Registry,
         opts: &ServeOptions,
         shutdown: &AtomicBool,
     ) -> Result<(), String> {
@@ -361,11 +373,10 @@ impl Server {
         let queue_cap = self.workers * QUEUE_SLOTS_PER_WORKER;
         let stopping = AtomicBool::new(false);
         let ctx = Ctx {
-            engine,
+            registry,
             max: opts.max,
+            mmap: opts.mmap,
             workers: self.workers,
-            snapshot_source: opts.snapshot_source.as_deref(),
-            snapshot_mode: opts.snapshot_mode.as_deref(),
             started: Instant::now(),
             busy: AtomicU64::new(0),
             conns: AtomicU64::new(0),
@@ -511,6 +522,8 @@ fn warm_registry() {
         "engine.dedup_drops",
         "rank.comparisons",
         "synth.snippets",
+        "registry.reloads",
+        "registry.reload_failures",
     ];
     for name in COUNTERS {
         prospector_obs::add(name, 0);
@@ -527,6 +540,8 @@ fn warm_registry() {
     prospector_obs::gauge_set("serve.queue.depth", 0);
     prospector_obs::gauge_set("serve.workers.busy", 0);
     prospector_obs::gauge_set("serve.conns.active", 0);
+    prospector_obs::gauge_set("registry.tenants", 0);
+    prospector_obs::gauge_set("registry.engine_bytes", 0);
     prospector_obs::gauge_set("profile.samples", 0);
     prospector_obs::gauge_set("profile.dropped", 0);
     // Resolving the serve ring handles registers every per-endpoint
@@ -564,14 +579,18 @@ struct Response {
     reason: &'static str,
     content_type: &'static str,
     body: String,
-    /// Send an `Allow: GET` header (405 responses).
-    allow_get: bool,
+    /// `Allow:` header value for 405 responses; empty sends no header.
+    allow: &'static str,
     /// The flight-recorder id for `/query`; 0 elsewhere.
     trace_id: u64,
     /// Whether a `/query` answer came from the result cache.
     cached: bool,
     /// The query's truncation label; empty for non-query endpoints.
     truncation: String,
+    /// The tenant the request resolved to; empty for endpoints that
+    /// touch no engine. Feeds the access log and per-tenant latency
+    /// rings.
+    tenant: String,
 }
 
 impl Response {
@@ -581,15 +600,27 @@ impl Response {
             reason,
             content_type,
             body,
-            allow_get: false,
+            allow: "",
             trace_id: 0,
             cached: false,
             truncation: String::new(),
+            tenant: String::new(),
         }
     }
 
     fn ok_json(body: String) -> Response {
         Response::new(200, "OK", "application/json", body)
+    }
+
+    /// A strict-JSON 400 — the shape every engine endpoint returns for
+    /// bad parameters, including an unknown `?tenant=` key.
+    fn bad_request(message: String) -> Response {
+        let body = Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(message)),
+        ])
+        .to_text();
+        Response::new(400, "Bad Request", "application/json", body)
     }
 }
 
@@ -615,17 +646,10 @@ fn serve_request(
         None => (request.path.as_str(), ""),
     };
     let endpoint = endpoint_index(route);
-    let response = if request.method == "GET" {
-        route_get(ctx, endpoint, query)
-    } else {
-        let mut r = Response::new(
-            405,
-            "Method Not Allowed",
-            "text/plain",
-            "only GET is served\n".to_owned(),
-        );
-        r.allow_get = true;
-        r
+    let response = match request.method.as_str() {
+        "GET" => route_get(ctx, endpoint, query),
+        "POST" => route_post(ctx, endpoint, query),
+        _ => method_not_allowed(endpoint),
     };
     respond(stream, &response, close);
     let handle_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -640,15 +664,50 @@ fn endpoint_index(route: &str) -> usize {
         "/metrics" => "metrics",
         "/status" => "status",
         "/query" => "query",
+        "/assist" => "assist",
         "/slow" => "slow",
         "/trace.json" => "trace",
         "/logs" => "logs",
         "/heat" => "heat",
         "/analytics" => "analytics",
         "/profile.folded" => "profile",
+        "/tenants" => "tenants",
+        "/reload" => "reload",
         _ => "other",
     };
     ENDPOINTS.iter().position(|&e| e == label).expect("label is in ENDPOINTS")
+}
+
+/// The methods an endpoint accepts, the 405 `Allow:` header value.
+fn allowed_methods(endpoint: usize) -> &'static str {
+    match ENDPOINTS[endpoint] {
+        "tenants" => "GET, POST",
+        "reload" => "POST",
+        _ => "GET",
+    }
+}
+
+/// A 405 naming what the endpoint does accept.
+fn method_not_allowed(endpoint: usize) -> Response {
+    let allow = allowed_methods(endpoint);
+    let mut r = Response::new(
+        405,
+        "Method Not Allowed",
+        "text/plain",
+        format!("method not allowed; allowed: {allow}\n"),
+    );
+    r.allow = allow;
+    r
+}
+
+/// Resolves a request's optional `?tenant=` key against the registry.
+/// An unknown (or malformed) key is a strict-JSON 400 — never a silent
+/// fallback to the default tenant.
+fn resolve_tenant(ctx: &Ctx<'_>, query: &str) -> Result<Arc<Tenant>, Box<Response>> {
+    let name = query_param(query, "tenant");
+    ctx.registry
+        .resolve(name.as_deref())
+        .map_err(|e| Box::new(Response::bad_request(e.to_string())))
 }
 
 /// Routes one GET to its handler.
@@ -662,26 +721,44 @@ fn route_get(ctx: &Ctx<'_>, endpoint: usize, query: &str) -> Response {
                 &STANDARD_WINDOWS,
             )));
             body.push_str(&render_http_requests());
+            body.push_str(&render_tenant_metrics(ctx.registry));
             Response::new(200, "OK", "text/plain; version=0.0.4", body)
         }
         "status" => Response::ok_json(status_json(ctx).to_text()),
-        "query" => match run_query(ctx.engine, ctx.max, query) {
-            Ok(outcome) => {
-                let mut r = Response::ok_json(outcome.body);
-                r.trace_id = outcome.trace_id;
-                r.cached = outcome.cached;
-                r.truncation = outcome.truncation;
-                r
-            }
-            Err(message) => {
-                let body = Json::obj(vec![
-                    ("ok", Json::Bool(false)),
-                    ("error", Json::Str(message)),
-                ])
-                .to_text();
-                Response::new(400, "Bad Request", "application/json", body)
-            }
-        },
+        "query" => {
+            let tenant = match resolve_tenant(ctx, query) {
+                Ok(t) => t,
+                Err(r) => return *r,
+            };
+            tenant.record_query();
+            let engine = tenant.engine();
+            let mut r = match run_query(&engine, ctx.max, query) {
+                Ok(outcome) => {
+                    let mut r = Response::ok_json(outcome.body);
+                    r.trace_id = outcome.trace_id;
+                    r.cached = outcome.cached;
+                    r.truncation = outcome.truncation;
+                    r
+                }
+                Err(message) => Response::bad_request(message),
+            };
+            r.tenant = tenant.name().to_owned();
+            r
+        }
+        "assist" => {
+            let tenant = match resolve_tenant(ctx, query) {
+                Ok(t) => t,
+                Err(r) => return *r,
+            };
+            tenant.record_query();
+            let engine = tenant.engine();
+            let mut r = match run_assist(&engine, ctx.max, query) {
+                Ok(body) => Response::ok_json(body),
+                Err(message) => Response::bad_request(message),
+            };
+            r.tenant = tenant.name().to_owned();
+            r
+        }
         "slow" => {
             if query_param(query, "clear").is_some_and(|v| v == "1") {
                 let cleared = trace::clear_slow();
@@ -718,11 +795,129 @@ fn route_get(ctx: &Ctx<'_>, endpoint: usize, query: &str) -> Response {
                 }
             },
         },
-        "heat" => Response::ok_json(heat_json(ctx, top_k_param(query)).to_text()),
-        "analytics" => Response::ok_json(analytics_json(ctx, top_k_param(query)).to_text()),
+        "heat" => {
+            let tenant = match resolve_tenant(ctx, query) {
+                Ok(t) => t,
+                Err(r) => return *r,
+            };
+            let engine = tenant.engine();
+            let mut r = Response::ok_json(heat_json(&engine, top_k_param(query)).to_text());
+            r.tenant = tenant.name().to_owned();
+            r
+        }
+        "analytics" => {
+            let tenant = match resolve_tenant(ctx, query) {
+                Ok(t) => t,
+                Err(r) => return *r,
+            };
+            let engine = tenant.engine();
+            let mut r =
+                Response::ok_json(analytics_json(&engine, top_k_param(query)).to_text());
+            r.tenant = tenant.name().to_owned();
+            r
+        }
         "profile" => Response::new(200, "OK", "text/plain", profile::render_folded()),
+        "tenants" => Response::ok_json(tenants_json(ctx.registry).to_text()),
+        "reload" => method_not_allowed(endpoint),
         _ => Response::new(404, "Not Found", "text/plain", "no such endpoint\n".to_owned()),
     }
+}
+
+/// Routes one POST: the two admin endpoints. Everything else is a 405
+/// naming its `Allow:` set.
+fn route_post(ctx: &Ctx<'_>, endpoint: usize, query: &str) -> Response {
+    match ENDPOINTS[endpoint] {
+        "reload" => {
+            let name = query_param(query, "tenant");
+            let name = name.as_deref().unwrap_or(DEFAULT_TENANT);
+            match ctx.registry.reload(name) {
+                Ok(info) => {
+                    let mut r = Response::ok_json(
+                        Json::obj(vec![
+                            ("ok", Json::Bool(true)),
+                            ("tenant", tenant_info_json(&info)),
+                        ])
+                        .to_text(),
+                    );
+                    r.tenant = name.to_owned();
+                    r
+                }
+                Err(e) => {
+                    let mut r = Response::bad_request(e.to_string());
+                    r.tenant = name.to_owned();
+                    r
+                }
+            }
+        }
+        "tenants" => {
+            let Some(name) = query_param(query, "name") else {
+                return Response::bad_request("missing query parameter `name`".to_owned());
+            };
+            let Some(path) = query_param(query, "path") else {
+                return Response::bad_request("missing query parameter `path`".to_owned());
+            };
+            let mmap = query_param(query, "mmap")
+                .map_or(ctx.mmap, |v| v == "1" || v == "true");
+            match ctx.registry.add_from_path(&name, &path, mmap) {
+                Ok(tenant) => {
+                    let mut r = Response::ok_json(
+                        Json::obj(vec![
+                            ("ok", Json::Bool(true)),
+                            ("tenant", tenant_info_json(&tenant.info())),
+                        ])
+                        .to_text(),
+                    );
+                    r.tenant = name;
+                    r
+                }
+                Err(e) => Response::bad_request(e.to_string()),
+            }
+        }
+        _ => method_not_allowed(endpoint),
+    }
+}
+
+/// One tenant's manifest row as strict JSON (shared by `GET /tenants`
+/// and the admin responses).
+fn tenant_info_json(info: &TenantInfo) -> Json {
+    let state_error = match &info.state {
+        TenantState::Failed { error } => Json::Str(error.clone()),
+        _ => Json::Null,
+    };
+    Json::obj(vec![
+        ("name", Json::Str(info.name.clone())),
+        ("state", Json::Str(info.state.label().to_owned())),
+        ("state_error", state_error),
+        (
+            "snapshot_path",
+            info.snapshot_path.clone().map_or(Json::Null, Json::Str),
+        ),
+        (
+            "format_version",
+            info.format_version.map_or(Json::Null, |v| Json::num_u(u64::from(v))),
+        ),
+        ("mode", Json::Str(info.mode.label().to_owned())),
+        ("graph_epoch", Json::num_u(info.graph_epoch)),
+        ("engine_bytes", Json::num_u(info.engine_bytes)),
+        ("loaded_at_ms", Json::num_u(info.loaded_at_ms)),
+        ("load_us", Json::num_u(info.load_us)),
+        ("reloads", Json::num_u(info.reloads)),
+        ("reload_failures", Json::num_u(info.reload_failures)),
+        ("queries", Json::num_u(info.queries)),
+    ])
+}
+
+/// `GET /tenants`: the full manifest plus registry-level totals.
+fn tenants_json(registry: &Registry) -> Json {
+    let manifest = registry.manifest();
+    Json::obj(vec![
+        ("count", Json::num_u(manifest.len() as u64)),
+        ("engine_bytes_total", Json::num_u(registry.engine_bytes_total())),
+        (
+            "tenants",
+            Json::Arr(manifest.iter().map(tenant_info_json).collect()),
+        ),
+    ])
 }
 
 /// `?k=` with a sane default and cap for the top-K report endpoints.
@@ -739,6 +934,17 @@ fn query_param(query: &str, name: &str) -> Option<String> {
         .map(|(_, v)| percent_decode(v))
 }
 
+/// Every value of a repeatable query-string parameter (`/assist`'s
+/// `var=`), percent-decoded, in request order.
+fn query_params_all(query: &str, name: &str) -> Vec<String> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .filter(|(k, _)| *k == name)
+        .map(|(_, v)| percent_decode(v))
+        .collect()
+}
+
 /// The per-request accounting fan-out (see [`serve_request`]).
 fn record_request(endpoint: usize, response: &Response, queue_wait_ns: u64, handle_ns: u64) {
     http_stats().record(endpoint, response.code);
@@ -751,10 +957,17 @@ fn record_request(endpoint: usize, response: &Response, queue_wait_ns: u64, hand
     if response.code >= 400 {
         rings.errors[endpoint].add(1);
     }
+    // Per-tenant latency: one window ring per tenant the process has
+    // served, named into the global ring registry so `/metrics` and
+    // `/status` render them without a label-aware backend.
+    if !response.tenant.is_empty() {
+        window::ring(&format!("serve.tenant.latency_ns.{}", response.tenant)).record(handle_ns);
+    }
     alog::record(AccessRecord {
         ts_ms: alog::now_ms(),
         trace_id: response.trace_id,
         endpoint: ENDPOINTS[endpoint],
+        tenant: response.tenant.clone(),
         code: response.code,
         bytes: response.body.len() as u64,
         queue_wait_us: queue_wait_ns / 1_000,
@@ -787,26 +1000,101 @@ fn render_http_requests() -> String {
     out
 }
 
+/// The per-tenant labeled series as a Prometheus exposition block —
+/// epoch, resident size, query and reload counters, and the lifecycle
+/// state as a one-hot gauge, one series per tenant.
+fn render_tenant_metrics(registry: &Registry) -> String {
+    use std::fmt::Write as _;
+    let manifest = registry.manifest();
+    let mut out = String::new();
+    let mut block = |name: &str, help: &str, kind: &str, value: &dyn Fn(&TenantInfo) -> u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for t in &manifest {
+            let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.name, value(t));
+        }
+    };
+    block(
+        "prospector_engine_graph_epoch",
+        "Graph epoch of the tenant's installed engine.",
+        "gauge",
+        &|t| t.graph_epoch,
+    );
+    block(
+        "prospector_engine_bytes",
+        "Approximate resident bytes of the tenant's engine.",
+        "gauge",
+        &|t| t.engine_bytes,
+    );
+    block(
+        "prospector_engine_queries_total",
+        "Queries routed to the tenant.",
+        "counter",
+        &|t| t.queries,
+    );
+    block(
+        "prospector_registry_reloads_total",
+        "Successful hot reloads of the tenant's engine.",
+        "counter",
+        &|t| t.reloads,
+    );
+    block(
+        "prospector_registry_reload_failures_total",
+        "Failed reload attempts (old engine retained each time).",
+        "counter",
+        &|t| t.reload_failures,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP prospector_tenant_state Tenant lifecycle state (1 for the current state's series)."
+    );
+    let _ = writeln!(out, "# TYPE prospector_tenant_state gauge");
+    for t in &manifest {
+        for state in ["loading", "ready", "draining", "failed"] {
+            let v = u64::from(t.state.label() == state);
+            let _ = writeln!(
+                out,
+                "prospector_tenant_state{{tenant=\"{}\",state=\"{state}\"}} {v}",
+                t.name
+            );
+        }
+    }
+    out
+}
+
 /// `GET /readyz`: strict JSON distinguishing *ready to answer queries*
 /// from bare liveness (`/healthz`). The worker pool only runs once the
 /// engine is constructed, so a served `/readyz` is always `ready`; the
 /// value of the endpoint is the provenance — whether this process
 /// warm-started from a snapshot and which graph epoch it serves.
 fn readyz_json(ctx: &Ctx<'_>) -> Json {
-    let status = ctx.engine.status();
+    let (source, mode, epoch) = default_provenance(ctx.registry);
     Json::obj(vec![
         ("ready", Json::Bool(true)),
-        ("warm_start", Json::Bool(ctx.snapshot_source.is_some())),
-        (
-            "snapshot_source",
-            ctx.snapshot_source.map_or(Json::Null, |p| Json::Str(p.to_owned())),
-        ),
-        (
-            "snapshot_mode",
-            ctx.snapshot_mode.map_or(Json::Null, |m| Json::Str(m.to_owned())),
-        ),
-        ("graph_epoch", Json::num_u(status.graph_epoch)),
+        ("warm_start", Json::Bool(!matches!(source, Json::Null))),
+        ("snapshot_source", source),
+        ("snapshot_mode", mode),
+        ("graph_epoch", Json::num_u(epoch)),
+        ("tenants", Json::num_u(ctx.registry.len() as u64)),
     ])
+}
+
+/// The default tenant's provenance in the shape the single-tenant
+/// `/readyz` and `/status` always reported: `snapshot_source` /
+/// `snapshot_mode` are `null` for an in-process build, and the mode
+/// label is `"owned"` or `"mmap"` for warm starts.
+fn default_provenance(registry: &Registry) -> (Json, Json, u64) {
+    let Some(tenant) = registry.get(DEFAULT_TENANT) else {
+        return (Json::Null, Json::Null, 0);
+    };
+    let info = tenant.info();
+    let source = info.snapshot_path.clone().map_or(Json::Null, Json::Str);
+    let mode = if info.snapshot_path.is_some() {
+        Json::Str(info.mode.label().to_owned())
+    } else {
+        Json::Null
+    };
+    (source, mode, info.graph_epoch)
 }
 
 /// `hits / (hits + misses)`, 0 when nothing has been counted.
@@ -838,7 +1126,9 @@ fn window_stats_json(v: window::WindowStats, errors_in_window: u64) -> Json {
 /// pool and process gauges, and engine cache hit ratios.
 fn status_json(ctx: &Ctx<'_>) -> Json {
     let snap = prospector_obs::snapshot();
-    let engine_status = ctx.engine.status();
+    let default_engine = ctx.registry.get(DEFAULT_TENANT).map(|t| t.engine());
+    let engine_status = default_engine.as_ref().map(|e| e.status()).unwrap_or_default();
+    let (source, mode, epoch) = default_provenance(ctx.registry);
     let rings = serve_rings();
 
     let mut endpoints: Vec<(String, Json)> = Vec::new();
@@ -885,16 +1175,16 @@ fn status_json(ctx: &Ctx<'_>) -> Json {
     Json::obj(vec![
         ("uptime_s", Json::Num(ctx.started.elapsed().as_secs_f64())),
         ("ready", Json::Bool(true)),
-        ("warm_start", Json::Bool(ctx.snapshot_source.is_some())),
+        ("warm_start", Json::Bool(!matches!(source, Json::Null))),
+        ("snapshot_source", source),
+        ("snapshot_mode", mode),
+        ("graph_epoch", Json::num_u(epoch)),
         (
-            "snapshot_source",
-            ctx.snapshot_source.map_or(Json::Null, |p| Json::Str(p.to_owned())),
+            "tenants",
+            Json::Arr(
+                ctx.registry.manifest().iter().map(tenant_info_json).collect(),
+            ),
         ),
-        (
-            "snapshot_mode",
-            ctx.snapshot_mode.map_or(Json::Null, |m| Json::Str(m.to_owned())),
-        ),
-        ("graph_epoch", Json::num_u(engine_status.graph_epoch)),
         (
             "pool",
             Json::obj(vec![
@@ -941,9 +1231,10 @@ fn status_json(ctx: &Ctx<'_>) -> Json {
 
 /// `GET /heat`: the graph heat table's top-K hot types, members, and
 /// edges with resolved names, plus the table's provenance (epoch, merged
-/// queries and field builds, coverage totals).
-fn heat_json(ctx: &Ctx<'_>, k: usize) -> Json {
-    let snap = ctx.engine.heat_snapshot(k);
+/// queries and field builds, coverage totals). Resolution runs against
+/// the routed tenant's engine.
+fn heat_json(engine: &Prospector, k: usize) -> Json {
+    let snap = engine.heat_snapshot(k);
     let entries = |items: &[prospector_core::HeatEntry]| {
         Json::Arr(
             items
@@ -988,9 +1279,10 @@ fn heat_json(ctx: &Ctx<'_>, k: usize) -> Json {
 
 /// `GET /analytics`: the workload sketches — top-K popular, miss-heavy,
 /// and truncation-heavy `(tin, tout)` keys with resolved names — plus
-/// profiler sample totals.
-fn analytics_json(ctx: &Ctx<'_>, k: usize) -> Json {
-    let snap = ctx.engine.workload_snapshot(k);
+/// profiler sample totals. Resolution runs against the routed tenant's
+/// engine.
+fn analytics_json(engine: &Prospector, k: usize) -> Json {
+    let snap = engine.workload_snapshot(k);
     let entries = |items: &[prospector_core::WorkloadEntry]| {
         Json::Arr(
             items
@@ -1031,8 +1323,9 @@ fn analytics_json(ctx: &Ctx<'_>, k: usize) -> Json {
     ])
 }
 
-/// One parsed request head. Every endpoint is a bodyless GET, so the
-/// request line plus the `Connection` header is all the server needs.
+/// One parsed request head. The admin endpoints take their parameters
+/// in the query string, so no handler reads a body — but POST bodies
+/// are drained so keep-alive framing survives clients that send one.
 struct Request {
     method: String,
     path: String,
@@ -1040,9 +1333,13 @@ struct Request {
     close: bool,
 }
 
-/// Reads one request head (`GET /path HTTP/1.1` + headers). Returns
-/// `None` on a clean disconnect, timeout, or malformed head — all of
-/// which end the connection.
+/// Cap on a request body the server will drain (and discard) to keep a
+/// keep-alive connection framed; anything larger ends the connection.
+const MAX_DRAIN_BODY: u64 = 65_536;
+
+/// Reads one request head (`GET /path HTTP/1.1` + headers) and drains
+/// any `Content-Length` body. Returns `None` on a clean disconnect,
+/// timeout, or malformed head — all of which end the connection.
 fn read_request(stream: &mut TcpStream) -> Option<Request> {
     let mut buf = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
@@ -1061,19 +1358,43 @@ fn read_request(stream: &mut TcpStream) -> Option<Request> {
     let mut parts = line.split_whitespace();
     let method = parts.next()?.to_owned();
     let path = parts.next()?.to_owned();
-    let close = lines
+    let mut close = false;
+    let mut content_length: u64 = 0;
+    for (name, value) in lines
         .take_while(|l| !l.is_empty())
         .filter_map(|l| l.split_once(':'))
-        .any(|(name, value)| {
-            name.eq_ignore_ascii_case("connection")
-                && value.trim().eq_ignore_ascii_case("close")
-        });
+    {
+        if name.eq_ignore_ascii_case("connection")
+            && value.trim().eq_ignore_ascii_case("close")
+        {
+            close = true;
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().unwrap_or(0);
+        }
+    }
+    if content_length > 0 {
+        if content_length > MAX_DRAIN_BODY {
+            return None;
+        }
+        // Discard the body: handlers take parameters from the query
+        // string, but the bytes must leave the stream or the next
+        // keep-alive request head would start mid-body.
+        let mut sink = std::io::sink();
+        let mut body = Read::take(&mut *stream, content_length);
+        if std::io::copy(&mut body, &mut sink).is_err() {
+            return None;
+        }
+    }
     Some(Request { method, path, close })
 }
 
 fn respond(stream: &mut TcpStream, response: &Response, close: bool) {
     let connection = if close { "close" } else { "keep-alive" };
-    let allow = if response.allow_get { "Allow: GET\r\n" } else { "" };
+    let allow = if response.allow.is_empty() {
+        String::new()
+    } else {
+        format!("Allow: {}\r\n", response.allow)
+    };
     let header = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}Connection: {connection}\r\n\r\n",
         response.code,
@@ -1154,6 +1475,75 @@ fn run_query(engine: &Prospector, max: usize, query: &str) -> Result<QueryOutcom
     Ok(QueryOutcome { body: Json::obj(pairs).to_text(), trace_id, cached, truncation })
 }
 
+/// Answers `GET /assist?var=name:Type&var=..&tout=Type` — the editor
+/// content-assist fan-out: every visible variable is a source and one
+/// fused search ranks jungloids from all of them, plus the variables
+/// whose type already widens to `tout`.
+fn run_assist(engine: &Prospector, max: usize, query: &str) -> Result<String, String> {
+    let tout = query_param(query, "tout").ok_or("missing query parameter `tout`")?;
+    let tout_ty = engine.api().types().resolve(&tout).map_err(|e| e.to_string())?;
+    let vars = query_params_all(query, "var");
+    if vars.is_empty() {
+        return Err("missing query parameter `var` (repeatable, `name:Type`)".to_owned());
+    }
+    let mut parsed: Vec<(String, String)> = Vec::with_capacity(vars.len());
+    for raw in &vars {
+        let (name, ty) = raw
+            .split_once(':')
+            .ok_or_else(|| format!("malformed `var` value {raw:?} (expected `name:Type`)"))?;
+        if name.is_empty() || ty.is_empty() {
+            return Err(format!("malformed `var` value {raw:?} (expected `name:Type`)"));
+        }
+        parsed.push((name.to_owned(), ty.to_owned()));
+    }
+    let mut visible = Vec::with_capacity(parsed.len());
+    for (name, ty) in &parsed {
+        let ty_id = engine.api().types().resolve(ty).map_err(|e| e.to_string())?;
+        visible.push((name.as_str(), ty_id));
+    }
+    let result = engine.assist(&visible, tout_ty).map_err(|e| e.to_string())?;
+    Ok(Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("tout", Json::Str(tout)),
+        (
+            "vars",
+            Json::Arr(
+                parsed
+                    .iter()
+                    .map(|(name, ty)| {
+                        Json::obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("type", Json::Str(ty.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "already_available",
+            Json::Arr(result.already_available.iter().cloned().map(Json::Str).collect()),
+        ),
+        (
+            "shortest",
+            result.shortest.map_or(Json::Null, |m| Json::num_u(u64::from(m))),
+        ),
+        ("truncation", Json::Str(result.truncation.label().to_owned())),
+        ("found", Json::num_u(result.suggestions.len() as u64)),
+        (
+            "suggestions",
+            Json::Arr(
+                result
+                    .suggestions
+                    .iter()
+                    .take(max)
+                    .map(|s| Json::Str(s.code.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_text())
+}
+
 /// Minimal percent-decoding for query values (`%2E`, `+` → space). Type
 /// names are dot-separated identifiers, so this is already generous.
 fn percent_decode(value: &str) -> String {
@@ -1219,18 +1609,39 @@ mod tests {
             "/metrics",
             "/status",
             "/query",
+            "/assist",
             "/slow",
             "/trace.json",
             "/logs",
             "/heat",
             "/analytics",
             "/profile.folded",
+            "/tenants",
+            "/reload",
         ] {
             let ei = endpoint_index(route);
             assert_ne!(ENDPOINTS[ei], "other", "{route} should have its own label");
         }
         assert_eq!(ENDPOINTS[endpoint_index("/nope")], "other");
         assert_eq!(ENDPOINTS[endpoint_index("/")], "other");
+    }
+
+    #[test]
+    fn admin_endpoints_advertise_their_methods() {
+        use super::allowed_methods;
+        assert_eq!(allowed_methods(endpoint_index("/tenants")), "GET, POST");
+        assert_eq!(allowed_methods(endpoint_index("/reload")), "POST");
+        assert_eq!(allowed_methods(endpoint_index("/query")), "GET");
+    }
+
+    #[test]
+    fn repeatable_params_come_back_in_order() {
+        use super::query_params_all;
+        assert_eq!(
+            query_params_all("var=r%3AReader&tout=T&var=s:String", "var"),
+            vec!["r:Reader".to_owned(), "s:String".to_owned()]
+        );
+        assert!(query_params_all("tout=T", "var").is_empty());
     }
 
     #[test]

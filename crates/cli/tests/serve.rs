@@ -10,10 +10,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use prospector_cli::serve::{ServeOptions, Server};
 use prospector_corpora::{build, BuildOptions};
 use prospector_obs::Json;
+use prospector_registry::{Provenance, Registry};
 
 /// The default in-process options every test serves with.
 fn opts() -> ServeOptions {
-    ServeOptions { max: 5, snapshot_source: None, snapshot_mode: None }
+    ServeOptions { max: 5, mmap: false }
+}
+
+/// A single-tenant registry around an in-process build — the engine the
+/// pre-registry tests served directly.
+fn default_registry() -> Registry {
+    let engine = build(&BuildOptions::default()).expect("corpus builds").prospector;
+    Registry::with_default(engine, Provenance::built())
 }
 
 /// Issues one `GET` and returns `(status_line, body)`.
@@ -110,13 +118,13 @@ fn validate_histogram_buckets(body: &str) {
 
 #[test]
 fn serve_smoke() {
-    let engine = build(&BuildOptions::default()).expect("corpus builds").prospector;
+    let registry = default_registry();
     let server = Server::bind("127.0.0.1:0").expect("bind port 0");
     let addr = server.local_addr().expect("bound address");
     let shutdown = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        let worker = scope.spawn(|| server.run(&engine, &opts(), &shutdown));
+        let worker = scope.spawn(|| server.run(&registry, &opts(), &shutdown));
 
         let (status, body) = http_get(addr, "/healthz");
         assert!(status.contains("200"), "{status}");
@@ -248,14 +256,14 @@ fn read_response(stream: &mut TcpStream) -> (String, String) {
 /// pool still drains and joins cleanly on shutdown.
 #[test]
 fn serve_worker_pool_keepalive_and_concurrent_clients() {
-    let engine = build(&BuildOptions::default()).expect("corpus builds").prospector;
+    let registry = default_registry();
     let mut server = Server::bind("127.0.0.1:0").expect("bind port 0");
     server.set_workers(4);
     let addr = server.local_addr().expect("bound address");
     let shutdown = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        let serving = scope.spawn(|| server.run(&engine, &opts(), &shutdown));
+        let serving = scope.spawn(|| server.run(&registry, &opts(), &shutdown));
 
         // Keep-alive: three requests over ONE connection. The first two
         // responses advertise keep-alive; the last asks to close.
@@ -330,13 +338,13 @@ fn prom_value(body: &str, series: &str) -> Option<f64> {
 /// `Allow: GET`.
 #[test]
 fn serve_status_logs_and_introspection() {
-    let engine = build(&BuildOptions::default()).expect("corpus builds").prospector;
+    let registry = default_registry();
     let server = Server::bind("127.0.0.1:0").expect("bind port 0");
     let addr = server.local_addr().expect("bound address");
     let shutdown = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        let serving = scope.spawn(|| server.run(&engine, &opts(), &shutdown));
+        let serving = scope.spawn(|| server.run(&registry, &opts(), &shutdown));
 
         // A failed assertion must still flip the shutdown flag, or the
         // scope would join the serving thread forever.
@@ -461,7 +469,7 @@ fn serve_status_logs_and_introspection() {
         assert!(records.len() >= 60, "the load left records: {}", records.len());
         for rec in records {
             for key in
-                ["ts_ms", "trace_id", "endpoint", "code", "bytes", "queue_wait_us", "handle_us", "cached", "truncation"]
+                ["ts_ms", "trace_id", "endpoint", "tenant", "code", "bytes", "queue_wait_us", "handle_us", "cached", "truncation"]
             {
                 assert!(rec.get(key).is_some(), "access record missing {key}");
             }
@@ -521,13 +529,13 @@ fn serve_status_logs_and_introspection() {
 /// load-then-scrape cycle; JSON shape is asserted on every attempt.
 #[test]
 fn serve_heat_analytics_and_profiler() {
-    let engine = build(&BuildOptions::default()).expect("corpus builds").prospector;
+    let registry = default_registry();
     let server = Server::bind("127.0.0.1:0").expect("bind port 0");
     let addr = server.local_addr().expect("bound address");
     let shutdown = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        let serving = scope.spawn(|| server.run(&engine, &opts(), &shutdown));
+        let serving = scope.spawn(|| server.run(&registry, &opts(), &shutdown));
 
         let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
 

@@ -42,6 +42,9 @@ pub struct AccessRecord {
     pub trace_id: u64,
     /// Endpoint label (`"query"`, `"metrics"`, ..., `"other"`).
     pub endpoint: &'static str,
+    /// The tenant the request was routed to (`"default"` for bare
+    /// single-tenant URLs); empty for endpoints that touch no engine.
+    pub tenant: String,
     /// HTTP status code sent.
     pub code: u16,
     /// Response body bytes sent.
@@ -67,6 +70,7 @@ impl AccessRecord {
             ("ts_ms", Json::num_u(self.ts_ms)),
             ("trace_id", Json::num_u(self.trace_id)),
             ("endpoint", Json::Str(self.endpoint.to_owned())),
+            ("tenant", Json::Str(self.tenant.clone())),
             ("code", Json::num_u(u64::from(self.code))),
             ("bytes", Json::num_u(self.bytes)),
             ("queue_wait_us", Json::num_u(self.queue_wait_us)),
@@ -226,6 +230,7 @@ mod tests {
             ts_ms: ts,
             trace_id: 0x1_0000_0000_0001,
             endpoint,
+            tenant: "default".to_owned(),
             code: 200,
             bytes: 42,
             queue_wait_us: 7,
@@ -251,6 +256,7 @@ mod tests {
             "ts_ms",
             "trace_id",
             "endpoint",
+            "tenant",
             "code",
             "bytes",
             "queue_wait_us",

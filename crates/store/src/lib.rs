@@ -41,9 +41,9 @@ mod snapshot;
 pub use crc32::{crc32, Crc32};
 pub use error::StoreError;
 pub use snapshot::{
-    from_buf, from_bytes, is_snapshot, load_file, manifest, map_file, pad_for, save_file, to_bytes,
-    to_bytes_v1, Manifest, MappedSnapshot, SectionInfo, Snapshot, FORMAT_VERSION, MAGIC,
-    V1_FORMAT_VERSION,
+    from_buf, from_bytes, is_snapshot, load_auto, load_file, manifest, map_file, pad_for,
+    save_file, to_bytes, to_bytes_v1, LoadMode, Manifest, MappedSnapshot, SectionInfo, Snapshot,
+    FORMAT_VERSION, MAGIC, V1_FORMAT_VERSION,
 };
 
 #[cfg(test)]

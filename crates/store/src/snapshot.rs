@@ -1545,3 +1545,44 @@ pub fn map_file(path: &Path) -> Result<(Snapshot, Manifest, bool), StoreError> {
     record_load(&mapped.manifest, mapped.buf.len() as u64, validate_us, elapsed_us(start));
     Ok((snapshot, mapped.manifest, is_mapped))
 }
+
+/// How [`load_auto`] ended up holding the snapshot in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Decoded into owned storage from a one-shot read (or an mmap
+    /// request the platform/format could not honor).
+    Owned,
+    /// Serving borrowed views out of an mmap'd v2 region.
+    Mapped,
+}
+
+impl LoadMode {
+    /// The label `/readyz`, `/status`, and `/tenants` report.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadMode::Owned => "owned",
+            LoadMode::Mapped => "mmap",
+        }
+    }
+}
+
+/// The one snapshot-opening entry point warm starts and tenant
+/// (re)loads share: [`map_file`] when `mmap` is requested, [`load_file`]
+/// otherwise, with the mode actually achieved reported honestly (an
+/// mmap request over a v1 file or on an unsupported platform loads
+/// owned and says so).
+///
+/// # Errors
+///
+/// As [`load_file`].
+pub fn load_auto(path: &Path, mmap: bool) -> Result<(Snapshot, Manifest, LoadMode), StoreError> {
+    if mmap {
+        let (snapshot, manifest, is_mapped) = map_file(path)?;
+        let mode = if is_mapped { LoadMode::Mapped } else { LoadMode::Owned };
+        Ok((snapshot, manifest, mode))
+    } else {
+        let (snapshot, manifest) = load_file(path)?;
+        Ok((snapshot, manifest, LoadMode::Owned))
+    }
+}
