@@ -5,4 +5,6 @@
 //! (bind port 0, issue real `TcpStream` requests, flip the shutdown
 //! flag, and assert the loop returns with every worker joined).
 
+pub mod http;
+pub mod poller;
 pub mod serve;

@@ -478,6 +478,7 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             let mut mmap = false;
             let mut tenants: Vec<(String, String)> = Vec::new();
             let mut tenants_dir: Option<String> = None;
+            let mut opts = prospector_cli::serve::ServeOptions::default();
             let mut it = flags.rest[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -495,6 +496,47 @@ fn run_command(flags: &Flags) -> Result<(), String> {
                             Some(it.next().ok_or("--access-log needs a path")?.clone());
                     }
                     "--mmap" => mmap = true,
+                    "--keepalive-max" => {
+                        opts.keepalive_max = it
+                            .next()
+                            .ok_or("--keepalive-max needs a number")?
+                            .parse()
+                            .map_err(|_| "--keepalive-max needs a number".to_owned())?;
+                    }
+                    "--idle-timeout" => {
+                        let secs: u64 = it
+                            .next()
+                            .ok_or("--idle-timeout needs seconds")?
+                            .parse()
+                            .map_err(|_| "--idle-timeout needs seconds".to_owned())?;
+                        opts.idle_timeout = std::time::Duration::from_secs(secs);
+                    }
+                    "--max-inflight" => {
+                        opts.max_inflight = it
+                            .next()
+                            .ok_or("--max-inflight needs a number")?
+                            .parse()
+                            .map_err(|_| "--max-inflight needs a number".to_owned())?;
+                    }
+                    "--serve-core" => {
+                        match it.next().ok_or("--serve-core needs `epoll` or `pool`")?.as_str() {
+                            "epoll" => {
+                                if !prospector_cli::poller::supported() {
+                                    return Err(
+                                        "--serve-core epoll: not available on this platform"
+                                            .to_owned(),
+                                    );
+                                }
+                                opts.force_pool = false;
+                            }
+                            "pool" => opts.force_pool = true,
+                            other => {
+                                return Err(format!(
+                                    "--serve-core needs `epoll` or `pool`, got `{other}`"
+                                ))
+                            }
+                        }
+                    }
                     "--tenant" => {
                         let spec = it.next().ok_or("--tenant needs name=path.pspk")?;
                         let (name, path) = spec
@@ -569,7 +611,8 @@ fn run_command(flags: &Flags) -> Result<(), String> {
             // never flipped here: the process serves until killed. Tests
             // drive `Server::run` in-process and flip it for a clean join.
             let shutdown = std::sync::atomic::AtomicBool::new(false);
-            let opts = prospector_cli::serve::ServeOptions { max: flags.max, mmap };
+            opts.max = flags.max;
+            opts.mmap = mmap;
             server.run(&registry, &opts, &shutdown)
         }
         "stats" => {
@@ -643,6 +686,100 @@ fn run_command(flags: &Flags) -> Result<(), String> {
                 print_heat_report(&engine, k);
             }
             print!("{}", prospector_obs::report::to_text(&prospector_obs::snapshot()));
+            Ok(())
+        }
+        "synth" => {
+            let mut spec = prospector_corpora::synth::SynthSpec {
+                seed: flags.seed,
+                ..prospector_corpora::synth::SynthSpec::default()
+            };
+            let mut out: Option<String> = None;
+            let mut queries: Option<String> = None;
+            let mut it = flags.rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--types" => {
+                        spec.types = it
+                            .next()
+                            .ok_or("--types needs a number")?
+                            .parse()
+                            .map_err(|_| "--types needs a number".to_owned())?;
+                    }
+                    "--alpha" => {
+                        spec.alpha = it
+                            .next()
+                            .ok_or("--alpha needs a number")?
+                            .parse()
+                            .map_err(|_| "--alpha needs a number".to_owned())?;
+                    }
+                    "--planted" => {
+                        spec.planted = it
+                            .next()
+                            .ok_or("--planted needs a number")?
+                            .parse()
+                            .map_err(|_| "--planted needs a number".to_owned())?;
+                    }
+                    "--plant-len" => {
+                        spec.plant_len = it
+                            .next()
+                            .ok_or("--plant-len needs a number")?
+                            .parse()
+                            .map_err(|_| "--plant-len needs a number".to_owned())?;
+                    }
+                    "-o" | "--out" => {
+                        out = Some(it.next().ok_or("-o needs a path")?.clone());
+                    }
+                    "--queries" => {
+                        queries = Some(it.next().ok_or("--queries needs a path")?.clone());
+                    }
+                    other => return Err(format!("synth: unknown argument `{other}`")),
+                }
+            }
+            let mut api = jungloid_apidef::ApiLoader::with_prelude()
+                .finish()
+                .map_err(|e| e.to_string())?;
+            let report = prospector_corpora::synth::grow_synth(&mut api, &spec);
+            let engine = Prospector::new(api);
+            println!(
+                "synth jungle: {} classes, {} methods, {} planted paths of {} hops (seed {})",
+                report.classes,
+                report.methods,
+                report.planted.len(),
+                spec.plant_len,
+                spec.seed
+            );
+            println!(
+                "graph: {} nodes, {} edges",
+                engine.graph().node_count(),
+                engine.graph().edge_count()
+            );
+            if let Some(path) = &queries {
+                // Planted ground-truth pairs in `query --batch` format:
+                // one `TIN TOUT` pair per line.
+                let mut lines = String::new();
+                for p in &report.planted {
+                    lines.push_str(&p.tin);
+                    lines.push(' ');
+                    lines.push_str(&p.tout);
+                    lines.push('\n');
+                }
+                std::fs::write(path, lines).map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {path}: {} planted query pairs", report.planted.len());
+            }
+            if let Some(path) = &out {
+                let manifest = prospector_store::save_file(
+                    std::path::Path::new(path),
+                    engine.api(),
+                    engine.graph(),
+                    &[],
+                )
+                .map_err(|e| e.to_string())?;
+                println!(
+                    "wrote {path}: {:.1} MB, snapshot format v{}",
+                    manifest.total_bytes as f64 / (1024.0 * 1024.0),
+                    manifest.version
+                );
+            }
             Ok(())
         }
         other => {
@@ -1215,6 +1352,10 @@ usage:
   prospector [flags] index heat <batch-file> [-k N]
   prospector [flags] serve [--addr host:port] [--workers N] [--access-log <path>] [--mmap]
                            [--tenant name=path.pspk]... [--tenants-dir <dir>]
+                           [--serve-core epoll|pool] [--keepalive-max N]
+                           [--idle-timeout SECS] [--max-inflight N]
+  prospector [flags] synth --types N [--alpha F] [--planted N] [--plant-len N]
+                           [-o <path.pspk>] [--queries <batch-file>]
 
 flags: --no-mining --no-generalize --include-protected --mine-params --extended --jungle
        --max N --seed N --index <path> --metrics --metrics-json <path>

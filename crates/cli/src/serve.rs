@@ -1,20 +1,33 @@
 //! `prospector serve` — a zero-dependency HTTP/1.1 observability server.
 //!
-//! Everything here is `std`-only: a non-blocking accept loop over
-//! [`std::net::TcpListener`] feeding a **fixed worker pool** through a
-//! bounded job queue (`Mutex<VecDeque>` + [`Condvar`]). Workers and the
-//! accept loop live inside one [`std::thread::scope`], so shutting down
-//! is still "set the flag, wait for the scope": the accept loop stops
-//! taking connections, workers drain whatever is already queued, and the
-//! scope joins everything before [`Server::run`] returns — no thread
-//! outlives it.
+//! Everything here is `std`-only, and the server has **two cores**
+//! behind one [`Server::run`]:
 //!
-//! Connections are HTTP/1.1 **keep-alive** by default: a worker serves
-//! requests off one socket until the client sends `Connection: close`,
-//! goes quiet past the IO timeout, or hits the per-connection request
-//! cap. This pairs with the engine's result cache: a dashboard or
-//! latency probe reissuing the same `/query` over one connection pays
-//! one TCP handshake and (after the first request) zero pipeline runs.
+//! - On Linux/x86_64 the default is the **epoll readiness core**
+//!   ([`crate::poller`]): one poller thread owns the listener and every
+//!   parked socket, frames requests nonblockingly, and hands *parsed*
+//!   requests to the worker pool. Keep-alive connections wait in the
+//!   poller between requests instead of occupying workers, so 10k idle
+//!   connections cost file descriptors, not threads. The poller also
+//!   runs admission control: past the in-flight ceiling it sheds with
+//!   `429` + `Retry-After` straight off the poller thread.
+//! - Everywhere else (or with `--serve-core pool`) the portable
+//!   **pool core** runs: a non-blocking accept loop feeding a fixed
+//!   worker pool through a bounded job queue (`Mutex<VecDeque>` +
+//!   [`Condvar`]), one worker per connection lifetime.
+//!
+//! Either way the threads live inside one [`std::thread::scope`], so
+//! shutting down is "set the flag, wait for the scope": accepting
+//! stops, workers drain whatever is queued, and the scope joins
+//! everything before [`Server::run`] returns — no thread outlives it.
+//!
+//! Connections are HTTP/1.1 **keep-alive** by default: the server
+//! answers requests off one socket until the client sends
+//! `Connection: close`, goes idle past the timeout, or hits the
+//! per-connection request cap (`--keepalive-max`). This pairs with the
+//! engine's result cache: a dashboard or latency probe reissuing the
+//! same `/query` over one connection pays one TCP handshake and (after
+//! the first request) zero pipeline runs.
 //!
 //! Endpoints:
 //!
@@ -73,6 +86,8 @@ use prospector_obs::trace::{self, TraceId};
 use prospector_obs::window::{self, CounterRing, WindowRing, STANDARD_WINDOWS};
 use prospector_obs::Json;
 
+use crate::http::{FrameError, Framed, Request, RequestFramer};
+
 /// How long the accept loop sleeps when no connection is pending. The
 /// shutdown flag is re-checked at this cadence, so it bounds shutdown
 /// latency as well as idle wakeup rate.
@@ -93,10 +108,19 @@ const WORKER_POLL: Duration = Duration::from_millis(50);
 /// natural place for further connections to wait.
 const QUEUE_SLOTS_PER_WORKER: usize = 16;
 
-/// Cap on requests served over one keep-alive connection before the
-/// server closes it — a backstop so one chatty client cannot hold a
-/// worker forever.
-const MAX_KEEPALIVE_REQUESTS: usize = 1000;
+/// Default cap on requests served over one keep-alive connection before
+/// the server closes it (`--keepalive-max`) — a backstop so one chatty
+/// client cannot hold a worker or a parked slot forever.
+pub(crate) const DEFAULT_KEEPALIVE_MAX: usize = 1000;
+
+/// Default parked-connection idle timeout for the epoll core
+/// (`--idle-timeout`).
+pub(crate) const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// In-flight request slots granted per worker when `--max-inflight` is
+/// left at auto (`0`) — deep enough that bursts queue, shallow enough
+/// that a stalled pool sheds instead of buffering unboundedly.
+const INFLIGHT_SLOTS_PER_WORKER: usize = 64;
 
 /// The sampler thread's tick: each tick takes one cooperative profiler
 /// sample of every worker's stage stack, so 10ms ≈ 100 Hz profiling.
@@ -135,7 +159,7 @@ const ENDPOINTS: [&str; 15] = [
 ];
 
 /// Status codes the server can emit, one counter column each.
-const CODES: [u16; 5] = [200, 400, 404, 405, 500];
+const CODES: [u16; 8] = [200, 400, 404, 405, 413, 429, 431, 500];
 
 /// Truncation-reason labels, one per-endpoint counter column each
 /// (mirrors `TruncationReason::label`).
@@ -145,7 +169,7 @@ const TRUNCATIONS: [&str; 3] = ["none", "path_cap", "expansion_cap"];
 /// Provenance (snapshot source/mode, graph epoch) now lives on each
 /// tenant in the registry; `/readyz` and `/status` report the default
 /// tenant's.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// Suggestions returned per `/query` (the CLI's `--max`).
     pub max: usize,
@@ -153,6 +177,33 @@ pub struct ServeOptions {
     /// (`POST /tenants` without an explicit `mmap` parameter inherits
     /// this, mirroring the CLI's `--mmap`).
     pub mmap: bool,
+    /// Requests served over one keep-alive connection before the server
+    /// closes it (`--keepalive-max`).
+    pub keepalive_max: usize,
+    /// How long a parked connection may sit idle before the epoll core's
+    /// timer wheel reaps it (`--idle-timeout`). The portable pool core
+    /// keeps its fixed per-read socket timeout instead.
+    pub idle_timeout: Duration,
+    /// Admission-control ceiling on requests dispatched and not yet
+    /// answered; `0` resolves to `workers ×` [`INFLIGHT_SLOTS_PER_WORKER`].
+    /// Past the ceiling the epoll core sheds with `429` + `Retry-After`.
+    pub max_inflight: usize,
+    /// Forces the portable pool core even where epoll is available
+    /// (`--serve-core pool`) — mostly for A/B benchmarks.
+    pub force_pool: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max: 5,
+            mmap: false,
+            keepalive_max: DEFAULT_KEEPALIVE_MAX,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            max_inflight: 0,
+            force_pool: false,
+        }
+    }
 }
 
 /// Per-endpoint × status-code request counters — the label support the
@@ -287,20 +338,64 @@ impl JobQueue {
     }
 }
 
-/// Shared per-run state: the tenant registry, the options, and the live
-/// pool gauges every worker updates and `/status` reads.
-struct Ctx<'a> {
-    registry: &'a Registry,
-    max: usize,
-    mmap: bool,
-    workers: usize,
-    started: Instant,
-    /// Workers currently inside `handle_connection`.
-    busy: AtomicU64,
-    /// Connections accepted and not yet finished (queued + in-flight).
-    conns: AtomicU64,
-    /// Jobs currently waiting in the queue.
-    depth: AtomicU64,
+/// Shared per-run state: the tenant registry, the resolved options, and
+/// the live gauges both cores update and `/status` reads.
+pub(crate) struct Ctx<'a> {
+    pub(crate) registry: &'a Registry,
+    pub(crate) max: usize,
+    pub(crate) mmap: bool,
+    pub(crate) workers: usize,
+    pub(crate) started: Instant,
+    /// Which core is running — `/status` reports it as `serve_core`.
+    pub(crate) epoll: bool,
+    /// Per-connection keep-alive request cap (`--keepalive-max`).
+    pub(crate) keepalive_max: usize,
+    /// Parked-connection idle timeout (`--idle-timeout`, epoll core).
+    pub(crate) idle_timeout: Duration,
+    /// Resolved admission ceiling (never zero; see [`ServeOptions`]).
+    pub(crate) max_inflight: usize,
+    /// Workers currently handling a request/connection.
+    pub(crate) busy: AtomicU64,
+    /// Connections accepted and not yet finished (parked + in-flight).
+    pub(crate) conns: AtomicU64,
+    /// Jobs currently waiting in the handoff queue.
+    pub(crate) depth: AtomicU64,
+    /// Requests dispatched to a worker and not yet answered (epoll core).
+    pub(crate) inflight: AtomicU64,
+    /// Requests shed with `429` at the admission ceiling.
+    pub(crate) shed: AtomicU64,
+    /// Connections currently parked in the poller between requests.
+    pub(crate) parked: AtomicU64,
+    /// Idle connections reaped by the poller's timer wheel.
+    pub(crate) reaped: AtomicU64,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(registry: &'a Registry, opts: &ServeOptions, workers: usize, epoll: bool) -> Ctx<'a> {
+        let max_inflight = if opts.max_inflight == 0 {
+            workers * INFLIGHT_SLOTS_PER_WORKER
+        } else {
+            opts.max_inflight
+        };
+        Ctx {
+            registry,
+            max: opts.max,
+            mmap: opts.mmap,
+            workers,
+            started: Instant::now(),
+            epoll,
+            keepalive_max: opts.keepalive_max.max(1),
+            idle_timeout: opts.idle_timeout.max(Duration::from_millis(100)),
+            max_inflight: max_inflight.max(1),
+            busy: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A bound listener, separated from [`Server::run`] so callers (the CLI,
@@ -350,51 +445,57 @@ impl Server {
         self.listener.local_addr().map_err(|e| e.to_string())
     }
 
-    /// Serves until `shutdown` is set. Accepted connections are queued to
-    /// a fixed pool of worker threads; a sampler thread refreshes the
-    /// `process.*` and `serve.*` gauges about once a second. When the
-    /// flag flips, the accept loop stops, workers drain the queue and
-    /// finish their in-flight connections, the sampler exits, and the
-    /// scope joins them all before this returns.
+    /// Serves until `shutdown` is set, on the epoll readiness core where
+    /// the platform has one ([`crate::poller::supported`]) and the
+    /// portable pool core elsewhere (or when `opts.force_pool` asks for
+    /// it). Either way a sampler thread refreshes the `process.*` and
+    /// `serve.*` gauges about once a second, and when the flag flips
+    /// everything drains and joins before this returns.
     ///
     /// # Errors
     ///
-    /// Returns accept-loop failures other than `WouldBlock`.
+    /// Returns accept-loop / poller failures as displayable messages.
     pub fn run(
         self,
         registry: &Registry,
         opts: &ServeOptions,
         shutdown: &AtomicBool,
     ) -> Result<(), String> {
-        self.listener
-            .set_nonblocking(true)
-            .map_err(|e| format!("set_nonblocking: {e}"))?;
-        let queue = JobQueue::new();
-        let queue_cap = self.workers * QUEUE_SLOTS_PER_WORKER;
-        let stopping = AtomicBool::new(false);
-        let ctx = Ctx {
-            registry,
-            max: opts.max,
-            mmap: opts.mmap,
-            workers: self.workers,
-            started: Instant::now(),
-            busy: AtomicU64::new(0),
-            conns: AtomicU64::new(0),
-            depth: AtomicU64::new(0),
-        };
+        let epoll = crate::poller::supported() && !opts.force_pool;
+        let ctx = Ctx::new(registry, opts, self.workers, epoll);
+        if epoll {
+            crate::poller::serve_epoll(self.listener, &ctx, shutdown)
+        } else {
+            run_pool(self.listener, &ctx, shutdown)
+        }
+    }
+}
+
+/// The portable pool core: a non-blocking accept loop feeding a fixed
+/// worker pool through a bounded job queue, one worker per connection
+/// lifetime. Kept as the fallback where the epoll core cannot run, and
+/// as the `--serve-core pool` baseline for A/B benchmarks.
+fn run_pool(
+    listener: TcpListener,
+    ctx: &Ctx<'_>,
+    shutdown: &AtomicBool,
+) -> Result<(), String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let queue = JobQueue::new();
+    let queue_cap = ctx.workers * QUEUE_SLOTS_PER_WORKER;
+    let stopping = AtomicBool::new(false);
+    {
         std::thread::scope(|scope| {
-            for _ in 0..self.workers {
+            for _ in 0..ctx.workers {
                 let queue = &queue;
                 let stopping = &stopping;
-                let ctx = &ctx;
                 scope.spawn(move || {
                     while let Some((stream, enqueued)) = queue.pop(shutdown, stopping) {
                         ctx.depth.store(queue.len() as u64, Ordering::Relaxed);
                         let wait_ns = u64::try_from(enqueued.elapsed().as_nanos())
                             .unwrap_or(u64::MAX);
-                        let rings = serve_rings();
-                        rings.queue_wait.record(wait_ns);
-                        rings.queue_wait_hist.record(wait_ns);
                         ctx.busy.fetch_add(1, Ordering::Relaxed);
                         handle_connection(stream, ctx, wait_ns);
                         ctx.busy.fetch_sub(1, Ordering::Relaxed);
@@ -404,7 +505,6 @@ impl Server {
             }
             {
                 let stopping = &stopping;
-                let ctx = &ctx;
                 scope.spawn(move || sampler_loop(ctx, shutdown, stopping));
             }
             let result = loop {
@@ -417,7 +517,7 @@ impl Server {
                     std::thread::sleep(ACCEPT_POLL);
                     continue;
                 }
-                match self.listener.accept() {
+                match listener.accept() {
                     Ok((stream, _peer)) => {
                         ctx.conns.fetch_add(1, Ordering::Relaxed);
                         queue.push(stream);
@@ -445,7 +545,7 @@ impl Server {
 /// `/proc/self/status` derived `process.*` gauges into the metric
 /// registry. The stop flags are re-checked every tick, so shutdown
 /// latency is bounded by one tick.
-fn sampler_loop(ctx: &Ctx<'_>, shutdown: &AtomicBool, stopping: &AtomicBool) {
+pub(crate) fn sampler_loop(ctx: &Ctx<'_>, shutdown: &AtomicBool, stopping: &AtomicBool) {
     let mut ticks = 0u32;
     loop {
         if shutdown.load(Ordering::Relaxed) || stopping.load(Ordering::Relaxed) {
@@ -467,6 +567,8 @@ fn sample_self_stats(ctx: &Ctx<'_>) {
     prospector_obs::gauge_set("serve.queue.depth", ctx.depth.load(Ordering::Relaxed));
     prospector_obs::gauge_set("serve.workers.busy", ctx.busy.load(Ordering::Relaxed));
     prospector_obs::gauge_set("serve.conns.active", ctx.conns.load(Ordering::Relaxed));
+    prospector_obs::gauge_set("serve.poller.parked", ctx.parked.load(Ordering::Relaxed));
+    prospector_obs::gauge_set("serve.poller.inflight", ctx.inflight.load(Ordering::Relaxed));
     prospector_obs::gauge_set("profile.samples", profile::samples());
     prospector_obs::gauge_set("profile.dropped", profile::dropped());
     if let Some((rss, threads)) = read_proc_self_status() {
@@ -524,6 +626,10 @@ fn warm_registry() {
         "synth.snippets",
         "registry.reloads",
         "registry.reload_failures",
+        "serve.shed.total",
+        "serve.poller.accepts",
+        "serve.poller.reaped",
+        "serve.poller.frame_errors",
     ];
     for name in COUNTERS {
         prospector_obs::add(name, 0);
@@ -540,6 +646,8 @@ fn warm_registry() {
     prospector_obs::gauge_set("serve.queue.depth", 0);
     prospector_obs::gauge_set("serve.workers.busy", 0);
     prospector_obs::gauge_set("serve.conns.active", 0);
+    prospector_obs::gauge_set("serve.poller.parked", 0);
+    prospector_obs::gauge_set("serve.poller.inflight", 0);
     prospector_obs::gauge_set("registry.tenants", 0);
     prospector_obs::gauge_set("registry.engine_bytes", 0);
     prospector_obs::gauge_set("profile.samples", 0);
@@ -549,38 +657,70 @@ fn warm_registry() {
     let _ = serve_rings();
 }
 
-/// Serves one connection: requests are answered in a keep-alive loop
-/// until the client asks to close (`Connection: close`), goes quiet past
-/// [`IO_TIMEOUT`], or exhausts [`MAX_KEEPALIVE_REQUESTS`]. `queue_wait_ns`
-/// is attributed to the first request only — follow-ups on a keep-alive
-/// connection never waited in the accept queue.
+/// Serves one connection (pool core): requests are framed and answered
+/// in a keep-alive loop until the client asks to close
+/// (`Connection: close`), goes quiet past [`IO_TIMEOUT`], or exhausts
+/// `ctx.keepalive_max`. `queue_wait_ns` is attributed to the first
+/// request only — follow-ups on a keep-alive connection never waited in
+/// the accept queue, so they record a wait of zero.
 fn handle_connection(mut stream: TcpStream, ctx: &Ctx<'_>, queue_wait_ns: u64) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    for served in 0..MAX_KEEPALIVE_REQUESTS {
-        let Some(request) = read_request(&mut stream) else {
-            return;
+    let mut framer = RequestFramer::new();
+    let mut chunk = [0u8; 4096];
+    let mut served = 0usize;
+    loop {
+        // Pull the next framed request, reading more bytes as needed.
+        let request = loop {
+            match framer.next() {
+                Framed::Request(r) => break r,
+                Framed::Error(e) => {
+                    // Answer the framing error before closing — a silent
+                    // drop is indistinguishable from a crash to clients.
+                    serve_frame_error(&mut stream, &e);
+                    return;
+                }
+                Framed::Incomplete => match stream.read(&mut chunk) {
+                    Ok(0) => return,
+                    Ok(n) => framer.push(&chunk[..n]),
+                    Err(_) => return,
+                },
+            }
         };
         // The final slot always closes, so the header never promises a
         // request we will not serve.
-        let close = request.close || served + 1 == MAX_KEEPALIVE_REQUESTS;
+        let close = request.close || served + 1 >= ctx.keepalive_max;
         let wait_ns = if served == 0 { queue_wait_ns } else { 0 };
         serve_request(&mut stream, ctx, &request, close, wait_ns);
+        served += 1;
         if close {
             return;
         }
     }
 }
 
+/// Writes the strict-JSON response for an unframable stream and records
+/// it (endpoint `other` — there is no route to attribute it to).
+fn serve_frame_error(stream: &mut TcpStream, error: &FrameError) {
+    let started = Instant::now();
+    let response = frame_error_response(error);
+    let _ = stream.write_all(&serialize_response(&response, true));
+    let _ = stream.flush();
+    let handle_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    record_request(endpoint_index("unframable"), &response, 0, handle_ns);
+}
+
 /// One response, carrying everything the per-request accounting needs
 /// alongside the wire fields.
-struct Response {
+pub(crate) struct Response {
     code: u16,
     reason: &'static str,
     content_type: &'static str,
     body: String,
     /// `Allow:` header value for 405 responses; empty sends no header.
     allow: &'static str,
+    /// `Retry-After:` seconds for 429 shed responses; 0 sends no header.
+    retry_after: u64,
     /// The flight-recorder id for `/query`; 0 elsewhere.
     trace_id: u64,
     /// Whether a `/query` answer came from the result cache.
@@ -601,6 +741,7 @@ impl Response {
             content_type,
             body,
             allow: "",
+            retry_after: 0,
             trace_id: 0,
             cached: false,
             truncation: String::new(),
@@ -641,6 +782,17 @@ fn serve_request(
     // `serve.request;batch;search` etc., so `/profile.folded` attributes
     // wall-clock to request handling versus idle.
     let _span = prospector_obs::stage("serve.request");
+    let (endpoint, response) = answer(ctx, request);
+    let _ = stream.write_all(&serialize_response(&response, close));
+    let _ = stream.flush();
+    let handle_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    record_request(endpoint, &response, queue_wait_ns, handle_ns);
+}
+
+/// Routes one parsed request to its handler — the shared core of both
+/// serve cores. Returns the endpoint row (for accounting) alongside the
+/// response.
+pub(crate) fn answer(ctx: &Ctx<'_>, request: &Request) -> (usize, Response) {
     let (route, query) = match request.path.split_once('?') {
         Some((r, q)) => (r, q),
         None => (request.path.as_str(), ""),
@@ -651,9 +803,46 @@ fn serve_request(
         "POST" => route_post(ctx, endpoint, query),
         _ => method_not_allowed(endpoint),
     };
-    respond(stream, &response, close);
-    let handle_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    record_request(endpoint, &response, queue_wait_ns, handle_ns);
+    (endpoint, response)
+}
+
+/// The strict-JSON response for a stream the framer rejected, carrying
+/// the frame error's own status code (`400`/`431`/`413`).
+pub(crate) fn frame_error_response(error: &FrameError) -> Response {
+    let body = Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(error.message())),
+    ])
+    .to_text();
+    let (code, reason) = match error {
+        FrameError::BadRequestLine(_) => (400, "Bad Request"),
+        FrameError::HeadersTooLarge(_) => (431, "Request Header Fields Too Large"),
+        FrameError::BodyTooLarge(_) => (413, "Payload Too Large"),
+    };
+    Response::new(code, reason, "application/json", body)
+}
+
+/// The `429` the poller sheds with at the admission ceiling: strict
+/// JSON, `Retry-After: 1`, built without touching a worker.
+pub(crate) fn shed_response() -> Response {
+    let body = Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str("overloaded: in-flight request ceiling reached".to_owned()),
+        ),
+        ("shed", Json::Bool(true)),
+    ])
+    .to_text();
+    let mut r = Response::new(429, "Too Many Requests", "application/json", body);
+    r.retry_after = 1;
+    r
+}
+
+/// Maps a request target (route + optional query string) to its
+/// [`ENDPOINTS`] row — the shape the poller has in hand when it sheds.
+pub(crate) fn endpoint_of(path: &str) -> usize {
+    endpoint_index(path.split('?').next().unwrap_or(path))
 }
 
 /// Maps a route to its [`ENDPOINTS`] row; unknown paths land on `other`.
@@ -945,13 +1134,23 @@ fn query_params_all(query: &str, name: &str) -> Vec<String> {
         .collect()
 }
 
-/// The per-request accounting fan-out (see [`serve_request`]).
-fn record_request(endpoint: usize, response: &Response, queue_wait_ns: u64, handle_ns: u64) {
+/// The per-request accounting fan-out (see [`serve_request`]). Every
+/// request records its queue wait — zero for a pool keep-alive
+/// follow-up (it never waited), the measured hand-off wait for every
+/// request the poller dispatched.
+pub(crate) fn record_request(
+    endpoint: usize,
+    response: &Response,
+    queue_wait_ns: u64,
+    handle_ns: u64,
+) {
     http_stats().record(endpoint, response.code);
     if !response.truncation.is_empty() {
         http_stats().record_truncation(endpoint, &response.truncation);
     }
     let rings = serve_rings();
+    rings.queue_wait.record(queue_wait_ns);
+    rings.queue_wait_hist.record(queue_wait_ns);
     rings.latency[endpoint].record(handle_ns);
     rings.latency_hist[endpoint].record(handle_ns);
     if response.code >= 400 {
@@ -1186,12 +1385,33 @@ fn status_json(ctx: &Ctx<'_>) -> Json {
             ),
         ),
         (
+            "config",
+            Json::obj(vec![
+                (
+                    "serve_core",
+                    Json::Str(if ctx.epoll { "epoll" } else { "pool" }.to_owned()),
+                ),
+                ("keepalive_max", Json::num_u(ctx.keepalive_max as u64)),
+                ("idle_timeout_s", Json::num_u(ctx.idle_timeout.as_secs())),
+                ("max_inflight", Json::num_u(ctx.max_inflight as u64)),
+            ]),
+        ),
+        (
             "pool",
             Json::obj(vec![
                 ("workers", Json::num_u(ctx.workers as u64)),
                 ("busy", Json::num_u(ctx.busy.load(Ordering::Relaxed))),
                 ("queue_depth", Json::num_u(ctx.depth.load(Ordering::Relaxed))),
                 ("conns_active", Json::num_u(ctx.conns.load(Ordering::Relaxed))),
+            ]),
+        ),
+        (
+            "poller",
+            Json::obj(vec![
+                ("parked", Json::num_u(ctx.parked.load(Ordering::Relaxed))),
+                ("inflight", Json::num_u(ctx.inflight.load(Ordering::Relaxed))),
+                ("shed_total", Json::num_u(ctx.shed.load(Ordering::Relaxed))),
+                ("reaped_total", Json::num_u(ctx.reaped.load(Ordering::Relaxed))),
             ]),
         ),
         (
@@ -1323,88 +1543,32 @@ fn analytics_json(engine: &Prospector, k: usize) -> Json {
     ])
 }
 
-/// One parsed request head. The admin endpoints take their parameters
-/// in the query string, so no handler reads a body — but POST bodies
-/// are drained so keep-alive framing survives clients that send one.
-struct Request {
-    method: String,
-    path: String,
-    /// The client sent `Connection: close`.
-    close: bool,
-}
-
-/// Cap on a request body the server will drain (and discard) to keep a
-/// keep-alive connection framed; anything larger ends the connection.
-const MAX_DRAIN_BODY: u64 = 65_536;
-
-/// Reads one request head (`GET /path HTTP/1.1` + headers) and drains
-/// any `Content-Length` body. Returns `None` on a clean disconnect,
-/// timeout, or malformed head — all of which end the connection.
-fn read_request(stream: &mut TcpStream) -> Option<Request> {
-    let mut buf = Vec::with_capacity(512);
-    let mut byte = [0u8; 1];
-    // Read to end-of-headers (or a sane cap) one byte at a time; request
-    // heads are tiny and this avoids over-reading into the next
-    // pipelined request on a keep-alive connection.
-    while !buf.ends_with(b"\r\n\r\n") && buf.len() < 8192 {
-        match stream.read(&mut byte) {
-            Ok(1) => buf.push(byte[0]),
-            _ => break,
-        }
-    }
-    let text = String::from_utf8_lossy(&buf);
-    let mut lines = text.lines();
-    let line = lines.next()?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next()?.to_owned();
-    let path = parts.next()?.to_owned();
-    let mut close = false;
-    let mut content_length: u64 = 0;
-    for (name, value) in lines
-        .take_while(|l| !l.is_empty())
-        .filter_map(|l| l.split_once(':'))
-    {
-        if name.eq_ignore_ascii_case("connection")
-            && value.trim().eq_ignore_ascii_case("close")
-        {
-            close = true;
-        } else if name.eq_ignore_ascii_case("content-length") {
-            content_length = value.trim().parse().unwrap_or(0);
-        }
-    }
-    if content_length > 0 {
-        if content_length > MAX_DRAIN_BODY {
-            return None;
-        }
-        // Discard the body: handlers take parameters from the query
-        // string, but the bytes must leave the stream or the next
-        // keep-alive request head would start mid-body.
-        let mut sink = std::io::sink();
-        let mut body = Read::take(&mut *stream, content_length);
-        if std::io::copy(&mut body, &mut sink).is_err() {
-            return None;
-        }
-    }
-    Some(Request { method, path, close })
-}
-
-fn respond(stream: &mut TcpStream, response: &Response, close: bool) {
+/// Serializes one response to its wire bytes — header block plus body —
+/// so both cores (and the poller's outbound buffers) share one
+/// formatter. `Allow:` rides on 405s, `Retry-After:` on shed 429s.
+pub(crate) fn serialize_response(response: &Response, close: bool) -> Vec<u8> {
     let connection = if close { "close" } else { "keep-alive" };
     let allow = if response.allow.is_empty() {
         String::new()
     } else {
         format!("Allow: {}\r\n", response.allow)
     };
+    let retry = if response.retry_after == 0 {
+        String::new()
+    } else {
+        format!("Retry-After: {}\r\n", response.retry_after)
+    };
     let header = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}Connection: {connection}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{allow}{retry}Connection: {connection}\r\n\r\n",
         response.code,
         response.reason,
         response.content_type,
         response.body.len()
     );
-    let _ = stream.write_all(header.as_bytes());
-    let _ = stream.write_all(response.body.as_bytes());
-    let _ = stream.flush();
+    let mut out = Vec::with_capacity(header.len() + response.body.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(response.body.as_bytes());
+    out
 }
 
 /// A successful `/query` answer plus the accounting fields the access

@@ -16,7 +16,7 @@ use prospector_obs::Json;
 use prospector_registry::{load_engine, Provenance, Registry, DEFAULT_TENANT};
 
 fn opts() -> ServeOptions {
-    ServeOptions { max: 5, mmap: false }
+    ServeOptions { max: 5, mmap: false, ..ServeOptions::default() }
 }
 
 /// Issues one `GET` on a fresh connection and returns `(status_line, body)`.

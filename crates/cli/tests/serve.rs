@@ -14,7 +14,7 @@ use prospector_registry::{Provenance, Registry};
 
 /// The default in-process options every test serves with.
 fn opts() -> ServeOptions {
-    ServeOptions { max: 5, mmap: false }
+    ServeOptions { max: 5, mmap: false, ..ServeOptions::default() }
 }
 
 /// A single-tenant registry around an in-process build — the engine the

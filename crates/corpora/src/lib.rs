@@ -28,6 +28,7 @@ pub mod report;
 pub mod stubs;
 pub mod stubs_distractors;
 pub mod stubs_ext;
+pub mod synth;
 
 use jungloid_apidef::{Api, ApiLoader};
 use jungloid_dataflow::{LoweredCorpus, MineReport, Miner, MinerConfig};
